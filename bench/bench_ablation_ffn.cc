@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation — layer-specific FFN sparsity (the 4th optimization of
+ * Fig. 6(a)): keep-fraction sweep (output error vs W2 MACs saved)
+ * and per-layer calibration on a stack with depth-increasing
+ * activation skew.
+ */
+
+#include <cstdio>
+
+#include "core/ffn.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    Rng rng(0xFF7);
+    const int H = 64, F = 256, T = 32;
+
+    MatF probe(T, H);
+    for (auto &v : probe.data())
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    std::printf("=== FFN sparsity: keep sweep (H=%d, F=%d) ===\n", H,
+                F);
+    auto layer = makeFfnLayer(rng, H, F, 0.1, 4.0);
+    auto dense = ffnForward(layer, probe);
+    std::printf("%8s | %12s %12s %12s\n", "keep", "rel.error",
+                "muls saved", "norm. cost");
+    for (double keep : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}) {
+        auto sparse = ffnForwardSparse(layer, probe, keep);
+        const double err =
+            relativeError(sparse.output, dense.output);
+        const double saved =
+            1.0 - static_cast<double>(sparse.ops.muls()) /
+                      static_cast<double>(dense.ops.muls());
+        std::printf("%7.0f%% | %12.4f %11.1f%% %12.0f\n",
+                    100.0 * keep, err, 100.0 * saved,
+                    sparse.ops.normalized());
+    }
+
+    std::printf("\n=== layer-specific calibration "
+                "(error budget 10%%) ===\n");
+    std::vector<FfnLayer> stack;
+    const double hot_fracs[] = {0.5, 0.3, 0.15, 0.08, 0.05, 0.03};
+    for (double hf : hot_fracs)
+        stack.push_back(makeFfnLayer(rng, H, F, hf, 5.0));
+    auto keeps = calibrateStack(stack, probe, 0.10);
+    std::printf("%8s | %10s %10s\n", "layer", "hot frac", "keep");
+    for (std::size_t l = 0; l < stack.size(); ++l)
+        std::printf("%8zu | %9.0f%% %9.0f%%\n", l,
+                    100.0 * hot_fracs[l], 100.0 * keeps[l]);
+    std::printf("\nShape: deeper (more skewed) layers tolerate "
+                "smaller keeps — the layer-specific adaptation of "
+                "Fig. 6(a).\n");
+    return 0;
+}

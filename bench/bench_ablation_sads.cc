@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation — SADS segment count and clipping radius: comparison
+ * savings vs vanilla whole-row sorting, and the softmax-mass recall
+ * each configuration retains (the DCE accuracy argument of Fig. 9).
+ */
+
+#include <cstdio>
+
+#include "core/sads.h"
+#include "model/workload.h"
+#include "sparsity/metrics.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    WorkloadSpec spec;
+    spec.seq = 2048;
+    spec.queries = 64;
+    spec.mixture = {0.25, 0.75, 0.0};
+    spec.seed = 0x5AD5;
+    auto w = generateWorkload(spec);
+    const int k = 2048 / 5;
+
+    const double vanilla_cmp = static_cast<double>(
+        vanillaSortComparisons(spec.queries, spec.seq));
+
+    std::printf("=== SADS segment-count sweep (S=2048, k=20%%) ===\n");
+    std::printf("%9s | %14s %9s | %9s %9s\n", "segments",
+                "comparisons", "vs full", "recall", "mass");
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+        SadsConfig cfg;
+        cfg.segments = n;
+        auto res = sadsTopK(w.scores, k, cfg);
+        auto exact = exactTopKRows(w.scores, k);
+        std::printf("%9d | %14lld %8.1f%% | %8.1f%% %8.1f%%\n", n,
+                    static_cast<long long>(res.ops.cmps()),
+                    100.0 * res.ops.cmps() / vanilla_cmp,
+                    100.0 * topkRecall(res.selections(), exact),
+                    100.0 * softmaxMassRecall(w.scores,
+                                              res.selections()));
+    }
+
+    std::printf("\n=== clipping-radius sweep (4 segments) ===\n");
+    std::printf("%9s | %12s %9s %9s\n", "radius", "clipped",
+                "mass", "cmp-saved");
+    SadsConfig base;
+    base.segments = 4;
+    auto open = sadsTopK(w.scores, k, base);
+    for (double r : {1.0, 0.6, 0.4, 0.25, 0.15}) {
+        SadsConfig cfg = base;
+        cfg.radiusFrac = r;
+        auto res = sadsTopK(w.scores, k, cfg);
+        std::int64_t clipped = 0;
+        for (const auto &row : res.rows)
+            clipped += row.clipped;
+        std::printf("%9.2f | %12lld %8.1f%% %8.1f%%\n", r,
+                    static_cast<long long>(clipped),
+                    100.0 * softmaxMassRecall(w.scores,
+                                              res.selections()),
+                    100.0 * (1.0 - static_cast<double>(
+                                       res.ops.cmps()) /
+                                       open.ops.cmps()));
+    }
+    std::printf("\nShape: few segments ~ exact; more segments save "
+                "comparisons with modest mass loss;\nclipping saves "
+                "switching with negligible mass loss until the "
+                "radius gets aggressive.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 1 — Transformer memory and computation breakdown for long
+ * sequences: QKV / Attention / FFN shares of memory footprint and
+ * computation for Llama-7B and ViT-B as the sequence grows to 128k.
+ */
+
+#include <cstdio>
+
+#include "model/config.h"
+#include "model/flops.h"
+
+using namespace sofa;
+
+namespace {
+
+void
+report(const ModelConfig &m, const std::vector<std::int64_t> &seqs)
+{
+    std::printf("\n%s — memory footprint (MB) and computation share\n",
+                m.name.c_str());
+    std::printf("%8s | %8s %8s %8s | %7s %7s %7s\n", "S", "QKV(MB)",
+                "Att(MB)", "FFN(MB)", "QKV%", "Att%", "FFN%");
+    for (auto s : seqs) {
+        auto p = modelProfile(m, s, s);
+        const double mb = 1.0 / (1024.0 * 1024.0);
+        const double tot = p.total().flops;
+        std::printf(
+            "%8lld | %8.0f %8.0f %8.0f | %6.1f%% %6.1f%% %6.1f%%\n",
+            static_cast<long long>(s), p.qkv.bytes * mb,
+            p.atten.bytes * mb, p.ffn.bytes * mb,
+            100.0 * p.qkv.flops / tot, 100.0 * p.atten.flops / tot,
+            100.0 * p.ffn.flops / tot);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 1: memory & computation breakdown ===\n");
+    report(models::llama7b(), {4096, 16384, 32768, 65536, 131072});
+    report(models::vitBase(), {4096, 8192, 14336, 32768, 129024});
+    std::printf("\nPaper shape: attention share of both memory and\n"
+                "computation overtakes FFN beyond ~32k tokens.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 6(b) — dataflow comparison: standard Transformer workflow
+ * (dense, score matrices round-trip memory), traditional dynamic-
+ * sparsity accelerator (whole-row processing: Pre-Atten / Atten
+ * stored to DRAM, loaded row-wise), and the SOFA accelerator
+ * (cross-stage tiled pipeline, no intermediate DRAM traffic). Also
+ * prints the controller's tile-level Gantt timeline for the tiled
+ * vs serialized schedules (the latency reduction of Fig. 6(b)).
+ */
+
+#include <cstdio>
+
+#include "arch/accelerator.h"
+#include "arch/controller.h"
+#include "arch/whole_row.h"
+#include "baselines/gpu.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    // A GPT-2-class slice: S=1024, T=256 parallel rows, 12 heads.
+    AttentionShape shape;
+    shape.queries = 256;
+    shape.seq = 1024;
+    shape.headDim = 64;
+    shape.heads = 12;
+
+    std::printf("=== Fig. 6(b): dataflow comparison (S=1024, T=256, "
+                "12 heads) ===\n");
+    std::printf("%-28s | %12s %12s %12s\n", "Workflow", "compute(us)",
+                "memory(us)", "total(us)");
+
+    // Standard dense workflow on the GPU model.
+    GpuModel gpu;
+    auto dense = gpu.run(shape, GpuMode::Dense);
+    std::printf("%-28s | %12.1f %12s %12.1f\n",
+                "standard Transformer (GPU)", dense.timeNs / 1e3,
+                "(incl.)", dense.timeNs / 1e3);
+
+    // Traditional whole-row dynamic-sparsity accelerator.
+    WholeRowConfig wr;
+    wr.name = "whole-row";
+    wr.throughputGops = 2048.0; // SOFA-sized datapath for fairness
+    auto trad = runWholeRow(wr, shape.queries, shape.seq,
+                            shape.headDim, shape.heads);
+    std::printf("%-28s | %12.1f %12.1f %12.1f\n",
+                "traditional accelerator", trad.computeNs / 1e3,
+                trad.memoryNs / 1e3, trad.totalNs() / 1e3);
+
+    // SOFA tiled pipeline.
+    SofaConfig cfg;
+    cfg.topkFrac = 0.12;
+    SofaAccelerator sofa_acc(cfg);
+    auto sofa_res = sofa_acc.run(shape);
+    std::printf("%-28s | %12.1f %12.1f %12.1f\n", "SOFA accelerator",
+                sofa_res.stats.get("compute_ns") / 1e3,
+                sofa_res.stats.get("memory_ns") / 1e3,
+                sofa_res.timeNs / 1e3);
+
+    std::printf("\nIntermediate (Pre-Atten/Atten) DRAM traffic: "
+                "traditional %.2f MB, SOFA 0 MB\n",
+                trad.spillBytes / 1e6);
+
+    // Tile-level schedules: serialized vs cross-stage tiled.
+    std::printf("\n--- tile-level schedule (16 tiles, per-tile "
+                "costs predict/sort/kvgen/formal = 4/1/3/5) ---\n");
+    StageCosts costs;
+    costs.perTile = {4.0, 1.0, 3.0, 5.0};
+    auto serial = TiledController(false).schedule(16, costs);
+    auto tiled = TiledController(true).schedule(16, costs);
+    auto barred = TiledController(true, true).schedule(16, costs);
+    std::printf("serialized stages : %.0f cycles\n",
+                serial.totalCycles);
+    std::printf("row-barrier top-k : %.0f cycles\n",
+                barred.totalCycles);
+    std::printf("cross-stage tiled : %.0f cycles (%.1fx less than "
+                "serialized)\n",
+                tiled.totalCycles,
+                serial.totalCycles / tiled.totalCycles);
+    std::printf("\nTiled pipeline timeline:\n%s",
+                tiled.gantt(64).c_str());
+    std::printf("\nRow-barrier timeline (whole-row top-k):\n%s",
+                barred.gantt(64).c_str());
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 8 — Attention-score distribution taxonomy: generate score rows
+ * for each model family's mixture and classify them back into
+ * Type-I / Type-II / Type-III, reproducing the per-model proportions
+ * and the >95% Type-I + Type-II coverage (the DCE justification).
+ */
+
+#include <cstdio>
+
+#include "model/config.h"
+#include "model/workload.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    std::printf("=== Fig. 8(b): distribution type proportions ===\n");
+    std::printf("%-12s | %8s %8s %8s | %s\n", "Model", "Type-I",
+                "Type-II", "Type-III", "I+II");
+    double worst_cover = 1.0;
+    for (const auto &m : {models::vitBase(), models::bertBase(),
+                          models::gpt2(), models::llama7b()}) {
+        Rng rng(0xF16'8000 + m.layers);
+        ScoreRowParams p;
+        p.seq = 1024;
+        MatF scores = generateScoreMatrix(rng, m.mixture, 512, p);
+        auto tally = classifyScoreMatrix(scores);
+        const double cover = tally.frac1() + tally.frac2();
+        worst_cover = std::min(worst_cover, cover);
+        std::printf("%-12s | %7.1f%% %7.1f%% %7.1f%% | %5.1f%%\n",
+                    m.name.c_str(), 100.0 * tally.frac1(),
+                    100.0 * tally.frac2(), 100.0 * tally.frac3(),
+                    100.0 * cover);
+    }
+    std::printf("\nWorst-case Type-I+II coverage: %.1f%% "
+                "(paper: >95%% on average, Type-II >76%%)\n",
+                100.0 * worst_cover);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 16 — (a) attention latency breakdown on the GPU (matmul is
+ * only ~27% of attention time; >50% goes to memory access around
+ * transpose/softmax/reshape) and the overall QKV/Attention/FFN
+ * latency breakdown with the attention memory-access and energy
+ * shares, for batch 1 and 4; (b) the pre-deployment / user-inference
+ * flow.
+ */
+
+#include <cstdio>
+
+#include "model/config.h"
+#include "model/flops.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    std::printf("=== Fig. 16(a): attention latency breakdown "
+                "(GPU model, Llama-7B) ===\n");
+    // The GPU model's dense mode splits time between matmul flops
+    // and memory passes; the paper's profile: QxK 17.5%, SxV ~17%,
+    // transpose+softmax 55.7% (memory), split/concat 16.2%.
+    // We reproduce the structural claim from the roofline terms.
+    auto m = models::llama7b();
+    auto p = layerProfile(m, 4096, 512);
+    const double matmul_flops = 4.0 * 512 * 4096 * m.hidden;
+    const double total_flops = p.atten.flops;
+    const double elementwise = total_flops - matmul_flops;
+    // Memory passes of the score matrix dominate time on hardware
+    // whose matmul units are far faster than its memory system.
+    const double score_bytes = 3.0 * m.heads * 512.0 * 4096 * 2.0;
+    const double io_bytes = p.atten.bytes - score_bytes;
+    std::printf("matmul FLOPs share of attention ops : %5.1f%% "
+                "(paper: matmul only ~26.8%% of latency)\n",
+                100.0 * matmul_flops / total_flops);
+    std::printf("softmax/element-wise ops share      : %5.1f%%\n",
+                100.0 * elementwise / total_flops);
+    std::printf("score-matrix share of memory traffic: %5.1f%% "
+                "(paper: >50%% of latency in memory access)\n",
+                100.0 * score_bytes / p.atten.bytes);
+    std::printf("QKV/output share of memory traffic  : %5.1f%%\n",
+                100.0 * io_bytes / p.atten.bytes);
+
+    std::printf("\n=== Fig. 16(b): overall latency breakdown ===\n");
+    std::printf("%-22s %5s | %6s %6s %6s | %9s\n", "Model", "B",
+                "QKV%", "Att%", "FFN%", "Att-mem%");
+    struct Cfg { const char *label; ModelConfig model; int seq; };
+    for (const auto &[label, model, seq] :
+         {Cfg{"BERT-Large (512)", models::bertLarge(), 512},
+          Cfg{"Bloom-1.7B (1k)", models::bloom1b7(), 1024},
+          Cfg{"Bloom-1.7B (2k)", models::bloom1b7(), 2048},
+          Cfg{"Llama-7B (4k)", models::llama7b(), 4096},
+          Cfg{"Llama-13B (8k)", models::llama13b(), 8192}}) {
+        for (int batch : {1, 4}) {
+            auto lp = layerProfile(model, seq,
+                                   static_cast<std::int64_t>(seq) *
+                                       batch);
+            const double tot = lp.total().flops;
+            std::printf("%-22s %5d | %5.1f%% %5.1f%% %5.1f%% | "
+                        "%8.1f%%\n",
+                        label, batch, 100.0 * lp.qkv.flops / tot,
+                        100.0 * lp.atten.flops / tot,
+                        100.0 * lp.ffn.flops / tot,
+                        100.0 * lp.atten.bytes /
+                            lp.total().bytes);
+        }
+    }
+
+    std::printf("\n=== Fig. 16 flow ===\n"
+                "Pre-deployment (offline): choose model/dataset, "
+                "DSE for per-layer tiling (core/dse), top-k "
+                "fine-tune, convert Wk to LZ format (core/dlzs).\n"
+                "User inference (online): load model, run SOFA "
+                "dynamic-sparsity inference (core/pipeline).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 17 — Normalized software complexity ladder at matched token
+ * sparsity (loss <= 2%):
+ *   4bit + vanilla sorting + FA-2        (baseline, 100%)
+ *   DLZS + vanilla sorting + FA-2        (paper: -18%)
+ *   DLZS + SADS + FA-2                   (paper: -25%)
+ *   DLZS + SADS + SU-FA                  (paper: -28%)
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/pipeline.h"
+#include "model/suite.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    std::printf("=== Fig. 17: normalized complexity reduction ===\n");
+    std::printf("%-24s | %8s %8s %8s %8s\n", "Benchmark", "base",
+                "+DLZS", "+SADS", "+SU-FA");
+
+    std::vector<double> r1s, r2s, r3s;
+    for (const auto &b : suiteSmall()) {
+        auto w = generateWorkload(b.workloadSpec(512, 32));
+        const double keep = 0.2;
+
+        auto base = runBaselinePipeline(w, keep);
+        PipelineConfig cfg;
+        cfg.topkFrac = keep;
+        auto sofa_run = runSofaPipeline(w, cfg);
+
+        OpCosts narrow = OpCosts::scaled(0.5);
+        const double base_total =
+            base.predictionOps.normalized(narrow) +
+            base.sortOps.normalized() + base.formalOps.normalized();
+        const double dlzs = sofa_run.predictionOps.normalized(narrow) +
+                            base.sortOps.normalized() +
+                            base.formalOps.normalized();
+        const double dlzs_sads =
+            sofa_run.predictionOps.normalized(narrow) +
+            sofa_run.sortOps.normalized() +
+            base.formalOps.normalized();
+        const double full =
+            sofa_run.predictionOps.normalized(narrow) +
+            sofa_run.sortOps.normalized() +
+            sofa_run.formalOps.normalized();
+
+        std::printf("%-24s | %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                    b.name.c_str(), 100.0, 100.0 * dlzs / base_total,
+                    100.0 * dlzs_sads / base_total,
+                    100.0 * full / base_total);
+        r1s.push_back(dlzs / base_total);
+        r2s.push_back(dlzs_sads / base_total);
+        r3s.push_back(full / base_total);
+    }
+    std::printf("\n%-24s | %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                "GeoMean", 100.0, 100.0 * geomean(r1s),
+                100.0 * geomean(r2s), 100.0 * geomean(r3s));
+    std::printf("Paper: 100%% -> 82%% -> 75%% -> 72%%\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 19 — Throughput gain of SOFA over the A100 GPU model:
+ * (a) SOFA vs GPU at 0% / 1% / 2% accuracy loss across the suite
+ * (paper geomean: 6.1x / 7.2x / 9.5x);
+ * (b) GPU LP / LP+FA1 / LP+FA2 vs SOFA at 2% loss
+ * (paper: 1.76x / 2.7x / 3.2x vs 9.5x).
+ */
+
+#include <cstdio>
+
+#include "arch/accelerator.h"
+#include "baselines/gpu.h"
+#include "common/stats.h"
+#include "core/pipeline.h"
+#include "model/suite.h"
+
+using namespace sofa;
+
+namespace {
+
+AttentionShape
+shapeFor(const Benchmark &b)
+{
+    AttentionShape s;
+    // LTPP prefill: the whole context is processed at once (T = S,
+    // capped at the paper's largest evaluated parallelism).
+    s.queries = std::min(b.seq, 2048);
+    s.seq = b.seq;
+    s.headDim = b.model.headDim();
+    s.heads = b.model.heads;
+    s.tokenDim = 128;
+    return s;
+}
+
+/** Keep fraction at a loss target, measured on the workload. */
+double
+keepFor(const Benchmark &b, double loss)
+{
+    auto w = generateWorkload(b.workloadSpec(384, 16));
+    PipelineConfig cfg;
+    return std::max(0.03, minimalKeepFraction(w, cfg, loss));
+}
+
+} // namespace
+
+int
+main()
+{
+    GpuModel gpu;
+
+    std::printf("=== Fig. 19(a): SOFA speedup over A100 (dense) ===\n");
+    std::printf("%-24s | %8s %8s %8s\n", "Benchmark", "0%", "1%",
+                "2%");
+    std::vector<double> gains[3];
+    const double losses[3] = {0.25, 1.0, 2.0};
+    for (const auto &b : suite20()) {
+        auto shape = shapeFor(b);
+        const double gpu_ns = gpu.run(shape, GpuMode::Dense).timeNs;
+        double row[3];
+        for (int i = 0; i < 3; ++i) {
+            SofaConfig cfg;
+            cfg.topkFrac = keepFor(b, losses[i]);
+            SofaAccelerator acc(cfg);
+            row[i] = gpu_ns / acc.run(shape).timeNs;
+            gains[i].push_back(row[i]);
+        }
+        std::printf("%-24s | %7.2fx %7.2fx %7.2fx\n", b.name.c_str(),
+                    row[0], row[1], row[2]);
+    }
+    std::printf("%-24s | %7.2fx %7.2fx %7.2fx  (paper: 6.1/7.2/9.5)\n",
+                "GeoMean", geomean(gains[0]), geomean(gains[1]),
+                geomean(gains[2]));
+
+    std::printf("\n=== Fig. 19(b): GPU software modes vs SOFA "
+                "(2%% loss) ===\n");
+    std::vector<double> lp_g, fa1_g, fa2_g, sofa_g;
+    for (const auto &b : suite20()) {
+        auto shape = shapeFor(b);
+        const double keep = keepFor(b, 2.0);
+        const double dense = gpu.run(shape, GpuMode::Dense).timeNs;
+        lp_g.push_back(dense /
+                       gpu.run(shape, GpuMode::LP, keep).timeNs);
+        fa1_g.push_back(
+            dense / gpu.run(shape, GpuMode::LPFlash1, keep).timeNs);
+        fa2_g.push_back(
+            dense / gpu.run(shape, GpuMode::LPFlash2, keep).timeNs);
+        SofaConfig cfg;
+        cfg.topkFrac = keep;
+        SofaAccelerator acc(cfg);
+        sofa_g.push_back(dense / acc.run(shape).timeNs);
+    }
+    std::printf("GPU LP        : %6.2fx (paper 1.76x)\n",
+                geomean(lp_g));
+    std::printf("GPU LP + FA-1 : %6.2fx (paper ~2.7x)\n",
+                geomean(fa1_g));
+    std::printf("GPU LP + FA-2 : %6.2fx (paper ~3.2x)\n",
+                geomean(fa2_g));
+    std::printf("SOFA          : %6.2fx (paper 9.5x)\n",
+                geomean(sofa_g));
+    return 0;
+}

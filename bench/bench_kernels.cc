@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the core kernels: DLZS
+ * prediction, SADS sorting, SU-FA vs FA-2 execution, and RASS
+ * scheduling — wall-clock performance of the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/rass.h"
+#include "attention/flash.h"
+#include "core/dlzs.h"
+#include "core/sads.h"
+#include "core/sufa.h"
+#include "model/workload.h"
+#include "sparsity/topk.h"
+
+namespace {
+
+using namespace sofa;
+
+AttentionWorkload &
+sharedWorkload()
+{
+    static AttentionWorkload w = [] {
+        WorkloadSpec spec;
+        spec.seq = 1024;
+        spec.queries = 32;
+        spec.headDim = 64;
+        spec.tokenDim = 64;
+        return generateWorkload(spec);
+    }();
+    return w;
+}
+
+void
+BM_DlzsPredict(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    for (auto _ : state) {
+        auto pred = dlzsPredict(w.tokens, w.wk, w.q);
+        benchmark::DoNotOptimize(pred.scoresHat);
+    }
+}
+BENCHMARK(BM_DlzsPredict)->Unit(benchmark::kMillisecond);
+
+void
+BM_SadsTopK(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    SadsConfig cfg;
+    cfg.segments = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto res = sadsTopK(w.scores, 204, cfg);
+        benchmark::DoNotOptimize(res.rows);
+    }
+}
+BENCHMARK(BM_SadsTopK)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_VanillaTopK(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    for (auto _ : state) {
+        OpCounter ops;
+        auto sel = vanillaTopKRows(w.scores, 204, &ops);
+        benchmark::DoNotOptimize(sel);
+    }
+}
+BENCHMARK(BM_VanillaTopK)->Unit(benchmark::kMillisecond);
+
+void
+BM_SufaDescending(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    auto sel = exactTopKRows(w.scores, 204);
+    for (auto _ : state) {
+        auto res = sufaAttention(w.q, w.k, w.v, sel, {});
+        benchmark::DoNotOptimize(res.output);
+    }
+}
+BENCHMARK(BM_SufaDescending)->Unit(benchmark::kMillisecond);
+
+void
+BM_SparseFa2(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    auto sel = exactTopKRows(w.scores, 204);
+    for (auto _ : state) {
+        auto res = sparseFlash2(w.q, w.k, w.v, sel, 16);
+        benchmark::DoNotOptimize(res.output);
+    }
+}
+BENCHMARK(BM_SparseFa2)->Unit(benchmark::kMillisecond);
+
+void
+BM_Flash2Dense(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    for (auto _ : state) {
+        auto res = flashAttention2(w.q, w.k, w.v,
+                                   {static_cast<int>(state.range(0))});
+        benchmark::DoNotOptimize(res.output);
+    }
+}
+BENCHMARK(BM_Flash2Dense)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RassSchedule(benchmark::State &state)
+{
+    auto &w = sharedWorkload();
+    auto sel = sadsTopK(w.scores, 128, {}).selections();
+    for (auto _ : state) {
+        auto res = scheduleRass(
+            sel, static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(res.vectorLoads);
+    }
+}
+BENCHMARK(BM_RassSchedule)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table III — area and power breakdown of the SOFA accelerator core
+ * at TSMC 28nm / 1 GHz.
+ */
+
+#include <cstdio>
+
+#include "energy/area_model.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    SofaAreaModel m;
+    std::printf("=== Table III: SOFA core area/power breakdown ===\n");
+    std::printf("%-20s | %-42s | %9s %10s\n", "Module", "Parameters",
+                "Area[mm2]", "Power[mW]");
+    for (const auto &mod : m.modules()) {
+        std::printf("%-20s | %-42s | %9.3f %10.2f\n",
+                    mod.module.c_str(), mod.parameters.c_str(),
+                    mod.areaMm2, mod.powerMw);
+    }
+    std::printf("%-20s | %-42s | %9.2f %10.2f\n", "Total",
+                "TSMC 28nm @ 1GHz", m.totalAreaMm2(),
+                m.totalPowerMw());
+    std::printf("\nLP (DLZS + SADS) share: %.0f%% area, %.0f%% power "
+                "(paper: ~18%% / ~15%%)\n",
+                100.0 * m.lpAreaFraction(),
+                100.0 * m.lpPowerFraction());
+    return 0;
+}

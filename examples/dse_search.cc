@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DSE demo: run Algorithm 1 (Bayesian optimization over per-layer
+ * tile counts and top-k) with the objective backed by real pipeline
+ * measurements on a small workload, and show the accuracy/complexity
+ * trade-off the chosen configuration strikes.
+ */
+
+#include <cstdio>
+
+#include "core/dse.h"
+#include "core/pipeline.h"
+#include "model/workload.h"
+
+using namespace sofa;
+
+int
+main()
+{
+    // Small 4-layer model so each objective evaluation runs a real
+    // pipeline per layer in milliseconds.
+    DseSpace space;
+    space.layers = 4;
+
+    // One workload per layer (layers see different distributions).
+    std::vector<AttentionWorkload> layers;
+    for (int l = 0; l < space.layers; ++l) {
+        WorkloadSpec spec;
+        spec.seq = 256;
+        spec.queries = 16;
+        spec.headDim = 32;
+        spec.tokenDim = 48;
+        spec.mixture = l % 2 ? DistMixture{0.3, 0.7, 0.0}
+                             : DistMixture{0.1, 0.9, 0.0};
+        spec.seed = 0xD5E0 + l;
+        layers.push_back(generateWorkload(spec));
+    }
+
+    auto evaluate = [&](const DsePoint &p) {
+        DseEvaluation e;
+        double loss = 0.0;
+        for (int l = 0; l < space.layers; ++l) {
+            PipelineConfig cfg;
+            cfg.topkFrac = p.topkFrac;
+            cfg.sads.segments = p.tcPerLayer[l];
+            auto res = runSofaPipeline(layers[l], cfg);
+            loss += res.accuracyLossPct / 100.0;
+        }
+        e.len = loss / space.layers;
+        e.lcmp = analyticLcmp(p, 256);
+        e.lexp = analyticLexp(p, 256);
+        return e;
+    };
+
+    DseObjectiveWeights weights{0.24, 0.31};
+    std::printf("Running Bayesian DSE (4 layers, %0.0e configs)...\n",
+                space.totalConfigurations());
+    auto res = bayesianSearch(space, weights, evaluate,
+                              /*iterations=*/30, /*init=*/6,
+                              /*candidates=*/128, /*seed=*/3);
+
+    std::printf("\nBest objective: %.4f after %lld evaluations\n",
+                res.bestObjective,
+                static_cast<long long>(res.evaluations));
+    std::printf("Chosen top-k: %.0f%%, segments per layer:",
+                100.0 * res.best.topkFrac);
+    for (int tc : res.best.tcPerLayer)
+        std::printf(" %d", tc);
+    std::printf("\nLen=%.4f  Lcmp=%.4f  Lexp=%.4f\n",
+                res.bestEval.len, res.bestEval.lcmp,
+                res.bestEval.lexp);
+
+    std::printf("\nConvergence (best-so-far):\n");
+    for (std::size_t i = 0; i < res.history.size(); i += 6)
+        std::printf("  eval %2zu: %.4f\n", i, res.history[i]);
+    return 0;
+}

@@ -1,0 +1,239 @@
+#include "arch/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arch/controller.h"
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+SofaAccelerator::SofaAccelerator(SofaConfig cfg)
+    : cfg_(cfg), dlzsEngine_(cfg.dlzs), sadsEngine_(cfg.sads),
+      kvEngine_(cfg.kv), sufaEngine_(cfg.sufa)
+{
+    SOFA_ASSERT(cfg_.frequencyGhz > 0.0);
+    SOFA_ASSERT(cfg_.tileBc > 0);
+    SOFA_ASSERT(cfg_.topkFrac > 0.0 && cfg_.topkFrac <= 1.0);
+}
+
+double
+SofaAccelerator::peakGops() const
+{
+    // Formal datapath MACs (KV gen + SU-FA), 2 ops per MAC.
+    const double macs = kvEngine_.throughputPerCycle() +
+                        sufaEngine_.macThroughputPerCycle();
+    return 2.0 * macs * cfg_.frequencyGhz;
+}
+
+SimResult
+SofaAccelerator::run(const AttentionShape &shape) const
+{
+    SOFA_ASSERT(shape.queries > 0 && shape.seq > 0);
+    SimResult res;
+    const SofaFeatures &f = cfg_.features;
+
+    const std::int64_t T = shape.queries;
+    const std::int64_t S = shape.seq;
+    const std::int64_t d = shape.headDim;
+    const std::int64_t n = shape.tokenDim;
+    const double heads = static_cast<double>(shape.heads);
+    const std::int64_t kept = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               cfg_.topkFrac * static_cast<double>(S))));
+
+    // ---- Whole-workload stage costs ---------------------------------
+    // A tile covers Bc keys of the context for all T queries; the
+    // four stages stream tiles through the engines. Costs are
+    // evaluated once for the whole slice (engines stream, so systolic
+    // fill is paid per wave, not per tile) and then divided across
+    // tiles for the pipeline schedule.
+    const std::int64_t Bc = cfg_.tileBc;
+    const std::int64_t tiles = ceilDiv(S, Bc);
+    const double kept_frac =
+        static_cast<double>(kept) / static_cast<double>(S);
+
+    // Stage 1: DLZS prediction of K-hat and A-hat. Without the
+    // dedicated shift-adder array, prediction falls back onto the
+    // 16-bit PE datapath (the KV-generation array): one MAC per
+    // operand pair at a fraction of the shift array's width, and
+    // multiplier energy instead of shift-add energy.
+    EngineCost pred;
+    if (f.dlzsPrediction) {
+        const double zero_frac = 0.25; // zero-eliminator hit rate
+        pred = dlzsEngine_.kPrediction(S, n, d, zero_frac);
+        pred += dlzsEngine_.aPrediction(T, S, d, zero_frac);
+    } else {
+        const double macs = static_cast<double>(S) * n * d +
+                            static_cast<double>(T) * S * d;
+        // Packed int4 pairs run two predictions per 16-bit PE cycle.
+        pred.cycles = macs / (2.0 * kvEngine_.throughputPerCycle());
+        // Narrow (4/8-bit) multiplies + wide accumulates.
+        pred.energyPj = macs * 0.3;
+    }
+
+    // Stage 2: SADS over the predicted scores, or whole-row vanilla
+    // sorting when ablated (must wait for full rows; its bitonic
+    // comparison count dwarfs SADS's linear scan).
+    EngineCost sort{};
+    if (f.sadsSorting) {
+        sort = sadsEngine_.sort(T, S, /*segments=*/4,
+                                /*clip_frac=*/0.3,
+                                /*refine_iters=*/8);
+    } else {
+        const double full_cmp = static_cast<double>(
+            bitonicSortComparisons(S));
+        // 128 comparator lanes, one compare-exchange per lane-cycle.
+        sort.cycles = full_cmp /
+                      static_cast<double>(cfg_.sads.lanes) *
+                      static_cast<double>(ceilDiv(T, cfg_.sads.lanes));
+        sort.energyPj = static_cast<double>(T) * full_cmp * 0.03;
+    }
+
+    // Stage 3: on-demand KV generation — only keys in some query's
+    // selection are projected; without the feature all S keys are.
+    const double coverage = f.onDemandKv ? shape.keyCoverage : 1.0;
+    const std::int64_t gen_keys = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               coverage * static_cast<double>(S) *
+               (f.onDemandKv
+                    ? std::min(1.0, kept_frac * shape.kvSharing)
+                    : 1.0))));
+    EngineCost kvgen = kvEngine_.generate(gen_keys, n, d);
+
+    // Stage 4: SU-FA (or sparse FA-2) over the kept keys. Without
+    // RASS's out-of-order KV execution, in-order loads leave bubbles
+    // in the formal stage whenever a query waits for a KV pair that
+    // is resident for another query's order.
+    EngineCost formal =
+        f.sufaOrdering
+            ? sufaEngine_.attention(T, kept, d,
+                                    SufaOrder::Descending,
+                                    shape.violationRate)
+            : sufaEngine_.attentionFa2(T, kept, d,
+                                       /*block_cols=*/16);
+    if (!f.rassScheduling)
+        formal.cycles *= 1.12;
+
+    // ---- Pipeline schedule ------------------------------------------
+    // The tiled & out-of-order computation controller overlaps the
+    // four stages at tile granularity (cross-stage coordinated
+    // tiling). Whole-row sorting (no SADS) reintroduces the row
+    // dependency: the top-k stage waits for prediction to drain
+    // every tile before it can start (row barrier).
+    StageCosts tile_costs;
+    tile_costs.perTile = {
+        pred.cycles / static_cast<double>(tiles),
+        sort.cycles / static_cast<double>(tiles),
+        kvgen.cycles / static_cast<double>(tiles),
+        formal.cycles / static_cast<double>(tiles)};
+    TiledController ctrl(f.tiledPipeline,
+                         /*row_barrier=*/!f.sadsSorting);
+    ScheduleTrace trace =
+        ctrl.schedule(static_cast<int>(tiles), tile_costs);
+    double total_cycles = trace.totalCycles * heads;
+
+    // ---- DRAM traffic ----------------------------------------------
+    Dram dram(cfg_.dram);
+    // Mandatory: tokens (8-bit) + weights (LZ codes ~5 bits for Wk,
+    // 16-bit Wk/Wv for the generated keys) + Q (16-bit) + O out.
+    const double token_bytes = static_cast<double>(S) * n * 1.0;
+    const double wlz_bytes = static_cast<double>(n) * d * 5.0 / 8.0;
+    const double wkv_bytes = 2.0 * static_cast<double>(n) * d * 2.0;
+    const double q_bytes = static_cast<double>(T) * d * 2.0 * heads;
+    const double o_bytes = static_cast<double>(T) * d * 2.0 * heads;
+    dram.read(token_bytes + wlz_bytes + wkv_bytes + q_bytes);
+    dram.write(o_bytes);
+
+    // KV fetch for the formal stage: scheduling decides the traffic.
+    const double distinct_keys =
+        coverage * static_cast<double>(S) * heads;
+    const double kv_vector_bytes = static_cast<double>(d) * 2.0;
+    // Without the tiled dataflow, each wave of `parallelQueries`
+    // in-flight rows re-streams the context's selected KV set.
+    const double kv_waves =
+        f.tiledPipeline ? 1.0
+                        : static_cast<double>(ceilDiv(
+                              T, cfg_.parallelQueries));
+    double kv_loads; // in vectors (K + V counted separately)
+    if (f.rassScheduling) {
+        // RASS approaches one load per distinct key; its bitmask ID
+        // buffer dedups across waves as well.
+        kv_loads = 2.0 * distinct_keys * 1.05;
+    } else {
+        // Naive in-order: per-query orders disagree, each shared key
+        // is fetched by ~sharing/2 of its consumers, per wave.
+        const double refetch =
+            1.0 + std::max(0.0, shape.kvSharing / 2.0 - 1.0) * 0.5;
+        kv_loads = 2.0 * distinct_keys * refetch * kv_waves;
+    }
+    dram.read(kv_loads * kv_vector_bytes);
+
+    // Intermediate spills when the pipeline is serialized: Pre-Atten
+    // (4-bit) and Atten (16-bit) matrices stored + reloaded.
+    if (!f.tiledPipeline) {
+        const double pre = static_cast<double>(T) * S * 0.5 * heads;
+        const double att = static_cast<double>(T) * kept * 2.0 * heads;
+        dram.write(pre + att);
+        dram.read(pre + att);
+    }
+
+    // Memory time overlaps compute in the tiled pipeline but bounds
+    // the total; serialized execution adds it.
+    const double mem_ns = dram.transferNs(dram.totalBytes());
+    const double compute_ns = total_cycles / cfg_.frequencyGhz;
+    res.timeNs = f.tiledPipeline ? std::max(compute_ns, mem_ns)
+                                 : compute_ns + mem_ns;
+    res.cycles = res.timeNs * cfg_.frequencyGhz;
+
+    // ---- Energy -------------------------------------------------------
+    const double core_energy =
+        (pred.energyPj + sort.energyPj + kvgen.energyPj +
+         formal.energyPj) *
+        heads;
+    // SRAM traffic: every tile's operands pass through on-chip
+    // buffers once (token + khat + scores + kv + outputs).
+    Sram token_sram("token", cfg_.tokenSramBytes);
+    Sram weight_sram("weight", cfg_.weightSramBytes);
+    Sram temp_sram("temp", cfg_.tempSramBytes);
+    token_sram.read(token_bytes * heads);
+    weight_sram.read((wlz_bytes + wkv_bytes) * heads);
+    temp_sram.read(static_cast<double>(T) * S * 2.0 * heads); // A-hat
+    temp_sram.write(static_cast<double>(T) * S * 2.0 * heads);
+    const MemEnergies mem_e = MemEnergies::defaults();
+    const double sram_energy = token_sram.energyPj(mem_e) +
+                               weight_sram.energyPj(mem_e) +
+                               temp_sram.energyPj(mem_e);
+
+    res.energyPj = core_energy + sram_energy;
+    res.dramEnergyPj = dram.energyPj();
+    res.dramBytes = dram.totalBytes();
+
+    // ---- Derived metrics ---------------------------------------------
+    // Useful ops: the dense-equivalent attention the slice performs
+    // (prediction not counted as useful work).
+    res.usefulOps = 2.0 * 2.0 * static_cast<double>(T) * S * d * heads;
+    res.effectiveGops = res.usefulOps / res.timeNs;
+    const double watts =
+        (res.energyPj + res.dramEnergyPj) / res.timeNs * 1e-3;
+    res.gopsPerWatt = watts > 0.0 ? res.effectiveGops / watts : 0.0;
+    const double busy =
+        (2.0 * static_cast<double>(T) * kept * d * heads) /
+        (sufaEngine_.macThroughputPerCycle() * res.cycles);
+    res.utilization = std::min(1.0, busy);
+
+    res.stats.set("cycles", res.cycles);
+    res.stats.set("time_ns", res.timeNs);
+    res.stats.set("energy_pj", res.energyPj);
+    res.stats.set("dram_bytes", res.dramBytes);
+    res.stats.set("dram_energy_pj", res.dramEnergyPj);
+    res.stats.set("kept_keys", static_cast<double>(kept));
+    res.stats.set("tiles", static_cast<double>(tiles));
+    res.stats.set("compute_ns", compute_ns);
+    res.stats.set("memory_ns", mem_ns);
+    return res;
+}
+
+} // namespace sofa

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Top-level SOFA accelerator simulator (Fig. 11): the tiled &
+ * out-of-order computation controller drives the numbered dataflow
+ *   (1) fetch tokens/weights -> (2) DLZS predicts K-hat and A-hat per
+ *   tile -> (3) SADS picks top-k -> (4/5) mask back to the fetcher ->
+ *   (6) on-demand KV generation -> (7) SU-FA formal compute ->
+ *   (8) outputs to DRAM,
+ * with the stages overlapped tile by tile (cross-stage coordinated
+ * tiling). The simulator produces cycles, per-module energy, and DRAM
+ * traffic; feature flags let each mechanism be ablated to reproduce
+ * the Fig. 19-21 breakdowns.
+ */
+
+#ifndef SOFA_ARCH_ACCELERATOR_H
+#define SOFA_ARCH_ACCELERATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/dlzs_engine.h"
+#include "arch/dram.h"
+#include "arch/kv_engine.h"
+#include "arch/rass.h"
+#include "arch/sads_engine.h"
+#include "arch/sram.h"
+#include "arch/sufa_engine.h"
+#include "common/stats.h"
+#include "energy/area_model.h"
+
+namespace sofa {
+
+/** Feature toggles for ablation (Figs. 19-21). */
+struct SofaFeatures
+{
+    bool dlzsPrediction = true;  ///< off: 4-bit multiplier prediction
+    bool sadsSorting = true;     ///< off: whole-row vanilla sorting
+    bool sufaOrdering = true;    ///< off: sparse FA-2 formal compute
+    bool rassScheduling = true;  ///< off: naive in-order KV loads
+    bool tiledPipeline = true;   ///< off: serialize stages, spill
+    bool onDemandKv = true;      ///< off: generate all S keys
+};
+
+/** Accelerator configuration. */
+struct SofaConfig
+{
+    double frequencyGhz = 1.0;
+    int parallelQueries = 128;   ///< queries in flight (PE lines)
+    int tileBc = 16;             ///< Bc: keys per pipeline tile
+    double topkFrac = 0.2;
+    int kvBufferPairs = 64;      ///< selected-KV buffer capacity
+    SofaFeatures features;
+
+    DlzsEngineConfig dlzs;
+    SadsEngineConfig sads;
+    KvEngineConfig kv;
+    SufaEngineConfig sufa;
+
+    std::int64_t tokenSramBytes = 192 * 1024;
+    std::int64_t weightSramBytes = 96 * 1024;
+    std::int64_t tempSramBytes = 28 * 1024;
+    DramConfig dram = DramConfig::hbm2();
+};
+
+/** One attention workload (shapes only; the arch layer is analytic
+ * over shapes, the value-level behaviour lives in core/pipeline). */
+struct AttentionShape
+{
+    std::int64_t queries = 128; ///< T
+    std::int64_t seq = 2048;    ///< S
+    int headDim = 64;           ///< d
+    int heads = 1;              ///< run the slice per head
+    int tokenDim = 128;         ///< token feature width for KV gen
+    /**
+     * Fraction of distinct keys needed by at least one query (drives
+     * on-demand KV and RASS; 1.0 = every key needed by someone).
+     */
+    double keyCoverage = 0.95;
+    /** Average KV reuse: queries sharing each loaded key. */
+    double kvSharing = 4.0;
+    /** SU-FA max-misprediction rate from the DLZS error profile. */
+    double violationRate = 0.02;
+};
+
+/** Simulation outcome. */
+struct SimResult
+{
+    double cycles = 0.0;
+    double timeNs = 0.0;
+    double energyPj = 0.0;       ///< core + SRAM energy
+    double dramEnergyPj = 0.0;
+    double dramBytes = 0.0;
+    double effectiveGops = 0.0;  ///< useful attention ops / time
+    double gopsPerWatt = 0.0;    ///< device-level energy efficiency
+    double utilization = 0.0;    ///< PE busy fraction
+    StatGroup stats{"sofa"};
+
+    /** Useful (dense-equivalent) operations of the slice. */
+    double usefulOps = 0.0;
+};
+
+/** The SOFA accelerator. */
+class SofaAccelerator
+{
+  public:
+    explicit SofaAccelerator(SofaConfig cfg = {});
+
+    const SofaConfig &config() const { return cfg_; }
+
+    /** Simulate one multi-head attention slice. */
+    SimResult run(const AttentionShape &shape) const;
+
+    /** Peak MAC throughput in GOPS (for Table II style reporting). */
+    double peakGops() const;
+
+  private:
+    SofaConfig cfg_;
+    DlzsEngine dlzsEngine_;
+    SadsEngine sadsEngine_;
+    KvEngine kvEngine_;
+    SufaEngine sufaEngine_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_ACCELERATOR_H

@@ -1,0 +1,140 @@
+#include "arch/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Predict:
+        return "predict";
+      case Stage::Sort:
+        return "sort";
+      case Stage::KvGen:
+        return "kvgen";
+      case Stage::Formal:
+        return "formal";
+    }
+    return "?";
+}
+
+double
+ScheduleTrace::utilization(Stage s) const
+{
+    if (totalCycles <= 0.0)
+        return 0.0;
+    return stageBusy[static_cast<int>(s)] / totalCycles;
+}
+
+std::vector<TileEvent>
+ScheduleTrace::tileEvents(int tile) const
+{
+    std::vector<TileEvent> out;
+    for (const auto &e : events)
+        if (e.tile == tile)
+            out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const TileEvent &a, const TileEvent &b) {
+                  return static_cast<int>(a.stage) <
+                         static_cast<int>(b.stage);
+              });
+    return out;
+}
+
+std::string
+ScheduleTrace::gantt(int width) const
+{
+    SOFA_ASSERT(width > 0);
+    std::ostringstream os;
+    if (totalCycles <= 0.0)
+        return "";
+    for (int s = 0; s < kNumStages; ++s) {
+        std::string row(width, '.');
+        for (const auto &e : events) {
+            if (static_cast<int>(e.stage) != s)
+                continue;
+            int lo = static_cast<int>(
+                std::floor(e.startCycle / totalCycles * width));
+            int hi = static_cast<int>(
+                std::ceil(e.endCycle / totalCycles * width));
+            lo = std::clamp(lo, 0, width - 1);
+            hi = std::clamp(hi, lo + 1, width);
+            for (int c = lo; c < hi; ++c)
+                row[c] = '#';
+        }
+        os.width(8);
+        os << stageName(static_cast<Stage>(s)) << " |" << row
+           << "|\n";
+        os.width(0);
+    }
+    return os.str();
+}
+
+ScheduleTrace
+TiledController::schedule(int tiles, const StageCosts &costs) const
+{
+    SOFA_ASSERT(tiles > 0);
+    ScheduleTrace trace;
+    trace.events.reserve(static_cast<std::size_t>(tiles) *
+                         kNumStages);
+
+    // finish[s] = completion cycle of stage s for the previous tile.
+    std::array<double, kNumStages> finish{};
+
+    if (!pipelined_) {
+        // Whole-stage serialization: stage s runs tiles 0..N-1, then
+        // stage s+1 starts.
+        double clock = 0.0;
+        for (int s = 0; s < kNumStages; ++s) {
+            for (int t = 0; t < tiles; ++t) {
+                TileEvent e;
+                e.tile = t;
+                e.stage = static_cast<Stage>(s);
+                e.startCycle = clock;
+                clock += costs.perTile[s];
+                e.endCycle = clock;
+                trace.events.push_back(e);
+                trace.stageBusy[s] += e.duration();
+            }
+        }
+        trace.totalCycles = clock;
+        return trace;
+    }
+
+    // Pipelined: a stage starts a tile when (a) the previous stage
+    // finished that tile and (b) its own previous tile is done. The
+    // row barrier delays the sort stage until prediction drains.
+    double predict_drain = 0.0;
+    if (rowBarrier_) {
+        predict_drain =
+            costs.perTile[0] * static_cast<double>(tiles);
+    }
+
+    for (int t = 0; t < tiles; ++t) {
+        double prev_stage_done = 0.0;
+        for (int s = 0; s < kNumStages; ++s) {
+            double start = std::max(prev_stage_done, finish[s]);
+            if (rowBarrier_ && s == static_cast<int>(Stage::Sort))
+                start = std::max(start, predict_drain);
+            TileEvent e;
+            e.tile = t;
+            e.stage = static_cast<Stage>(s);
+            e.startCycle = start;
+            e.endCycle = start + costs.perTile[s];
+            finish[s] = e.endCycle;
+            prev_stage_done = e.endCycle;
+            trace.stageBusy[s] += e.duration();
+            trace.events.push_back(e);
+        }
+    }
+    trace.totalCycles = finish[kNumStages - 1];
+    return trace;
+}
+
+} // namespace sofa

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tiled & out-of-order computation controller (Fig. 11, module 4/5):
+ * an explicit tile-level schedule of the four-stage cross-stage
+ * pipeline (DLZS predict -> SADS sort -> KV generation -> SU-FA
+ * formal compute). Produces a per-tile event trace — start/finish
+ * cycles per stage — from which total latency, per-stage utilization
+ * and an ASCII Gantt timeline are derived.
+ *
+ * The closed-form model in accelerator.cc (max-stage + amortized
+ * fill) is the steady-state limit of this schedule; the integration
+ * tests cross-validate the two.
+ */
+
+#ifndef SOFA_ARCH_CONTROLLER_H
+#define SOFA_ARCH_CONTROLLER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/** Pipeline stages in dataflow order. */
+enum class Stage { Predict = 0, Sort = 1, KvGen = 2, Formal = 3 };
+
+constexpr int kNumStages = 4;
+
+/** Human-readable stage name. */
+const char *stageName(Stage s);
+
+/** One stage execution of one tile. */
+struct TileEvent
+{
+    int tile = 0;
+    Stage stage = Stage::Predict;
+    double startCycle = 0.0;
+    double endCycle = 0.0;
+
+    double duration() const { return endCycle - startCycle; }
+};
+
+/** The complete schedule of a workload's tiles. */
+struct ScheduleTrace
+{
+    std::vector<TileEvent> events;
+    double totalCycles = 0.0;
+    std::array<double, kNumStages> stageBusy{};
+
+    /** Busy fraction of a stage's engine over the whole schedule. */
+    double utilization(Stage s) const;
+
+    /** Events of one tile, in stage order. */
+    std::vector<TileEvent> tileEvents(int tile) const;
+
+    /**
+     * ASCII Gantt chart: one row per stage, time quantized into
+     * @p width columns, '#' where the stage is busy.
+     */
+    std::string gantt(int width = 64) const;
+};
+
+/** Per-tile stage costs in cycles. */
+struct StageCosts
+{
+    std::array<double, kNumStages> perTile{};
+};
+
+/**
+ * The controller's scheduling policy.
+ *
+ * - pipelined: stages of different tiles overlap (cross-stage
+ *   coordinated tiling); otherwise each stage processes every tile
+ *   before the next stage starts (the whole-stage serialization of
+ *   traditional accelerators).
+ * - rowBarrier: the sort stage cannot start until prediction has
+ *   finished ALL tiles (the whole-row dependency of vanilla top-k);
+ *   downstream stages pipeline normally afterwards.
+ */
+class TiledController
+{
+  public:
+    explicit TiledController(bool pipelined = true,
+                             bool row_barrier = false)
+        : pipelined_(pipelined), rowBarrier_(row_barrier)
+    {}
+
+    bool pipelined() const { return pipelined_; }
+    bool rowBarrier() const { return rowBarrier_; }
+
+    /** Build the schedule for @p tiles tiles with the given costs. */
+    ScheduleTrace schedule(int tiles, const StageCosts &costs) const;
+
+  private:
+    bool pipelined_;
+    bool rowBarrier_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_CONTROLLER_H

@@ -1,0 +1,66 @@
+#include "arch/dlzs_engine.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+DlzsEngine::DlzsEngine(DlzsEngineConfig cfg, OpEnergies energies)
+    : cfg_(cfg), energies_(energies)
+{
+    SOFA_ASSERT(cfg_.arrayRows > 0 && cfg_.arrayCols > 0);
+    SOFA_ASSERT(cfg_.lzeUnits > 0);
+}
+
+double
+DlzsEngine::throughputPerCycle()const
+{
+    return static_cast<double>(cfg_.arrayRows) * cfg_.arrayCols;
+}
+
+EngineCost
+DlzsEngine::kPrediction(std::int64_t seq, std::int64_t token_dim,
+                        std::int64_t head_dim, double zero_frac) const
+{
+    SOFA_ASSERT(zero_frac >= 0.0 && zero_frac < 1.0);
+    EngineCost cost;
+    const double work = static_cast<double>(seq) * token_dim *
+                        head_dim * (1.0 - zero_frac);
+    // Systolic fill: rows + cols cycles once per tile of output rows.
+    const double fill = cfg_.arrayRows + cfg_.arrayCols;
+    const double tiles = static_cast<double>(
+        ceilDiv(seq, cfg_.arrayRows));
+    cost.cycles = work / throughputPerCycle() + fill * tiles;
+
+    // One shift + one int16 add per retired operation.
+    cost.energyPj = work * (energies_.shift + energies_.addI16);
+    return cost;
+}
+
+EngineCost
+DlzsEngine::aPrediction(std::int64_t queries, std::int64_t seq,
+                        std::int64_t head_dim, double zero_frac) const
+{
+    SOFA_ASSERT(zero_frac >= 0.0 && zero_frac < 1.0);
+    EngineCost cost;
+
+    // LZE pass over Q (one element per LZE per cycle, 16-bit mode).
+    const double encodes =
+        static_cast<double>(queries) * head_dim;
+    cost.cycles += encodes / cfg_.lzeUnits;
+    // Two chained 8-bit LZC compares per encode.
+    cost.energyPj += encodes * 16.0 * energies_.cmp;
+
+    const double work = static_cast<double>(queries) * seq * head_dim *
+                        (1.0 - zero_frac);
+    const double fill = cfg_.arrayRows + cfg_.arrayCols;
+    const double tiles = static_cast<double>(
+        ceilDiv(std::max<std::int64_t>(queries, 1), cfg_.arrayRows));
+    cost.cycles += work / throughputPerCycle() + fill * tiles;
+    cost.energyPj += work * (energies_.shift + energies_.addI32);
+    return cost;
+}
+
+} // namespace sofa

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cycle/energy model of the reusable & configurable DLZS engine
+ * (Fig. 12): a 128x32 systolic shift-adder array fed by a zero
+ * eliminator, plus 128 configurable leading-zero encoders (two chained
+ * 8-bit LZCs each). The same array is reused by the K-estimation data
+ * path (8-bit tokens x 4-bit LZ weights) and the QxK^T data path
+ * (16-bit Q encoded to 5-bit LZ).
+ */
+
+#ifndef SOFA_ARCH_DLZS_ENGINE_H
+#define SOFA_ARCH_DLZS_ENGINE_H
+
+#include <cstdint>
+
+#include "attention/opcount.h"
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** Engine dimensions (Table III row "DLZS prediction"). */
+struct DlzsEngineConfig
+{
+    int arrayRows = 128;   ///< shift-adder rows (parallel outputs)
+    int arrayCols = 32;    ///< shift-adders per row
+    int lzeUnits = 128;    ///< configurable LZ encoders
+    double staticPowerMw = 29.05; ///< Table III module power
+};
+
+/** Cycles + energy of one engine invocation. */
+struct EngineCost
+{
+    double cycles = 0.0;
+    double energyPj = 0.0;
+
+    EngineCost &
+    operator+=(const EngineCost &o)
+    {
+        cycles += o.cycles;
+        energyPj += o.energyPj;
+        return *this;
+    }
+};
+
+/** DLZS engine model. */
+class DlzsEngine
+{
+  public:
+    explicit DlzsEngine(DlzsEngineConfig cfg = {},
+                        OpEnergies energies = OpEnergies::atNode(
+                            {28.0, 1.0}));
+
+    const DlzsEngineConfig &config() const { return cfg_; }
+
+    /**
+     * Phase 1.1 — K-hat prediction: S token rows x n features ->
+     * d outputs, one shift-add per (token, feature, output) after
+     * zero elimination.
+     *
+     * @param zero_frac fraction of operand pairs removed by the zero
+     *        eliminator (0 = dense)
+     */
+    EngineCost kPrediction(std::int64_t seq, std::int64_t token_dim,
+                           std::int64_t head_dim,
+                           double zero_frac = 0.0) const;
+
+    /**
+     * Phase 1.2 — A-hat prediction: T query rows against S K-hat rows
+     * over d dims; the 128 LZEs first encode Q (16-bit mode).
+     */
+    EngineCost aPrediction(std::int64_t queries, std::int64_t seq,
+                           std::int64_t head_dim,
+                           double zero_frac = 0.0) const;
+
+    /** Shift-adds the array retires per cycle. */
+    double throughputPerCycle() const;
+
+  private:
+    DlzsEngineConfig cfg_;
+    OpEnergies energies_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_DLZS_ENGINE_H

@@ -1,0 +1,94 @@
+#include "arch/dram.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+
+DramConfig
+DramConfig::ddr4()
+{
+    DramConfig c;
+    c.name = "DDR4";
+    c.bandwidthGBs = 25.6;
+    c.latencyNs = 120.0;
+    c.energyPjPerBit = 15.0;
+    return c;
+}
+
+DramConfig
+DramConfig::hbm2()
+{
+    DramConfig c;
+    c.name = "HBM2";
+    c.bandwidthGBs = 307.2; // 16 channels @ 2GHz per Table III
+    c.latencyNs = 100.0;
+    c.energyPjPerBit = 7.0;
+    return c;
+}
+
+DramConfig
+DramConfig::hbm2Sofa()
+{
+    DramConfig c = hbm2();
+    c.name = "HBM2@59.8GB/s";
+    c.bandwidthGBs = 59.8;
+    return c;
+}
+
+Dram::Dram(DramConfig cfg) : cfg_(cfg)
+{
+    SOFA_ASSERT(cfg_.bandwidthGBs > 0.0);
+}
+
+double
+Dram::transferNs(double bytes) const
+{
+    // GB/s == bytes/ns.
+    return bytes / cfg_.bandwidthGBs;
+}
+
+double
+Dram::read(double bytes)
+{
+    SOFA_ASSERT(bytes >= 0.0);
+    bytesRead_ += bytes;
+    return transferNs(bytes);
+}
+
+double
+Dram::write(double bytes)
+{
+    SOFA_ASSERT(bytes >= 0.0);
+    bytesWritten_ += bytes;
+    return transferNs(bytes);
+}
+
+double
+Dram::energyPj() const
+{
+    return totalBytes() * 8.0 * cfg_.energyPjPerBit;
+}
+
+double
+Dram::demandGBs(double exec_ns) const
+{
+    SOFA_ASSERT(exec_ns > 0.0);
+    return totalBytes() / exec_ns;
+}
+
+void
+Dram::report(StatGroup &stats) const
+{
+    stats.add("dram.bytes_read", bytesRead_);
+    stats.add("dram.bytes_written", bytesWritten_);
+    stats.add("dram.energy_pj", energyPj());
+}
+
+void
+Dram::reset()
+{
+    bytesRead_ = 0.0;
+    bytesWritten_ = 0.0;
+}
+
+} // namespace sofa

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Off-chip memory model: a bandwidth-limited channel with per-bit
+ * access energy. Two presets cover the paper's settings — DDR4
+ * (25.6 GB/s, the Section II-D comparison) and HBM2 with 16 channels
+ * at 2 GHz (the SOFA configuration of Table III).
+ */
+
+#ifndef SOFA_ARCH_DRAM_H
+#define SOFA_ARCH_DRAM_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** DRAM channel parameters. */
+struct DramConfig
+{
+    std::string name = "HBM2";
+    double bandwidthGBs = 307.2; ///< aggregate GB/s
+    double latencyNs = 100.0;    ///< first-access latency
+    double energyPjPerBit = 12.0;
+
+    static DramConfig ddr4();
+    static DramConfig hbm2();
+    /** HBM2 throttled to the paper's 59.8 GB/s operating point. */
+    static DramConfig hbm2Sofa();
+};
+
+/** Traffic/energy/time accounting for one DRAM channel. */
+class Dram
+{
+  public:
+    explicit Dram(DramConfig cfg = DramConfig::hbm2());
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Record a read; returns transfer time in nanoseconds. */
+    double read(double bytes);
+
+    /** Record a write; returns transfer time in nanoseconds. */
+    double write(double bytes);
+
+    double bytesRead() const { return bytesRead_; }
+    double bytesWritten() const { return bytesWritten_; }
+    double totalBytes() const { return bytesRead_ + bytesWritten_; }
+
+    /** Pure transfer time for @p bytes at configured bandwidth. */
+    double transferNs(double bytes) const;
+
+    /** Total access energy so far (pJ). */
+    double energyPj() const;
+
+    /** Average bandwidth demand (GB/s) over an execution time. */
+    double demandGBs(double exec_ns) const;
+
+    void report(StatGroup &stats) const;
+    void reset();
+
+  private:
+    DramConfig cfg_;
+    double bytesRead_ = 0.0;
+    double bytesWritten_ = 0.0;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_DRAM_H

@@ -1,0 +1,129 @@
+#include "arch/fetcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+std::int64_t
+TensorRegion::rowAddr(std::int64_t row) const
+{
+    SOFA_ASSERT(row >= 0 && row < rows);
+    return baseAddr + row * rowBytes;
+}
+
+DataFetcher::DataFetcher(int banks, int bank_width_bytes,
+                         std::int64_t capacity_bytes)
+    : banks_(banks), bankWidth_(bank_width_bytes),
+      capacity_(capacity_bytes)
+{
+    SOFA_ASSERT(banks_ > 0);
+    SOFA_ASSERT(bankWidth_ > 0);
+    SOFA_ASSERT(capacity_ > 0);
+}
+
+TensorRegion
+DataFetcher::allocate(const std::string &name, std::int64_t rows,
+                      std::int64_t row_bytes)
+{
+    SOFA_ASSERT(rows > 0 && row_bytes > 0);
+    TensorRegion t;
+    t.name = name;
+    t.rows = rows;
+    t.rowBytes = row_bytes;
+    t.baseAddr = nextFree_;
+    if (nextFree_ + t.bytes() > capacity_) {
+        fatal("fetcher: allocating %lld bytes for '%s' exceeds the "
+              "%lld-byte buffer (%lld already allocated)",
+              static_cast<long long>(t.bytes()), name.c_str(),
+              static_cast<long long>(capacity_),
+              static_cast<long long>(nextFree_));
+    }
+    nextFree_ += roundUp(t.bytes(), bankWidth_);
+    return t;
+}
+
+void
+DataFetcher::reset()
+{
+    nextFree_ = 0;
+}
+
+int
+DataFetcher::bankOf(std::int64_t addr) const
+{
+    // Row interleaving: consecutive bank-width words go to
+    // consecutive banks.
+    return static_cast<int>((addr / bankWidth_) % banks_);
+}
+
+std::vector<FetchRequest>
+DataFetcher::tileRequests(const TensorRegion &t,
+                          std::int64_t first_row,
+                          std::int64_t row_count) const
+{
+    SOFA_ASSERT(first_row >= 0 && first_row + row_count <= t.rows);
+    std::vector<FetchRequest> reqs;
+    reqs.reserve(static_cast<std::size_t>(row_count));
+    for (std::int64_t r = first_row; r < first_row + row_count;
+         ++r) {
+        FetchRequest req;
+        req.addr = t.rowAddr(r);
+        req.bytes = t.rowBytes;
+        req.bank = bankOf(req.addr);
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+std::vector<FetchRequest>
+DataFetcher::gatherRequests(const TensorRegion &t,
+                            const std::vector<int> &rows) const
+{
+    std::vector<FetchRequest> reqs;
+    reqs.reserve(rows.size());
+    for (int r : rows) {
+        FetchRequest req;
+        req.addr = t.rowAddr(r);
+        req.bytes = t.rowBytes;
+        req.bank = bankOf(req.addr);
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+FetchResult
+DataFetcher::issue(const std::vector<FetchRequest> &reqs)
+{
+    FetchResult res;
+    res.requests = static_cast<std::int64_t>(reqs.size());
+
+    // Per request, the transfer occupies its bank for
+    // ceil(bytes / bankWidth) cycles; requests to different banks
+    // overlap, same-bank requests serialize. Total cycles = max over
+    // banks of summed occupancy; conflicts = total - ideal.
+    std::map<int, std::int64_t> occupancy;
+    for (const auto &r : reqs) {
+        res.bytes += r.bytes;
+        occupancy[r.bank] += ceilDiv(r.bytes, bankWidth_);
+    }
+    std::int64_t busiest = 0, total = 0;
+    for (const auto &[bank, cyc] : occupancy) {
+        busiest = std::max(busiest, cyc);
+        total += cyc;
+    }
+    const std::int64_t ideal = ceilDiv(total, banks_);
+    res.cycles = busiest;
+    res.conflicts = busiest - ideal;
+
+    stats_.add("requests", static_cast<double>(res.requests));
+    stats_.add("bytes", static_cast<double>(res.bytes));
+    stats_.add("cycles", static_cast<double>(res.cycles));
+    stats_.add("conflict_cycles", static_cast<double>(res.conflicts));
+    return res;
+}
+
+} // namespace sofa

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Data fetcher (Fig. 11 module 1): translates the controller's tile
+ * requests and the top-k mask into physical addresses, models the
+ * banked SRAM layout (row/column router), bank conflicts, and double
+ * buffering of tile operands against DRAM.
+ *
+ * Addressing scheme: a tensor is stored row-major in a region of the
+ * target buffer; the fetcher interleaves consecutive rows across
+ * banks so a tile of B rows streams conflict-free when B <= banks.
+ * Gather requests (the masked KV fetch of step 5) hit banks
+ * irregularly; conflicts serialize within a cycle.
+ */
+
+#ifndef SOFA_ARCH_FETCHER_H
+#define SOFA_ARCH_FETCHER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sofa {
+
+/** A tensor region registered with the fetcher. */
+struct TensorRegion
+{
+    std::string name;
+    std::int64_t baseAddr = 0;   ///< byte address in the buffer
+    std::int64_t rows = 0;
+    std::int64_t rowBytes = 0;   ///< bytes per row
+
+    std::int64_t bytes() const { return rows * rowBytes; }
+    /** Physical byte address of a row. */
+    std::int64_t rowAddr(std::int64_t row) const;
+};
+
+/** One physical access produced by address generation. */
+struct FetchRequest
+{
+    std::int64_t addr = 0;
+    std::int64_t bytes = 0;
+    int bank = 0;
+};
+
+/** Result of issuing a batch of requests. */
+struct FetchResult
+{
+    std::int64_t requests = 0;
+    std::int64_t bytes = 0;
+    std::int64_t cycles = 0;      ///< with bank-conflict serialization
+    std::int64_t conflicts = 0;   ///< extra cycles lost to conflicts
+};
+
+/** The fetcher attached to one banked buffer. */
+class DataFetcher
+{
+  public:
+    /**
+     * @param banks SRAM banks (row interleaving granularity)
+     * @param bank_width_bytes bytes one bank serves per cycle
+     * @param capacity_bytes total buffer capacity
+     */
+    DataFetcher(int banks, int bank_width_bytes,
+                std::int64_t capacity_bytes);
+
+    int banks() const { return banks_; }
+    std::int64_t capacityBytes() const { return capacity_; }
+    std::int64_t allocatedBytes() const { return nextFree_; }
+
+    /**
+     * Register a tensor region; returns its descriptor. fatal() if
+     * the buffer capacity would be exceeded (the configuration is a
+     * user error, not a bug).
+     */
+    TensorRegion allocate(const std::string &name, std::int64_t rows,
+                          std::int64_t row_bytes);
+
+    /** Release all regions (between layers). */
+    void reset();
+
+    /** Bank serving a byte address (row-interleaved). */
+    int bankOf(std::int64_t addr) const;
+
+    /** Address generation for a dense tile of consecutive rows. */
+    std::vector<FetchRequest> tileRequests(const TensorRegion &t,
+                                           std::int64_t first_row,
+                                           std::int64_t row_count)
+        const;
+
+    /**
+     * Address generation for a gather of selected rows (the masked
+     * KV fetch): one request per selected row.
+     */
+    std::vector<FetchRequest> gatherRequests(
+        const TensorRegion &t, const std::vector<int> &rows) const;
+
+    /**
+     * Issue a request batch: per cycle every bank serves at most one
+     * request; conflicting requests to the same bank serialize.
+     */
+    FetchResult issue(const std::vector<FetchRequest> &reqs);
+
+    /** Cumulative statistics. */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    int banks_;
+    int bankWidth_;
+    std::int64_t capacity_;
+    std::int64_t nextFree_ = 0;
+    StatGroup stats_{"fetcher"};
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_FETCHER_H

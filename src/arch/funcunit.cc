@@ -1,0 +1,136 @@
+#include "arch/funcunit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+ExpUnit::ExpUnit(int segments, int latency)
+    : segments_(segments), latency_(latency)
+{
+    SOFA_ASSERT(segments_ >= 2 && isPowerOfTwo(segments_));
+    SOFA_ASSERT(latency_ >= 1);
+}
+
+double
+ExpUnit::compute(double x) const
+{
+    if (x > 0.0)
+        x = 0.0; // softmax operates on max-subtracted scores
+    // e^x = 2^t with t = x * log2(e) <= 0.
+    const double t = x * 1.4426950408889634;
+    // Underflow floor: beyond the datapath's exponent range the
+    // probability is zero anyway.
+    if (t < -48.0)
+        return 0.0;
+    double ip;
+    double f = std::modf(t, &ip); // f in (-1, 0]
+    if (f < 0.0) {
+        f += 1.0;
+        ip -= 1.0;
+    }
+    // Piecewise-linear 2^f on [0, 1): segment endpoints from the LUT.
+    const double pos = f * segments_;
+    const int seg = std::min(static_cast<int>(pos), segments_ - 1);
+    const double frac = pos - seg;
+    const double lo =
+        std::exp2(static_cast<double>(seg) / segments_);
+    const double hi =
+        std::exp2(static_cast<double>(seg + 1) / segments_);
+    const double mant = lo + (hi - lo) * frac;
+    return std::ldexp(mant, static_cast<int>(ip));
+}
+
+double
+ExpUnit::maxRelativeError(double x_min) const
+{
+    SOFA_ASSERT(x_min < 0.0);
+    double worst = 0.0;
+    const int steps = 20000;
+    for (int i = 0; i <= steps; ++i) {
+        const double x = x_min * (static_cast<double>(i) / steps);
+        const double exact = std::exp(x);
+        if (exact < 1e-18)
+            continue;
+        const double err =
+            std::fabs(compute(x) - exact) / exact;
+        worst = std::max(worst, err);
+    }
+    return worst;
+}
+
+DivUnit::DivUnit(int iterations, int latency)
+    : iterations_(iterations), latency_(latency)
+{
+    SOFA_ASSERT(iterations_ >= 1);
+    SOFA_ASSERT(latency_ >= 1);
+}
+
+double
+DivUnit::reciprocal(double x) const
+{
+    SOFA_ASSERT(x > 0.0);
+    // Normalize x = m * 2^e with m in [0.5, 1).
+    int e;
+    const double m = std::frexp(x, &e);
+    // Minimax linear initial guess for 1/m on [0.5, 1):
+    // y0 = 48/17 - 32/17 * m.
+    double y = 2.8235294117647056 - 1.8823529411764706 * m;
+    for (int i = 0; i < iterations_; ++i)
+        y = y * (2.0 - m * y);
+    return std::ldexp(y, -e);
+}
+
+double
+DivUnit::divide(double a, double b) const
+{
+    return a * reciprocal(b);
+}
+
+double
+DivUnit::maxRelativeError() const
+{
+    double worst = 0.0;
+    const int steps = 20000;
+    for (int i = 0; i <= steps; ++i) {
+        const double x =
+            0.001 + 1000.0 * (static_cast<double>(i) / steps);
+        const double err =
+            std::fabs(reciprocal(x) - 1.0 / x) * x;
+        worst = std::max(worst, err);
+    }
+    return worst;
+}
+
+double
+hardwareSoftmaxError(const ExpUnit &exp_unit, const DivUnit &div_unit,
+                     const float *scores, int n)
+{
+    SOFA_ASSERT(n > 0);
+    float m = scores[0];
+    for (int i = 1; i < n; ++i)
+        m = std::max(m, scores[i]);
+
+    std::vector<double> hw(n), exact(n);
+    double hw_sum = 0.0, exact_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        hw[i] = exp_unit.compute(scores[i] - m);
+        exact[i] = std::exp(static_cast<double>(scores[i]) - m);
+        hw_sum += hw[i];
+        exact_sum += exact[i];
+    }
+    const double hw_inv = div_unit.reciprocal(hw_sum);
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double p_hw = hw[i] * hw_inv;
+        const double p_exact = exact[i] / exact_sum;
+        worst = std::max(worst, std::fabs(p_hw - p_exact));
+    }
+    return worst;
+}
+
+} // namespace sofa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hardware function units of the SU-FA engine (Table III: 128 EXP
+ * units, 128 DIV units; Section IV-D): fixed-latency approximations
+ * of e^x and 1/x as an ASIC implements them, with measurable error
+ * so the architecture's numerical story can be validated end to end.
+ *
+ * EXP: e^x = 2^(x*log2 e); split x*log2(e) into integer exponent and
+ * fraction; the fractional 2^f on [0,1) is a piecewise-linear table
+ * (the classic LUT+interpolation exp unit). Softmax only ever needs
+ * x <= 0 (inputs are max-subtracted), which bounds the unit's range.
+ *
+ * DIV: reciprocal by Newton-Raphson on a normalized mantissa with a
+ * linear initial guess; two iterations give ~24 bits, one gives ~12
+ * (enough for the 16-bit datapath).
+ */
+
+#ifndef SOFA_ARCH_FUNCUNIT_H
+#define SOFA_ARCH_FUNCUNIT_H
+
+#include <cstdint>
+
+namespace sofa {
+
+/** Piecewise-linear exponential unit. */
+class ExpUnit
+{
+  public:
+    /**
+     * @param segments LUT segments for 2^f on [0,1) (power of two)
+     * @param latency pipeline depth in cycles
+     */
+    explicit ExpUnit(int segments = 16, int latency = 2);
+
+    /** Approximate e^x for x <= 0 (softmax's operating range);
+     * positive inputs are clamped to 0 (exp -> 1). */
+    double compute(double x) const;
+
+    /** Worst-case relative error over the operating range,
+     * measured by dense sweep. */
+    double maxRelativeError(double x_min = -20.0) const;
+
+    int latencyCycles() const { return latency_; }
+
+  private:
+    int segments_;
+    int latency_;
+};
+
+/** Newton-Raphson reciprocal unit. */
+class DivUnit
+{
+  public:
+    /**
+     * @param iterations Newton-Raphson refinement steps
+     * @param latency pipeline depth in cycles per iteration
+     */
+    explicit DivUnit(int iterations = 2, int latency = 3);
+
+    /** Approximate 1/x for x > 0 (softmax denominators). */
+    double reciprocal(double x) const;
+
+    /** a / b via a * reciprocal(b). */
+    double divide(double a, double b) const;
+
+    double maxRelativeError() const;
+
+    int latencyCycles() const { return iterations_ * latency_; }
+
+  private:
+    int iterations_;
+    int latency_;
+};
+
+/**
+ * Softmax-path error analysis: run a full row softmax through the
+ * hardware units and report the max absolute probability error vs
+ * the exact computation — the figure of merit for the AP module's
+ * numerical adequacy.
+ */
+double hardwareSoftmaxError(const ExpUnit &exp_unit,
+                            const DivUnit &div_unit,
+                            const float *scores, int n);
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_FUNCUNIT_H

@@ -1,0 +1,35 @@
+#include "arch/kv_engine.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+KvEngine::KvEngine(KvEngineConfig cfg, OpEnergies energies)
+    : cfg_(cfg), energies_(energies)
+{
+    SOFA_ASSERT(cfg_.rows > 0 && cfg_.cols > 0);
+}
+
+double
+KvEngine::throughputPerCycle() const
+{
+    return static_cast<double>(cfg_.rows) * cfg_.cols;
+}
+
+EngineCost
+KvEngine::generate(std::int64_t keys, std::int64_t token_dim,
+                   std::int64_t head_dim) const
+{
+    EngineCost cost;
+    const double macs =
+        2.0 * static_cast<double>(keys) * token_dim * head_dim;
+    const double fill = cfg_.rows + cfg_.cols;
+    const double tiles = static_cast<double>(
+        ceilDiv(std::max<std::int64_t>(keys, 1), cfg_.rows));
+    cost.cycles = macs / throughputPerCycle() + fill * tiles;
+    cost.energyPj = macs * (energies_.mulI16 + energies_.addI32);
+    return cost;
+}
+
+} // namespace sofa

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cycle/energy model of the on-demand KV generation PE array
+ * (Table III row "KV generation": 128x4 16-bit PEs). Only the token
+ * rows the top-k mask requires are projected (K_i = x_i W_k,
+ * V_i = x_i W_v); trivial rows are never computed (Section III-A).
+ */
+
+#ifndef SOFA_ARCH_KV_ENGINE_H
+#define SOFA_ARCH_KV_ENGINE_H
+
+#include <cstdint>
+
+#include "arch/dlzs_engine.h" // EngineCost
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** Engine dimensions. */
+struct KvEngineConfig
+{
+    int rows = 128;  ///< PE rows (parallel token rows)
+    int cols = 4;    ///< MACs per row
+    double staticPowerMw = 146.21;
+};
+
+/** KV generation engine model. */
+class KvEngine
+{
+  public:
+    explicit KvEngine(KvEngineConfig cfg = {},
+                      OpEnergies energies = OpEnergies::atNode(
+                          {28.0, 1.0}));
+
+    const KvEngineConfig &config() const { return cfg_; }
+
+    /**
+     * Generate @p keys K and V rows: 2 * keys * token_dim * head_dim
+     * MACs on the 16-bit PEs.
+     */
+    EngineCost generate(std::int64_t keys, std::int64_t token_dim,
+                        std::int64_t head_dim) const;
+
+    /** MACs per cycle. */
+    double throughputPerCycle() const;
+
+  private:
+    KvEngineConfig cfg_;
+    OpEnergies energies_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_KV_ENGINE_H

@@ -1,0 +1,155 @@
+#include "arch/rass.h"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+ScheduleResult
+scheduleNaive(const SelectionList &selections, int buffer_pairs)
+{
+    SOFA_ASSERT(buffer_pairs > 0);
+    ScheduleResult res;
+
+    // LRU buffer of key ids.
+    std::list<int> lru;
+    std::unordered_map<int, std::list<int>::iterator> where;
+    auto touch = [&](int key) -> bool {
+        auto it = where.find(key);
+        if (it != where.end()) {
+            lru.erase(it->second);
+            lru.push_front(key);
+            it->second = lru.begin();
+            return true; // hit
+        }
+        if (static_cast<int>(lru.size()) ==
+            buffer_pairs) {
+            where.erase(lru.back());
+            lru.pop_back();
+        }
+        lru.push_front(key);
+        where[key] = lru.begin();
+        return false; // miss -> load
+    };
+
+    std::size_t max_len = 0;
+    for (const auto &s : selections)
+        max_len = std::max(max_len, s.size());
+
+    std::vector<int> phase_loads;
+    for (std::size_t step = 0; step < max_len; ++step) {
+        std::vector<int> loaded_this_step;
+        for (const auto &sel : selections) {
+            if (step >= sel.size())
+                continue;
+            const int key = sel[step];
+            if (!touch(key)) {
+                res.vectorLoads += 2; // K and V
+                loaded_this_step.push_back(key);
+            }
+        }
+        if (!loaded_this_step.empty()) {
+            ++res.phases;
+            res.phaseKeys.push_back(std::move(loaded_this_step));
+        }
+    }
+    return res;
+}
+
+ScheduleResult
+scheduleRass(const SelectionList &selections, int buffer_pairs)
+{
+    SOFA_ASSERT(buffer_pairs > 0);
+    ScheduleResult res;
+
+    // Remaining needs per query, and per-key needing-query counts
+    // (the bitmask-indexed ID buffer of Fig. 15).
+    std::vector<std::unordered_set<int>> need(selections.size());
+    std::unordered_map<int, std::int64_t> popularity;
+    for (std::size_t q = 0; q < selections.size(); ++q) {
+        for (int key : selections[q]) {
+            need[q].insert(key);
+            ++popularity[key];
+        }
+    }
+
+    while (!popularity.empty()) {
+        // Greedy phase packing: most-shared keys first.
+        std::vector<std::pair<int, std::int64_t>> order(
+            popularity.begin(), popularity.end());
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+
+        std::vector<int> phase;
+        std::unordered_set<int> served_queries;
+        for (const auto &[key, pop] : order) {
+            if (static_cast<int>(phase.size()) == buffer_pairs)
+                break;
+            phase.push_back(key);
+            for (std::size_t q = 0; q < need.size(); ++q)
+                if (need[q].count(key))
+                    served_queries.insert(static_cast<int>(q));
+        }
+
+        // Fill remaining slots with keys exclusive to unserved
+        // queries (the paper's secondary rule); with popularity
+        // ordering the loop above already covers this, but exclusive
+        // keys of unserved queries get priority over leftovers.
+        if (static_cast<int>(phase.size()) < buffer_pairs) {
+            for (std::size_t q = 0;
+                 q < need.size() &&
+                 static_cast<int>(phase.size()) < buffer_pairs;
+                 ++q) {
+                if (served_queries.count(static_cast<int>(q)))
+                    continue;
+                for (int key : need[q]) {
+                    if (std::find(phase.begin(), phase.end(), key) ==
+                        phase.end()) {
+                        phase.push_back(key);
+                        if (static_cast<int>(phase.size()) ==
+                            buffer_pairs)
+                            break;
+                    }
+                }
+            }
+        }
+
+        // Execute the phase: every query consumes all present needs.
+        for (int key : phase) {
+            res.vectorLoads += 2;
+            for (auto &n : need)
+                n.erase(key);
+            popularity.erase(key);
+        }
+        // Recompute popularity (some keys fully consumed above).
+        popularity.clear();
+        for (const auto &n : need)
+            for (int key : n)
+                ++popularity[key];
+
+        ++res.phases;
+        res.phaseKeys.push_back(std::move(phase));
+    }
+    return res;
+}
+
+std::int64_t
+distinctKeyLoads(const SelectionList &selections)
+{
+    std::set<int> keys;
+    for (const auto &sel : selections)
+        keys.insert(sel.begin(), sel.end());
+    return static_cast<std::int64_t>(keys.size());
+}
+
+} // namespace sofa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reuse-Aware Schedule Scheme (RASS, Fig. 15). Different queries
+ * select different (overlapping) K/V sets; how their loads are packed
+ * into buffer-sized phases determines total memory traffic.
+ *
+ * Naive execution: every query line consumes its keys in its own
+ * (sorted) order; the shared KV buffer caches recently loaded pairs,
+ * so reuse happens only when queries coincidentally request the same
+ * key within the buffer window.
+ *
+ * RASS: KV out-of-order execution (legal because the max-ensuring
+ * circuit makes SU-FA order-insensitive for correctness) lets the
+ * scheduler pack each phase with the keys shared by the most queries
+ * first, then fill with keys exclusive to still-unserved queries; a
+ * bitmask-indexed ID buffer plus FSM dispatches the phases (paper
+ * example: 33% traffic reduction).
+ */
+
+#ifndef SOFA_ARCH_RASS_H
+#define SOFA_ARCH_RASS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sparsity/topk.h"
+
+namespace sofa {
+
+/** Result of scheduling all KV loads. */
+struct ScheduleResult
+{
+    std::int64_t phases = 0;       ///< buffer refill rounds
+    std::int64_t vectorLoads = 0;  ///< K+V vectors fetched
+    std::vector<std::vector<int>> phaseKeys; ///< keys per phase
+
+    /** Bytes fetched given a per-vector payload. */
+    double
+    bytes(double bytes_per_vector) const
+    {
+        return static_cast<double>(vectorLoads) * bytes_per_vector;
+    }
+};
+
+/**
+ * Naive in-order execution: per step t, every query requests the t-th
+ * key of its selection; an LRU buffer of @p buffer_pairs KV pairs
+ * absorbs coincidental sharing, everything else is a fresh load.
+ *
+ * @param selections per-query key lists in per-query processing order
+ */
+ScheduleResult scheduleNaive(const SelectionList &selections,
+                             int buffer_pairs);
+
+/**
+ * RASS greedy packing: phases of at most @p buffer_pairs keys chosen
+ * by descending sharing count; each loaded key serves every query
+ * that still needs it (out-of-order consumption).
+ */
+ScheduleResult scheduleRass(const SelectionList &selections,
+                            int buffer_pairs);
+
+/** Lower bound: every distinct key loaded exactly once. */
+std::int64_t distinctKeyLoads(const SelectionList &selections);
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_RASS_H

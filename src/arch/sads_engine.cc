@@ -1,0 +1,53 @@
+#include "arch/sads_engine.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+SadsEngine::SadsEngine(SadsEngineConfig cfg, OpEnergies energies)
+    : cfg_(cfg), energies_(energies)
+{
+    SOFA_ASSERT(cfg_.lanes > 0);
+    SOFA_ASSERT(cfg_.freshInputsPerPass > 0);
+}
+
+EngineCost
+SadsEngine::sort(std::int64_t rows, std::int64_t seq, int segments,
+                 double clip_frac, int refine_iters) const
+{
+    SOFA_ASSERT(clip_frac >= 0.0 && clip_frac <= 1.0);
+    SOFA_ASSERT(segments >= 1);
+    EngineCost cost;
+
+    // Each lane owns one row; waves of `lanes` rows run in parallel.
+    const double waves = static_cast<double>(
+        ceilDiv(rows, cfg_.lanes));
+
+    // Per row: every element passes the clipping compare; survivors
+    // stream through the sorter at freshInputsPerPass per cycle. The
+    // segments are processed back to back on the same lane (tiled
+    // execution), so cycles scale with the full row length.
+    const double survivors =
+        static_cast<double>(seq) * (1.0 - clip_frac);
+    const double passes = ceilDiv(
+        static_cast<std::int64_t>(survivors) + segments,
+        cfg_.freshInputsPerPass);
+    const double refine = static_cast<double>(refine_iters);
+    const double row_cycles = static_cast<double>(passes) + refine;
+    cost.cycles = waves * row_cycles;
+
+    // Energy: one compare per clip check, comparatorsPerPass compares
+    // per sorter pass, plus refinement compares.
+    const double clip_cmp = static_cast<double>(seq);
+    const double sort_cmp =
+        static_cast<double>(passes) * cfg_.comparatorsPerPass;
+    const double refine_cmp = refine * (1.0 + segments);
+    cost.energyPj = static_cast<double>(rows) *
+                    (clip_cmp + sort_cmp + refine_cmp) * energies_.cmp;
+    return cost;
+}
+
+} // namespace sofa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle/energy model of the high-parallel, flexible-input SADS engine
+ * (Fig. 13): 128 lanes, each pairing a fully parallel 16-to-4 bitonic
+ * sorting core (12 fresh inputs merged with the previous round's top-4
+ * per pass) with an adaptive clipping unit (threshold-updating module)
+ * that blocks values outside the search radius before they toggle the
+ * sorter.
+ */
+
+#ifndef SOFA_ARCH_SADS_ENGINE_H
+#define SOFA_ARCH_SADS_ENGINE_H
+
+#include <cstdint>
+
+#include "arch/dlzs_engine.h" // EngineCost
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** Engine dimensions (Table III row "Iterative SADS"). */
+struct SadsEngineConfig
+{
+    int lanes = 128;          ///< parallel sort cores
+    int freshInputsPerPass = 12;
+    int comparatorsPerPass = 50; ///< pruned 16-to-4 network
+    double staticPowerMw = 112.79;
+};
+
+/** SADS engine model. */
+class SadsEngine
+{
+  public:
+    explicit SadsEngine(SadsEngineConfig cfg = {},
+                        OpEnergies energies = OpEnergies::atNode(
+                            {28.0, 1.0}));
+
+    const SadsEngineConfig &config() const { return cfg_; }
+
+    /**
+     * Sort @p rows score rows of length @p seq, each split into
+     * @p segments sub-segments, with @p clip_frac of elements blocked
+     * by the clipping unit (blocked elements cost one threshold
+     * compare but never enter the sorter).
+     */
+    EngineCost sort(std::int64_t rows, std::int64_t seq, int segments,
+                    double clip_frac = 0.0,
+                    int refine_iters = 8) const;
+
+  private:
+    SadsEngineConfig cfg_;
+    OpEnergies energies_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_SADS_ENGINE_H

@@ -1,0 +1,52 @@
+#include "arch/sram.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+
+Sram::Sram(std::string name, std::int64_t capacity_bytes,
+           double bytes_per_cycle)
+    : name_(std::move(name)), capacity_(capacity_bytes),
+      bytesPerCycle_(bytes_per_cycle)
+{
+    SOFA_ASSERT(capacity_ > 0);
+    SOFA_ASSERT(bytesPerCycle_ > 0.0);
+}
+
+double
+Sram::read(double bytes)
+{
+    SOFA_ASSERT(bytes >= 0.0);
+    bytesRead_ += bytes;
+    return bytes / bytesPerCycle_;
+}
+
+double
+Sram::write(double bytes)
+{
+    SOFA_ASSERT(bytes >= 0.0);
+    bytesWritten_ += bytes;
+    return bytes / bytesPerCycle_;
+}
+
+double
+Sram::energyPj(const MemEnergies &e) const
+{
+    return sramEnergyPj(totalBytes(), e);
+}
+
+void
+Sram::report(StatGroup &stats) const
+{
+    stats.add(name_ + ".bytes_read", bytesRead_);
+    stats.add(name_ + ".bytes_written", bytesWritten_);
+}
+
+void
+Sram::reset()
+{
+    bytesRead_ = 0.0;
+    bytesWritten_ = 0.0;
+}
+
+} // namespace sofa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * On-chip SRAM buffer model: capacity-checked allocation plus
+ * read/write traffic and energy accounting. The SOFA accelerator
+ * instantiates three buffers (Token 192KB, Weight 96KB, Temp 28KB,
+ * Fig. 11); baseline accelerators instantiate a single buffer whose
+ * capacity shortfall forces DRAM spills (the Fig. 3 experiment).
+ */
+
+#ifndef SOFA_ARCH_SRAM_H
+#define SOFA_ARCH_SRAM_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** A single SRAM buffer. */
+class Sram
+{
+  public:
+    /**
+     * @param name stat prefix
+     * @param capacity_bytes buffer capacity
+     * @param bytes_per_cycle internal bandwidth (read or write)
+     */
+    Sram(std::string name, std::int64_t capacity_bytes,
+         double bytes_per_cycle = 64.0);
+
+    const std::string &name() const { return name_; }
+    std::int64_t capacity() const { return capacity_; }
+
+    /** True if a working set of @p bytes fits. */
+    bool fits(std::int64_t bytes) const { return bytes <= capacity_; }
+
+    /** Record a read of @p bytes; returns cycles consumed. */
+    double read(double bytes);
+
+    /** Record a write of @p bytes; returns cycles consumed. */
+    double write(double bytes);
+
+    double bytesRead() const { return bytesRead_; }
+    double bytesWritten() const { return bytesWritten_; }
+    double totalBytes() const { return bytesRead_ + bytesWritten_; }
+
+    /** Access energy so far (pJ). */
+    double energyPj(const MemEnergies &e) const;
+
+    /** Export counters into a stat group. */
+    void report(StatGroup &stats) const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::int64_t capacity_;
+    double bytesPerCycle_;
+    double bytesRead_ = 0.0;
+    double bytesWritten_ = 0.0;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_SRAM_H

@@ -1,0 +1,115 @@
+#include "arch/sufa_engine.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+SufaEngine::SufaEngine(SufaEngineConfig cfg, OpEnergies energies)
+    : cfg_(cfg), energies_(energies)
+{
+    SOFA_ASSERT(cfg_.lines > 0 && cfg_.macsPerLine > 0);
+    SOFA_ASSERT(cfg_.expUnits > 0 && cfg_.divUnits > 0);
+}
+
+double
+SufaEngine::macThroughputPerCycle() const
+{
+    return static_cast<double>(cfg_.lines) * cfg_.macsPerLine;
+}
+
+EngineCost
+SufaEngine::attention(std::int64_t queries, std::int64_t kept,
+                      std::int64_t head_dim, SufaOrder order,
+                      double violation_rate) const
+{
+    SOFA_ASSERT(violation_rate >= 0.0 && violation_rate <= 1.0);
+    EngineCost cost;
+    const double n = static_cast<double>(std::max<std::int64_t>(
+        kept, 0));
+    const double T = static_cast<double>(queries);
+    const double d = static_cast<double>(head_dim);
+
+    // MAC work: QK^T over kept keys plus score x V. The two output-
+    // stationary systolic arrays (SA-1 for QK^T, SA-2 for score x V,
+    // Fig. 14) run concurrently with the AP module between them, so
+    // the streams overlap: cycle count follows one stream, energy
+    // both.
+    const double macs = 2.0 * T * n * d;
+    const double waves = static_cast<double>(
+        ceilDiv(std::max<std::int64_t>(queries, 1), cfg_.lines));
+    const double fill = cfg_.lines + cfg_.macsPerLine;
+    const double mac_cycles = (macs / 2.0) / macThroughputPerCycle() +
+                              fill * waves;
+
+    // Exponential stream: one exp per kept element; the ascending
+    // order adds the per-element l rescale multiply (Eq. (1) of
+    // Fig. 10); violations trigger the mode-1 fallback (one extra
+    // exp plus the l multiply) each.
+    double exps = T * n;
+    double rescale_muls = 0.0;
+    if (order == SufaOrder::Ascending)
+        rescale_muls += T * n;
+    const double violations = violation_rate * T * n;
+    exps += violations;
+    rescale_muls += violations;
+
+    const double exp_cycles = exps / cfg_.expUnits;
+    // Final normalization: one div per line + d muls.
+    const double div_cycles = T / cfg_.divUnits;
+
+    // The two SAs and the AP module are pipelined (Fig. 14): overall
+    // cycles are the max of the streams plus the serial normalize.
+    cost.cycles = std::max(mac_cycles, exp_cycles) + div_cycles;
+
+    cost.energyPj = macs * (energies_.mulI16 + energies_.addI32) +
+                    exps * energies_.expUnit +
+                    rescale_muls * energies_.mulI16 +
+                    T * n * energies_.cmp + // max-ensure compares
+                    T * (energies_.divUnit + d * energies_.mulI16);
+    return cost;
+}
+
+EngineCost
+SufaEngine::attentionFa2(std::int64_t queries, std::int64_t kept,
+                         std::int64_t head_dim, int block_cols) const
+{
+    SOFA_ASSERT(block_cols > 0);
+    EngineCost cost;
+    const double n = static_cast<double>(std::max<std::int64_t>(
+        kept, 0));
+    const double T = static_cast<double>(queries);
+    const double d = static_cast<double>(head_dim);
+    const double tiles = static_cast<double>(ceilDiv(
+        std::max<std::int64_t>(kept, 1), block_cols));
+
+    const double macs = 2.0 * T * n * d;
+    const double waves = static_cast<double>(
+        ceilDiv(std::max<std::int64_t>(queries, 1), cfg_.lines));
+    const double fill = cfg_.lines + cfg_.macsPerLine;
+    // Without the folded tile-synchronization circuit of the SU-FA
+    // engine (Fig. 14), every tile boundary drains and refills the
+    // systolic pipeline while the running max is refreshed.
+    const double mac_cycles = (macs / 2.0) / macThroughputPerCycle() +
+                              fill * waves * tiles;
+
+    // FA-2 pays the max-refresh path every tile (it cannot predict
+    // which tile moves the max): 1 exp + 1 mul on l per tile, plus
+    // the per-element exps and rowmax comparisons.
+    const double exps = T * (n + tiles);
+    const double rescale_muls = T * tiles;
+    const double exp_cycles = exps / cfg_.expUnits;
+    const double div_cycles = T / cfg_.divUnits;
+
+    cost.cycles = std::max(mac_cycles, exp_cycles) + div_cycles;
+    cost.energyPj = macs * (energies_.mulI16 + energies_.addI32) +
+                    exps * energies_.expUnit +
+                    rescale_muls * energies_.mulI16 +
+                    T * n * energies_.cmp +
+                    T * (energies_.divUnit + d * energies_.mulI16);
+    return cost;
+}
+
+} // namespace sofa

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle/energy model of the SU-FA engine (Fig. 14): two output-
+ * stationary systolic arrays (QK^T and score x V), the folded
+ * auxiliary-process (max-ensuring) module with 128 EXP units, and the
+ * O-updating module with 128 DIV units. Table III prices the module
+ * at 128x4 16-bit PEs + 128 EXP + 128 DIV.
+ */
+
+#ifndef SOFA_ARCH_SUFA_ENGINE_H
+#define SOFA_ARCH_SUFA_ENGINE_H
+
+#include <cstdint>
+
+#include "arch/dlzs_engine.h" // EngineCost
+#include "core/sufa.h"
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+/** Engine dimensions. */
+struct SufaEngineConfig
+{
+    int lines = 128;      ///< query lines processed in parallel
+    int macsPerLine = 4;  ///< PEs per line (shared by the two SAs)
+    int expUnits = 128;
+    int divUnits = 128;
+    double staticPowerMw = 485.12;
+};
+
+/** SU-FA engine model. */
+class SufaEngine
+{
+  public:
+    explicit SufaEngine(SufaEngineConfig cfg = {},
+                        OpEnergies energies = OpEnergies::atNode(
+                            {28.0, 1.0}));
+
+    const SufaEngineConfig &config() const { return cfg_; }
+
+    /**
+     * Execute sparse attention over @p queries rows with @p kept keys
+     * each (head dim @p head_dim).
+     *
+     * @param order descending (SU-FA) skips per-element max refresh;
+     *        the engine model prices the op mix accordingly
+     * @param violation_rate fraction of elements triggering the
+     *        max-ensuring fallback (mode-1 rescale)
+     */
+    EngineCost attention(std::int64_t queries, std::int64_t kept,
+                         std::int64_t head_dim,
+                         SufaOrder order = SufaOrder::Descending,
+                         double violation_rate = 0.0) const;
+
+    /**
+     * The same selection executed as sparse FA-2 (no sorting info):
+     * per-tile max refresh and rescale, the Fig. 5 cost profile.
+     */
+    EngineCost attentionFa2(std::int64_t queries, std::int64_t kept,
+                            std::int64_t head_dim,
+                            int block_cols = 16) const;
+
+    double macThroughputPerCycle() const;
+
+  private:
+    SufaEngineConfig cfg_;
+    OpEnergies energies_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_SUFA_ENGINE_H

@@ -1,0 +1,67 @@
+#include "arch/whole_row.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+WholeRowResult
+runWholeRow(const WholeRowConfig &cfg, std::int64_t parallel,
+            std::int64_t seq, int head_dim, int heads)
+{
+    SOFA_ASSERT(parallel > 0 && seq > 0);
+    SOFA_ASSERT(cfg.throughputGops > 0.0);
+
+    WholeRowResult res;
+    const double T = static_cast<double>(parallel);
+    const double S = static_cast<double>(seq);
+    const double d = static_cast<double>(head_dim);
+    const double A = static_cast<double>(heads);
+    const double k = cfg.topkFrac;
+    const double B16 = 2.0;
+
+    // The layer processes ALL S query rows; "parallelism" T is how
+    // many rows are in flight per wave. Compute covers prediction
+    // over every Q-K pair — on a narrow predBits datapath whose
+    // multiplier cost shrinks quadratically with width — plus the
+    // sparse formal stage over k*S keys.
+    const double width = cfg.predBits / 16.0;
+    const double pred_ops = 2.0 * S * S * d * A * width * width;
+    const double formal_ops = 2.0 * 2.0 * S * (k * S) * d * A;
+    const double softmax_ops = 5.0 * S * (k * S) * A;
+    res.computeNs =
+        (pred_ops + formal_ops + softmax_ops) / cfg.throughputGops;
+
+    // Mandatory traffic: Q in, O out, K/V in. K/V must stream once
+    // per wave of T rows unless a head's K and V fit in SRAM
+    // alongside the live intermediates.
+    const double waves = static_cast<double>(ceilDiv(seq, parallel));
+    const double kv_per_head = 2.0 * S * d * B16;
+    const double inflight =
+        T * S * A * cfg.predBits / 8.0 +
+        T * (k * S) * A * cfg.formalBits / 8.0;
+    const bool kv_cached =
+        kv_per_head + inflight <= static_cast<double>(cfg.sramBytes);
+    const double kv_streams = kv_cached ? 1.0 : waves;
+    res.mandatoryBytes = (S * d * A + S * d * A) * B16 + // Q and O
+                         kv_per_head * A * kv_streams;
+
+    // Whole-row-processing spill: top-k sorting and softmax are
+    // row-wise, but the Pre-Atten matrix is produced key-block by
+    // key-block; once the in-flight rows' intermediates (all heads)
+    // exceed SRAM, Pre-Atten and Atten round-trip through DRAM
+    // (store + row-wise load), for every row of the layer.
+    if (inflight > static_cast<double>(cfg.sramBytes)) {
+        const double pre = S * S * A * cfg.predBits / 8.0;
+        const double att = S * (k * S) * A * cfg.formalBits / 8.0;
+        res.spillBytes = 2.0 * (pre + att);
+    }
+
+    Dram dram(cfg.dram);
+    res.memoryNs = dram.read(res.mandatoryBytes + res.spillBytes);
+    return res;
+}
+
+} // namespace sofa

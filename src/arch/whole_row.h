@@ -1,0 +1,65 @@
+/**
+ * @file
+ * "Whole-row-processing" accelerator model (Fig. 2 left): the pre-
+ * compute stage writes the full Pre-Atten matrix (T x S, 4-bit) to
+ * DRAM, the top-k stage reads it back row-wise, and the formal stage
+ * stores/loads the full Atten matrix (T x S, 16-bit) — because the
+ * row-wise top-k/softmax cannot start until the whole row exists and
+ * T x S exceeds on-chip SRAM at scale. This is the behaviour the
+ * paper attributes to prior dynamic-sparsity accelerators (FACT,
+ * Energon, ...) when scaled to large token parallelism (Fig. 3).
+ */
+
+#ifndef SOFA_ARCH_WHOLE_ROW_H
+#define SOFA_ARCH_WHOLE_ROW_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/dram.h"
+
+namespace sofa {
+
+/** Parameters of a whole-row dynamic-sparsity accelerator. */
+struct WholeRowConfig
+{
+    std::string name = "generic";
+    double throughputGops = 1000.0; ///< effective compute GOPS
+    std::int64_t sramBytes = 2 << 20; ///< on-chip SRAM (2MB default)
+    DramConfig dram = DramConfig::ddr4();
+    int predBits = 4;    ///< Pre-Atten element width
+    int formalBits = 16; ///< Atten element width
+    double topkFrac = 0.25;
+};
+
+/** Latency decomposition of one attention slice. */
+struct WholeRowResult
+{
+    double computeNs = 0.0;
+    double memoryNs = 0.0;      ///< DRAM access time (MAT)
+    double spillBytes = 0.0;    ///< intermediate-matrix traffic
+    double mandatoryBytes = 0.0; ///< Q/K/V/O traffic
+
+    double totalNs() const { return computeNs + memoryNs; }
+    /** MAT share of total latency (the Fig. 3 metric). */
+    double
+    matRatio() const
+    {
+        const double t = totalNs();
+        return t > 0.0 ? memoryNs / t : 0.0;
+    }
+};
+
+/**
+ * Model one attention slice with @p parallel tokens against an
+ * @p seq -long context at head dimension @p head_dim and @p heads
+ * heads. Intermediate matrices spill to DRAM whenever the working
+ * set (Pre-Atten + Atten for the parallel rows) exceeds SRAM.
+ */
+WholeRowResult runWholeRow(const WholeRowConfig &cfg,
+                           std::int64_t parallel, std::int64_t seq,
+                           int head_dim, int heads);
+
+} // namespace sofa
+
+#endif // SOFA_ARCH_WHOLE_ROW_H

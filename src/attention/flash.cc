@@ -1,0 +1,170 @@
+#include "attention/flash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+namespace {
+
+/** Shared tile loop; fa2 selects the FA-2 deferred-normalization. */
+AttentionResult
+flashImpl(const MatF &q, const MatF &k, const MatF &v,
+          const FlashConfig &cfg, bool fa2)
+{
+    SOFA_ASSERT(q.cols() == k.cols());
+    SOFA_ASSERT(k.rows() == v.rows());
+    SOFA_ASSERT(cfg.blockCols > 0);
+
+    const std::size_t T = q.rows();
+    const std::size_t S = k.rows();
+    const std::size_t d = q.cols();
+    const std::size_t Bc = static_cast<std::size_t>(cfg.blockCols);
+
+    AttentionResult res;
+    res.output = MatF(T, d, 0.0f);
+    OpCounter &ops = res.ops;
+
+    std::vector<double> acc(d);
+    for (std::size_t r = 0; r < T; ++r) {
+        const float *qr = q.rowPtr(r);
+        double m = -1e30; // running max
+        double l = 0.0;   // running denominator
+        std::fill(acc.begin(), acc.end(), 0.0);
+
+        for (std::size_t j0 = 0; j0 < S; j0 += Bc) {
+            const std::size_t je = std::min(S, j0 + Bc);
+            const std::size_t bc = je - j0;
+
+            // S_i^(j) = Q_i K_j^T
+            std::vector<double> s(bc);
+            double tile_max = -1e30;
+            for (std::size_t j = j0; j < je; ++j) {
+                const float *kr = k.rowPtr(j);
+                double a = 0.0;
+                for (std::size_t c = 0; c < d; ++c)
+                    a += static_cast<double>(qr[c]) * kr[c];
+                s[j - j0] = a;
+                tile_max = std::max(tile_max, a);
+            }
+            ops.mulN(static_cast<std::int64_t>(bc * d));
+            ops.addN(static_cast<std::int64_t>(bc * (d - 1)));
+            // rowmax within tile + compare against running max.
+            ops.cmpN(static_cast<std::int64_t>(bc - 1) + 1);
+
+            const double m_new = std::max(m, tile_max);
+            const bool max_changed = m_new > m && l > 0.0;
+
+            // Rescale previous l and O when the max moved:
+            // factor = exp(m_old - m_new).
+            if (max_changed) {
+                const double f = std::exp(m - m_new);
+                l *= f;
+                ops.expN(1);
+                ops.mulN(1);
+                for (std::size_t c = 0; c < d; ++c)
+                    acc[c] *= f;
+                ops.mulN(static_cast<std::int64_t>(d));
+            } else if (l > 0.0 && !fa2) {
+                // FA-1 performs the rescale unconditionally.
+                ops.expN(1);
+                ops.mulN(1 + static_cast<std::int64_t>(d));
+            }
+            m = m_new;
+
+            // P_i^(j) = exp(S - m); accumulate l and O.
+            for (std::size_t jj = 0; jj < bc; ++jj) {
+                const double p = std::exp(s[jj] - m);
+                l += p;
+                const float *vr = v.rowPtr(j0 + jj);
+                for (std::size_t c = 0; c < d; ++c)
+                    acc[c] += p * vr[c];
+            }
+            ops.addN(static_cast<std::int64_t>(bc));      // subtract m
+            ops.expN(static_cast<std::int64_t>(bc));
+            ops.addN(static_cast<std::int64_t>(bc));      // l += p
+            ops.mulN(static_cast<std::int64_t>(bc * d));  // p * V
+            ops.addN(static_cast<std::int64_t>(bc * d));  // O += ...
+
+            if (!fa2) {
+                // FA-1 keeps O normalized: one divide per element per
+                // tile (modeled as d multiplies by 1/l + 1 div).
+                ops.divN(1);
+                ops.mulN(static_cast<std::int64_t>(d));
+            }
+        }
+
+        // Final O_i = diag(l)^-1 O_i.
+        const double inv = 1.0 / l;
+        ops.divN(1);
+        float *out = res.output.rowPtr(r);
+        for (std::size_t c = 0; c < d; ++c)
+            out[c] = static_cast<float>(acc[c] * inv);
+        ops.mulN(static_cast<std::int64_t>(d));
+    }
+    return res;
+}
+
+} // namespace
+
+AttentionResult
+flashAttention1(const MatF &q, const MatF &k, const MatF &v,
+                const FlashConfig &cfg)
+{
+    return flashImpl(q, k, v, cfg, false);
+}
+
+AttentionResult
+flashAttention2(const MatF &q, const MatF &k, const MatF &v,
+                const FlashConfig &cfg)
+{
+    return flashImpl(q, k, v, cfg, true);
+}
+
+OpCounter
+fa2AnalyticOps(std::int64_t rows, std::int64_t seq, int block_cols,
+               int head_dim)
+{
+    OpCounter ops;
+    const std::int64_t Bc = block_cols;
+    const std::int64_t Tc = ceilDiv(seq, Bc);
+    const std::int64_t d = head_dim;
+
+    // Per row, per tile: QK^T (Bc*d mul + Bc*(d-1) add), rowmax
+    // (Bc-1 cmps) + running-max compare (1), worst-case rescale
+    // (1 exp + (d+1) mul), tile exponentials (Bc exp + Bc sub),
+    // l accumulation (Bc add), PV (Bc*d mul + Bc*d add).
+    ops.mulN(rows * Tc * (Bc * d + d + 1 + Bc * d));
+    ops.addN(rows * Tc * (Bc * (d - 1) + Bc + Bc + Bc * d));
+    ops.cmpN(rows * Tc * Bc);
+    ops.expN(rows * Tc * (Bc + 1));
+    // Final normalization.
+    ops.divN(rows);
+    ops.mulN(rows * d);
+    return ops;
+}
+
+OpCounter
+vanillaAnalyticOps(std::int64_t rows, std::int64_t seq, int head_dim)
+{
+    OpCounter ops;
+    const std::int64_t S = seq;
+    const std::int64_t d = head_dim;
+    ops.mulN(rows * S * d);          // QK^T
+    ops.addN(rows * S * (d - 1));
+    ops.cmpN(rows * (S - 1));        // one row max
+    ops.addN(rows * S);              // subtract max
+    ops.expN(rows * S);              // exps once
+    ops.addN(rows * (S - 1));        // denominator
+    ops.divN(rows);                  // reciprocal
+    ops.mulN(rows * S);              // scale probs
+    ops.mulN(rows * S * d);          // PV
+    ops.addN(rows * (S - 1) * d);
+    return ops;
+}
+
+} // namespace sofa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tiled attention kernels: FlashAttention-1 and FlashAttention-2,
+ * implemented per the algorithm boxes referenced by the paper
+ * (Fig. 5(a)), with exact op accounting so the "reduced memory access
+ * comes with increased computation" trade-off is measurable.
+ *
+ * Both kernels are numerically exact (they compute the same output as
+ * reference attention up to float rounding); what differs is the
+ * number of exponentials, comparisons and rescaling multiplies they
+ * spend maintaining the running row max/denominator across tiles.
+ */
+
+#ifndef SOFA_ATTENTION_FLASH_H
+#define SOFA_ATTENTION_FLASH_H
+
+#include "attention/opcount.h"
+#include "attention/reference.h"
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** Tiling configuration for the flash kernels. */
+struct FlashConfig
+{
+    int blockCols = 16; ///< Bc: keys per tile (Tc = ceil(S / Bc))
+};
+
+/**
+ * FlashAttention-1: maintains running max m, denominator l and
+ * *normalized* output O across tiles; every tile rescales both l and
+ * the full output row when the max changes (and FA-1 rescales O by
+ * l ratios each step).
+ */
+AttentionResult flashAttention1(const MatF &q, const MatF &k,
+                                const MatF &v,
+                                const FlashConfig &cfg = {});
+
+/**
+ * FlashAttention-2: keeps O unnormalized until the end, rescaling only
+ * by exp(m_old - m_new) when the running max changes; one final
+ * diag(l)^-1 normalization per row (Fig. 5(a) lines 5-10).
+ */
+AttentionResult flashAttention2(const MatF &q, const MatF &k,
+                                const MatF &v,
+                                const FlashConfig &cfg = {});
+
+/**
+ * Closed-form op counts for FA-2 on a [T x S] attention with tile size
+ * Bc, following the paper's complexity discussion: per row, every tile
+ * refreshes the running max (Bc comparisons + 1), rescales l and O
+ * (d + 1 multiplies + exps when the max changes; worst case assumed),
+ * and exponentiates the full tile.  Used by the Fig. 5 bench where
+ * S is swept beyond what is practical to execute.
+ */
+OpCounter fa2AnalyticOps(std::int64_t rows, std::int64_t seq,
+                         int block_cols, int head_dim);
+
+/** Closed-form op counts for the vanilla row-wise softmax attention. */
+OpCounter vanillaAnalyticOps(std::int64_t rows, std::int64_t seq,
+                             int head_dim);
+
+} // namespace sofa
+
+#endif // SOFA_ATTENTION_FLASH_H

@@ -1,0 +1,62 @@
+#include "attention/opcount.h"
+
+#include <sstream>
+
+namespace sofa {
+
+OpCosts
+OpCosts::scaled(double width_ratio)
+{
+    OpCosts c;
+    c.add *= width_ratio;
+    c.cmp *= width_ratio;
+    c.shift *= width_ratio;
+    c.mul *= width_ratio * width_ratio;
+    c.div *= width_ratio * width_ratio;
+    c.exp *= width_ratio * width_ratio;
+    return c;
+}
+
+std::int64_t
+OpCounter::total() const
+{
+    return adds_ + cmps_ + shifts_ + muls_ + divs_ + exps_;
+}
+
+double
+OpCounter::normalized(const OpCosts &costs) const
+{
+    return costs.add * adds_ + costs.cmp * cmps_ +
+           costs.shift * shifts_ + costs.mul * muls_ +
+           costs.div * divs_ + costs.exp * exps_;
+}
+
+OpCounter &
+OpCounter::operator+=(const OpCounter &o)
+{
+    adds_ += o.adds_;
+    cmps_ += o.cmps_;
+    shifts_ += o.shifts_;
+    muls_ += o.muls_;
+    divs_ += o.divs_;
+    exps_ += o.exps_;
+    return *this;
+}
+
+void
+OpCounter::reset()
+{
+    *this = OpCounter{};
+}
+
+std::string
+OpCounter::toString() const
+{
+    std::ostringstream os;
+    os << "adds=" << adds_ << " cmps=" << cmps_ << " shifts=" << shifts_
+       << " muls=" << muls_ << " divs=" << divs_ << " exps=" << exps_
+       << " normalized=" << normalized();
+    return os.str();
+}
+
+} // namespace sofa

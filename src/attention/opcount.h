@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Arithmetic operation counting with the normalized complexity model
+ * the paper uses (Brent & Zimmermann, "Modern Computer Arithmetic"):
+ * every kernel in the repository increments an OpCounter, and the
+ * counter converts heterogeneous op mixes (exp, mul, add, cmp, div,
+ * shift) into one normalized complexity figure so that, e.g., FA-2's
+ * extra exponentiations can be compared against removed multiplies
+ * (Figs. 5 and 17).
+ */
+
+#ifndef SOFA_ATTENTION_OPCOUNT_H
+#define SOFA_ATTENTION_OPCOUNT_H
+
+#include <cstdint>
+#include <string>
+
+namespace sofa {
+
+/** Relative costs of primitive operations (units of one add). */
+struct OpCosts
+{
+    double add = 1.0;
+    double cmp = 1.0;   ///< comparison ~ subtraction
+    double shift = 0.5; ///< barrel shift, cheaper than an add
+    double mul = 3.0;   ///< integer/fp multiply vs add (M(n)/A(n))
+    double div = 12.0;  ///< division via Newton iteration
+    double exp = 15.0;  ///< exponential via argument reduction + poly
+
+    /** Costs for a narrower (e.g. 4-bit) datapath scale roughly
+     * linearly in width for add and quadratically for mul. */
+    static OpCosts scaled(double width_ratio);
+};
+
+/** Tallies of primitive ops executed by a kernel. */
+class OpCounter
+{
+  public:
+    void addN(std::int64_t n = 1) { adds_ += n; }
+    void cmpN(std::int64_t n = 1) { cmps_ += n; }
+    void shiftN(std::int64_t n = 1) { shifts_ += n; }
+    void mulN(std::int64_t n = 1) { muls_ += n; }
+    void divN(std::int64_t n = 1) { divs_ += n; }
+    void expN(std::int64_t n = 1) { exps_ += n; }
+
+    std::int64_t adds() const { return adds_; }
+    std::int64_t cmps() const { return cmps_; }
+    std::int64_t shifts() const { return shifts_; }
+    std::int64_t muls() const { return muls_; }
+    std::int64_t divs() const { return divs_; }
+    std::int64_t exps() const { return exps_; }
+
+    /** Total primitive op count (unweighted). */
+    std::int64_t total() const;
+
+    /** Normalized complexity under the given cost model. */
+    double normalized(const OpCosts &costs = OpCosts{}) const;
+
+    OpCounter &operator+=(const OpCounter &o);
+    void reset();
+
+    std::string toString() const;
+
+  private:
+    std::int64_t adds_ = 0;
+    std::int64_t cmps_ = 0;
+    std::int64_t shifts_ = 0;
+    std::int64_t muls_ = 0;
+    std::int64_t divs_ = 0;
+    std::int64_t exps_ = 0;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ATTENTION_OPCOUNT_H

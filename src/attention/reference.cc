@@ -1,0 +1,125 @@
+#include "attention/reference.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+MatF
+softmaxRows(const MatF &scores, OpCounter *ops)
+{
+    MatF p(scores.rows(), scores.cols());
+    const std::size_t S = scores.cols();
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        const float *in = scores.rowPtr(r);
+        float *out = p.rowPtr(r);
+        float m = in[0];
+        for (std::size_t c = 1; c < S; ++c)
+            m = std::max(m, in[c]);
+        double sum = 0.0;
+        for (std::size_t c = 0; c < S; ++c) {
+            out[c] = std::exp(in[c] - m);
+            sum += out[c];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (std::size_t c = 0; c < S; ++c)
+            out[c] *= inv;
+        if (ops) {
+            ops->cmpN(static_cast<std::int64_t>(S) - 1);
+            ops->addN(static_cast<std::int64_t>(S)); // subtract max
+            ops->expN(static_cast<std::int64_t>(S));
+            ops->addN(static_cast<std::int64_t>(S) - 1); // sum
+            ops->divN(1); // reciprocal once per row
+            ops->mulN(static_cast<std::int64_t>(S)); // scale
+        }
+    }
+    return p;
+}
+
+AttentionResult
+referenceAttention(const MatF &q, const MatF &k, const MatF &v,
+                   bool keep_probs)
+{
+    SOFA_ASSERT(q.cols() == k.cols());
+    SOFA_ASSERT(k.rows() == v.rows());
+
+    AttentionResult res;
+    MatF scores = matmulNT(q, k);
+    const std::int64_t T = static_cast<std::int64_t>(q.rows());
+    const std::int64_t S = static_cast<std::int64_t>(k.rows());
+    const std::int64_t d = static_cast<std::int64_t>(q.cols());
+    res.ops.mulN(T * S * d);
+    res.ops.addN(T * S * (d - 1));
+
+    MatF p = softmaxRows(scores, &res.ops);
+
+    res.output = matmul(p, v);
+    res.ops.mulN(T * S * d);
+    res.ops.addN(T * (S - 1) * d);
+
+    if (keep_probs)
+        res.probs = std::move(p);
+    return res;
+}
+
+AttentionResult
+maskedReferenceAttention(const MatF &q, const MatF &k, const MatF &v,
+                         const std::vector<std::vector<int>> &selected)
+{
+    SOFA_ASSERT(q.cols() == k.cols());
+    SOFA_ASSERT(k.rows() == v.rows());
+    SOFA_ASSERT(selected.size() == q.rows());
+
+    AttentionResult res;
+    const std::size_t T = q.rows();
+    const std::size_t d = q.cols();
+    res.output = MatF(T, d, 0.0f);
+
+    for (std::size_t r = 0; r < T; ++r) {
+        const auto &sel = selected[r];
+        if (sel.empty())
+            continue;
+        const float *qr = q.rowPtr(r);
+
+        // Scores over the kept set only.
+        std::vector<double> s(sel.size());
+        double m = -1e30;
+        for (std::size_t j = 0; j < sel.size(); ++j) {
+            const float *kr = k.rowPtr(sel[j]);
+            double acc = 0.0;
+            for (std::size_t c = 0; c < d; ++c)
+                acc += static_cast<double>(qr[c]) * kr[c];
+            s[j] = acc;
+            m = std::max(m, acc);
+        }
+        const std::int64_t n = static_cast<std::int64_t>(sel.size());
+        res.ops.mulN(n * d);
+        res.ops.addN(n * (static_cast<std::int64_t>(d) - 1));
+        res.ops.cmpN(n - 1);
+
+        double sum = 0.0;
+        std::vector<double> p(sel.size());
+        for (std::size_t j = 0; j < sel.size(); ++j) {
+            p[j] = std::exp(s[j] - m);
+            sum += p[j];
+        }
+        res.ops.addN(n);
+        res.ops.expN(n);
+        res.ops.addN(n - 1);
+        res.ops.divN(1);
+
+        float *out = res.output.rowPtr(r);
+        for (std::size_t j = 0; j < sel.size(); ++j) {
+            const float w = static_cast<float>(p[j] / sum);
+            const float *vr = v.rowPtr(sel[j]);
+            for (std::size_t c = 0; c < d; ++c)
+                out[c] += w * vr[c];
+        }
+        res.ops.mulN(n * static_cast<std::int64_t>(d) + n);
+        res.ops.addN(n * static_cast<std::int64_t>(d));
+    }
+    return res;
+}
+
+} // namespace sofa

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact ("vanilla") attention used as the numerical ground truth and
+ * as the op-count baseline that FlashAttention variants are compared
+ * against (Fig. 5). Optionally applies a top-k mask, which is how the
+ * formal-compute stage of a dynamic-sparsity accelerator behaves.
+ */
+
+#ifndef SOFA_ATTENTION_REFERENCE_H
+#define SOFA_ATTENTION_REFERENCE_H
+
+#include <optional>
+#include <vector>
+
+#include "attention/opcount.h"
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** Result of an attention computation plus its op tally. */
+struct AttentionResult
+{
+    MatF output;        ///< O [T x d]
+    MatF probs;         ///< post-softmax attention (empty if not kept)
+    OpCounter ops;
+};
+
+/**
+ * Exact softmax attention O = softmax(Q K^T) V.
+ *
+ * @param q queries [T x d]
+ * @param k keys    [S x d]
+ * @param v values  [S x d]
+ * @param keep_probs retain the post-softmax matrix in the result
+ */
+AttentionResult referenceAttention(const MatF &q, const MatF &k,
+                                   const MatF &v,
+                                   bool keep_probs = false);
+
+/**
+ * Masked exact attention: only key indices listed per row participate
+ * (softmax renormalizes over the kept set). This is the ground truth
+ * for dynamic-sparsity formal computation.
+ *
+ * @param selected per-query list of kept key indices
+ */
+AttentionResult maskedReferenceAttention(
+    const MatF &q, const MatF &k, const MatF &v,
+    const std::vector<std::vector<int>> &selected);
+
+/**
+ * Numerically stable softmax over precomputed scores, counting ops the
+ * way a row-wise hardware softmax does: one row max (S-1 comparisons),
+ * S exponentials, S-1 adds, S divisions.
+ */
+MatF softmaxRows(const MatF &scores, OpCounter *ops = nullptr);
+
+} // namespace sofa
+
+#endif // SOFA_ATTENTION_REFERENCE_H

@@ -1,0 +1,109 @@
+#include "baselines/gpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+GpuModel::GpuModel(GpuConfig cfg) : cfg_(cfg)
+{
+    SOFA_ASSERT(cfg_.fp16Tflops > 0.0 && cfg_.hbmGBs > 0.0);
+}
+
+GpuResult
+GpuModel::run(const AttentionShape &shape, GpuMode mode,
+              double keep_frac) const
+{
+    SOFA_ASSERT(keep_frac > 0.0 && keep_frac <= 1.0);
+    GpuResult res;
+
+    const double T = static_cast<double>(shape.queries);
+    const double S = static_cast<double>(shape.seq);
+    const double d = static_cast<double>(shape.headDim);
+    const double A = static_cast<double>(shape.heads);
+
+    // Useful dense-equivalent work (for effective-GOPS reporting).
+    const double useful_ops = 4.0 * T * S * d * A;
+    const double softmax_ops = 5.0 * T * S * A;
+
+    // Executed FLOPs, memory traffic and utilization per mode. The
+    // relative utilizations are calibrated so the GPU software-mode
+    // ladder reproduces the paper's measured gains (Fig. 19(b):
+    // LP 1.76x, +FA-1 ~2.7x, +FA-2 ~3.2x; Fig. 21(a): full software
+    // 3.16x) — we cannot re-run their A100, so the kernel-quality
+    // factors are taken from their measurements.
+    // Prediction as a dense int8-rate matmul over all Q-K pairs
+    // (the GPU has no shift-add datapath; int8 tensor ops run at
+    // ~2x fp16 rate).
+    const double pred_ops = 0.5 * useful_ops * 0.5;
+    double flops = 0.0;
+    double bytes = 0.0;
+    double util_rel = 1.0;
+    switch (mode) {
+      case GpuMode::Dense:
+        flops = useful_ops + softmax_ops;
+        // Unfused eager attention: the per-head score matrix crosses
+        // HBM three times around softmax, in FP32.
+        bytes = (T * d + 2.0 * S * d + T * d) * A * 2.0 +
+                3.0 * T * S * A * 4.0;
+        util_rel = 1.0;
+        break;
+      case GpuMode::LP:
+        // Prediction as a dense low-precision matmul plus a sparse
+        // gather-heavy formal stage that SIMT hardware dislikes.
+        flops = pred_ops + keep_frac * (useful_ops + softmax_ops);
+        bytes = (T * d + 2.0 * S * d + T * d) * A * 2.0 +
+                T * S * A * 1.0 + // int8 predicted scores, one pass
+                3.0 * keep_frac * T * S * A * 4.0;
+        util_rel = cfg_.utilRelLP;
+        break;
+      case GpuMode::LPFlash1:
+        flops = pred_ops + keep_frac * useful_ops * 1.35;
+        bytes = (T * d + 2.0 * S * d + T * d) * A * 2.0 +
+                T * S * A * 1.0 +
+                0.2 * keep_frac * T * S * A * 4.0; // l/m statistics
+        util_rel = cfg_.utilRelFa1;
+        break;
+      case GpuMode::LPFlash2:
+        flops = pred_ops + keep_frac * useful_ops * 1.15;
+        bytes = (T * d + 2.0 * S * d + T * d) * A * 2.0 +
+                T * S * A * 1.0 +
+                0.1 * keep_frac * T * S * A * 4.0;
+        util_rel = cfg_.utilRelFa2;
+        break;
+      case GpuMode::SofaSoft:
+        // Full software stack: SU-FA removes the FA overhead but the
+        // GPU still runs prediction as dense int4 matmul (no
+        // shift-add datapath) and pays gather costs.
+        flops = pred_ops + keep_frac * useful_ops;
+        bytes = (T * d + 2.0 * S * d + T * d) * A * 2.0 +
+                T * S * A * 1.0 +
+                0.1 * keep_frac * T * S * A * 4.0;
+        util_rel = cfg_.utilRelSoft;
+        break;
+    }
+
+    const double util =
+        std::min(1.0, cfg_.denseUtilization * util_rel);
+    const double ops_per_ns = cfg_.fp16Tflops * 1e3 * util;
+    const double compute_ns = flops / ops_per_ns;
+    const double mem_ns = bytes / cfg_.hbmGBs;
+    res.timeNs = std::max(compute_ns, mem_ns);
+
+    // Dynamic power: at the low achieved utilization of unfused
+    // attention the board draws well below peak — the paper's
+    // methodology subtracts idle power, leaving a few tens of watts
+    // attributable to the workload.
+    const double busy = compute_ns / res.timeNs;
+    res.dynamicPowerW =
+        (cfg_.peakPowerW - cfg_.idlePowerW) * (0.05 + 0.08 * busy);
+    res.powerW = cfg_.idlePowerW + res.dynamicPowerW;
+    res.energyPj = res.powerW * res.timeNs * 1e3; // W * ns -> pJ
+    res.effectiveGops = useful_ops / res.timeNs;
+    res.gopsPerWatt = res.effectiveGops / res.dynamicPowerW;
+    return res;
+}
+
+} // namespace sofa

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The eight SOTA dynamic-sparsity accelerators the paper compares
+ * against in Table II (A3, ELSA, Sanger, DOTA, Energon, DTATrans,
+ * SpAtten, FACT), captured as analytic models: each row's published
+ * parameters plus the tech-normalization rules of the Table II
+ * footnote, and a latency model for the Llama-7B attention slice
+ * (all accelerators scaled to 128 multipliers at 1 GHz).
+ */
+
+#ifndef SOFA_BASELINES_SOTA_H
+#define SOFA_BASELINES_SOTA_H
+
+#include <string>
+#include <vector>
+
+#include "energy/tech.h"
+
+namespace sofa {
+
+/** Sparsity style column of Table II. */
+enum class SparsityStyle { Unstructured, Structured };
+
+/** One row of Table II. */
+struct SotaAccelerator
+{
+    std::string name;
+    SparsityStyle style = SparsityStyle::Unstructured;
+    double accuracyLossPct = 0.0;
+    double savedComputeFrac = 0.0; ///< "Saved Comp" column
+    double techNm = 40.0;
+    double vdd = 1.0;            ///< published supply voltage
+    double freqGhz = 1.0;
+    double areaMm2 = 1.0;
+    double corePowerW = 0.5;
+    double ioPowerW = 0.0;       ///< 0 = not reported
+    double throughputGops = 100.0;
+    int multipliers = 128;       ///< datapath multipliers (for the
+                                 ///< latency normalization)
+
+    /** Core energy efficiency (GOPS/W) as published. */
+    double coreEfficiency() const;
+
+    /** Device (core+IO) efficiency; falls back to core if IO unknown. */
+    double deviceEfficiency() const;
+
+    /** Area efficiency GOPS/mm^2 as published. */
+    double areaEfficiency() const;
+
+    /**
+     * Table II normalization to 28 nm / 1.0 V. The table's printed
+     * numbers follow: core power scaled by (28/tech)^1.5 * (1/Vdd)^2
+     * (a Dennard-style capacitance+voltage shrink), area scaled by
+     * (28/tech)^2, IO power and throughput left as published (IO
+     * does not shrink with logic). These rules reproduce every
+     * scaled entry of the paper's Table II to within rounding.
+     */
+    double scaledCorePowerW() const;
+    double scaledCoreEfficiency() const;
+    double scaledDeviceEfficiency() const;
+    double scaledAreaEfficiency() const;
+
+    /**
+     * Latency (ms) to execute a @p gops -sized attention slice after
+     * normalizing every design to @p norm_multipliers multipliers at
+     * @p norm_ghz (the Table II latency comparison: e.g. FACT at 928
+     * GOPS with 512 muls @ 0.5 GHz -> 2 * 137 / 928 ms).
+     */
+    double latencyMs(double workload_gops, int norm_multipliers = 128,
+                     double norm_ghz = 1.0) const;
+};
+
+/** All eight baseline rows + the SOFA row. */
+std::vector<SotaAccelerator> sotaTable();
+
+/** The SOFA row of Table II. */
+SotaAccelerator sofaRow();
+
+/** Lookup by name; fatal() on unknown. */
+SotaAccelerator sotaByName(const std::string &name);
+
+} // namespace sofa
+
+#endif // SOFA_BASELINES_SOTA_H

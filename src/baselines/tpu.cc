@@ -1,0 +1,39 @@
+#include "baselines/tpu.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+TpuModel::TpuModel(TpuConfig cfg) : cfg_(cfg)
+{
+    SOFA_ASSERT(cfg_.bf16Tflops > 0.0 && cfg_.hbmGBs > 0.0);
+}
+
+GpuResult
+TpuModel::run(const AttentionShape &shape, GpuMode mode,
+              double keep_frac) const
+{
+    // Reuse the GPU roofline with TPU parameters. The TPU's systolic
+    // arrays handle dense matmul well but its limited control
+    // instructions handle the gather-heavy sparse modes worse than
+    // the GPU (Section V-C), so every sparse-mode kernel-quality
+    // factor is lower; the software ladder lands at the paper's
+    // measured 2.9x (vs the GPU's 3.16x).
+    GpuConfig g;
+    g.name = cfg_.name;
+    g.fp16Tflops = cfg_.bf16Tflops;
+    g.hbmGBs = cfg_.hbmGBs;
+    g.idlePowerW = cfg_.idlePowerW;
+    g.peakPowerW = cfg_.peakPowerW;
+    g.denseUtilization = cfg_.denseUtilization;
+    g.utilRelLP = 0.45;
+    g.utilRelFa1 = 0.7;
+    g.utilRelFa2 = 0.8;
+    g.utilRelSoft = 0.92;
+    GpuModel model(g);
+    return model.run(shape, mode, keep_frac);
+}
+
+} // namespace sofa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cloud-TPU analytic model used by the Fig. 21 breakdown: same
+ * roofline structure as the GPU model, but with the TPU's systolic
+ * strengths and control-flow weaknesses — better dense matmul
+ * utilization, worse behaviour on fine-grained branching (DLZS) and
+ * sorting, per the paper's Section V-C discussion.
+ */
+
+#ifndef SOFA_BASELINES_TPU_H
+#define SOFA_BASELINES_TPU_H
+
+#include "baselines/gpu.h"
+
+namespace sofa {
+
+/** TPU (v3-class) parameters. */
+struct TpuConfig
+{
+    std::string name = "TPUv3";
+    double bf16Tflops = 123.0;
+    double hbmGBs = 900.0;
+    double idlePowerW = 60.0;
+    double peakPowerW = 220.0;
+    /** Effective fraction of peak on the dense eager baseline
+     * (systolic arrays fare a bit better than the GPU here). */
+    double denseUtilization = 0.012;
+};
+
+/** TPU analytic model (same modes as the GPU). */
+class TpuModel
+{
+  public:
+    explicit TpuModel(TpuConfig cfg = {});
+
+    const TpuConfig &config() const { return cfg_; }
+
+    GpuResult run(const AttentionShape &shape, GpuMode mode,
+                  double keep_frac = 0.2) const;
+
+  private:
+    TpuConfig cfg_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_BASELINES_TPU_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: fatal() for user-caused
+ * conditions the program cannot continue from, panic() for internal
+ * invariant violations that should never happen, warn()/inform() for
+ * non-fatal status messages.
+ */
+
+#ifndef SOFA_COMMON_LOGGING_H
+#define SOFA_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace sofa {
+
+/** Print a formatted error for a user-caused condition and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a formatted error for an internal bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a formatted warning to stderr; execution continues. */
+void warn(const char *fmt, ...);
+
+/** Print a formatted informational message to stderr. */
+void inform(const char *fmt, ...);
+
+/**
+ * Assert-like check that is always compiled in. On failure, panics with
+ * the given message.
+ */
+#define SOFA_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::sofa::panic("assertion failed at %s:%d: %s", __FILE__,      \
+                          __LINE__, #cond);                               \
+        }                                                                 \
+    } while (0)
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_LOGGING_H

@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sofa {
+
+void
+StatGroup::add(const std::string &key, double delta)
+{
+    counters_[key] += delta;
+}
+
+void
+StatGroup::set(const std::string &key, double value)
+{
+    counters_[key] = value;
+}
+
+double
+StatGroup::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string &key) const
+{
+    return counters_.count(key) != 0;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+}
+
+void
+StatGroup::clear()
+{
+    for (auto &[k, v] : counters_)
+        v = 0.0;
+}
+
+std::string
+StatGroup::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : counters_) {
+        if (!name_.empty())
+            os << name_ << ".";
+        os << k << " = " << v << "\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+} // namespace sofa

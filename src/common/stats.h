@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight statistics plumbing for the simulator: named scalar
+ * counters grouped per module, plus summary helpers (geomean, mean)
+ * used throughout the benchmark harness.
+ */
+
+#ifndef SOFA_COMMON_STATS_H
+#define SOFA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/** A named group of scalar counters (cycles, bytes, op counts, ...). */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p key, creating it on first use. */
+    void add(const std::string &key, double delta);
+
+    /** Set counter @p key to an absolute value. */
+    void set(const std::string &key, double value);
+
+    /** Read a counter; missing counters read as zero. */
+    double get(const std::string &key) const;
+
+    /** True if the counter has been touched. */
+    bool has(const std::string &key) const;
+
+    /** Merge all counters of @p other into this group (summing). */
+    void merge(const StatGroup &other);
+
+    /** Reset all counters to zero (entries are kept). */
+    void clear();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render as "name.key = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> counters_;
+};
+
+/** Geometric mean of positive values; 0 for an empty vector. */
+double geomean(const std::vector<double> &v);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &v);
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_STATS_H

@@ -1,0 +1,143 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+Table &
+Table::column(const std::string &header, Align align)
+{
+    SOFA_ASSERT(rows_.empty());
+    headers_.push_back(header);
+    aligns_.push_back(align);
+    return *this;
+}
+
+Table &
+Table::row()
+{
+    SOFA_ASSERT(!headers_.empty());
+    if (!rows_.empty()) {
+        SOFA_ASSERT(rows_.back().size() == headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    SOFA_ASSERT(!rows_.empty());
+    SOFA_ASSERT(rows_.back().size() < headers_.size());
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return cell(std::string(buf));
+}
+
+Table &
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  100.0 * fraction);
+    return cell(std::string(buf));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto pad = [&](const std::string &s, std::size_t c) {
+        std::string out = s;
+        const std::size_t fill = width[c] - s.size();
+        if (aligns_[c] == Align::Right)
+            out.insert(0, fill, ' ');
+        else
+            out.append(fill, ' ');
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << " | ";
+        os << pad(headers_[c], c);
+    }
+    os << "\n";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << "-+-";
+        os << std::string(width[c], '-');
+    }
+    os << "\n";
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << " | ";
+            os << pad(r[c], c);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << ",";
+        os << quote(headers_[c]);
+    }
+    os << "\n";
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << ",";
+            os << quote(r[c]);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sofa

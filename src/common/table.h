@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-width text table formatter used by the benchmark harness:
+ * declare columns, add rows of strings/numbers, render with aligned
+ * separators, or export as CSV for plotting.
+ */
+
+#ifndef SOFA_COMMON_TABLE_H
+#define SOFA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/** Column alignment. */
+enum class Align { Left, Right };
+
+/** A simple text table. */
+class Table
+{
+  public:
+    /** Declare a column; call before adding rows. */
+    Table &column(const std::string &header,
+                  Align align = Align::Right);
+
+    /** Start a new row. */
+    Table &row();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(double value, int precision = 2);
+    Table &cell(std::int64_t value);
+
+    /** Append a percentage cell ("12.3%"). */
+    Table &pct(double fraction, int precision = 1);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Render with padded columns and a header separator. */
+    std::string render() const;
+
+    /** Render as CSV (no padding, comma separated, quoted as
+     * needed). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_TABLE_H

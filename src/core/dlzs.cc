@@ -1,0 +1,241 @@
+#include "core/dlzs.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+int
+LzMatrix::bitsPerElement() const
+{
+    // sign bit + LZ field wide enough for [0, width]
+    int lz_bits = 1;
+    while ((1 << lz_bits) < width + 1)
+        ++lz_bits;
+    return 1 + lz_bits;
+}
+
+namespace {
+
+template <typename T>
+LzMatrix
+lzEncodeImpl(const Matrix<T> &m, int width, OpCounter *ops)
+{
+    LzMatrix out;
+    out.width = width;
+    out.codes = Matrix<LzCode>(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.data().size(); ++i) {
+        const std::int64_t v = m.data()[i];
+        LzCode c;
+        if (v == 0) {
+            c.sign = 0;
+            c.lz = static_cast<std::uint8_t>(width);
+        } else {
+            c.sign = v < 0 ? -1 : 1;
+            c.lz = static_cast<std::uint8_t>(
+                leadingZeros(absMagnitude(v), width));
+        }
+        out.codes.data()[i] = c;
+        if (ops)
+            ops->cmpN(width); // LZC priority chain examines W bits
+    }
+    return out;
+}
+
+} // namespace
+
+LzMatrix
+lzEncodeI8(const MatI8 &m, OpCounter *ops)
+{
+    return lzEncodeImpl(m, 8, ops);
+}
+
+LzMatrix
+lzEncodeI16(const MatI16 &m, OpCounter *ops)
+{
+    return lzEncodeImpl(m, 16, ops);
+}
+
+std::int64_t
+dlzsProduct(std::int64_t x, int /*x_width*/, LzCode y, int y_width)
+{
+    if (x == 0 || y.isZero())
+        return 0;
+    const int exponent = y_width - static_cast<int>(y.lz);
+    // Eq. 1c: magnitude |x| << (W - LZy); the -1 keeps the estimate
+    // centred: y's mantissa lies in [0.5, 1), so scaling by the full
+    // 2^(W-LZy) systematically overestimates by ~1.5x. Hardware uses
+    // the shift as-is for the *relative* ranking; we match that.
+    std::int64_t mag = shiftLeftSat(std::llabs(x), exponent);
+    const int sign = (x < 0) != (y.sign < 0) ? -1 : 1;
+    return sign * mag;
+}
+
+MatI64
+dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
+                OpCounter *ops)
+{
+    SOFA_ASSERT(tokens.cols() == wk_lz.rows());
+    SOFA_ASSERT(wk_lz.width == 8);
+    const std::size_t S = tokens.rows();
+    const std::size_t n = tokens.cols();
+    const std::size_t d = wk_lz.cols();
+
+    MatI64 k_hat(S, d, 0);
+    for (std::size_t i = 0; i < S; ++i) {
+        const std::int8_t *xi = tokens.rowPtr(i);
+        for (std::size_t j = 0; j < d; ++j) {
+            std::int64_t acc = 0;
+            for (std::size_t t = 0; t < n; ++t) {
+                const LzCode w = wk_lz.codes(t, j);
+                if (xi[t] == 0 || w.isZero()) {
+                    if (ops)
+                        ops->cmpN(1); // zero-eliminator check
+                    continue;
+                }
+                acc += dlzsProduct(xi[t], 8, w, 8);
+                if (ops) {
+                    ops->shiftN(1);
+                    ops->addN(1);
+                }
+            }
+            k_hat(i, j) = acc;
+        }
+    }
+    return k_hat;
+}
+
+MatI64
+dlzsAPrediction(const LzMatrix &q_lz, const MatI16 &k_hat,
+                OpCounter *ops)
+{
+    SOFA_ASSERT(q_lz.cols() == k_hat.cols());
+    SOFA_ASSERT(q_lz.width == 16);
+    const std::size_t T = q_lz.rows();
+    const std::size_t S = k_hat.rows();
+    const std::size_t d = k_hat.cols();
+
+    MatI64 a_hat(T, S, 0);
+    for (std::size_t i = 0; i < T; ++i) {
+        for (std::size_t j = 0; j < S; ++j) {
+            const std::int16_t *kj = k_hat.rowPtr(j);
+            std::int64_t acc = 0;
+            for (std::size_t t = 0; t < d; ++t) {
+                const LzCode qc = q_lz.codes(i, t);
+                if (kj[t] == 0 || qc.isZero()) {
+                    if (ops)
+                        ops->cmpN(1);
+                    continue;
+                }
+                acc += dlzsProduct(kj[t], 16, qc, 16);
+                if (ops) {
+                    ops->shiftN(1);
+                    ops->addN(1);
+                }
+            }
+            a_hat(i, j) = acc;
+        }
+    }
+    return a_hat;
+}
+
+std::int64_t
+vanillaLzProduct(std::int64_t x, int x_width, std::int64_t y,
+                 int y_width)
+{
+    if (x == 0 || y == 0)
+        return 0;
+    const int ex = lzExponent(absMagnitude(x), x_width);
+    const int ey = lzExponent(absMagnitude(y), y_width);
+    std::int64_t mag = shiftLeftSat(1, ex + ey - 2);
+    // -2: one-hot encode each operand at its MSB (2^(e-1) is the
+    // value of the leading bit), matching the vanilla LOD scheme that
+    // snaps each operand to its leading-one value.
+    const int sign = (x < 0) != (y < 0) ? -1 : 1;
+    return sign * mag;
+}
+
+MatI64
+vanillaKPrediction(const MatI8 &tokens, const MatI8 &wk, OpCounter *ops)
+{
+    SOFA_ASSERT(tokens.cols() == wk.rows());
+    const std::size_t S = tokens.rows();
+    const std::size_t n = tokens.cols();
+    const std::size_t d = wk.cols();
+
+    MatI64 k_hat(S, d, 0);
+    for (std::size_t i = 0; i < S; ++i) {
+        const std::int8_t *xi = tokens.rowPtr(i);
+        for (std::size_t j = 0; j < d; ++j) {
+            std::int64_t acc = 0;
+            for (std::size_t t = 0; t < n; ++t) {
+                const std::int8_t w = wk(t, j);
+                if (xi[t] == 0 || w == 0) {
+                    if (ops)
+                        ops->cmpN(1);
+                    continue;
+                }
+                acc += vanillaLzProduct(xi[t], 8, w, 8);
+                if (ops) {
+                    // Both operands pass through runtime converters.
+                    ops->cmpN(16); // two 8-bit LZCs
+                    ops->shiftN(1);
+                    ops->addN(1);
+                }
+            }
+            k_hat(i, j) = acc;
+        }
+    }
+    return k_hat;
+}
+
+DlzsPrediction
+dlzsPredict(const MatF &tokens, const MatF &wk, const MatF &q)
+{
+    SOFA_ASSERT(tokens.cols() == wk.rows());
+    SOFA_ASSERT(q.cols() == wk.cols());
+
+    DlzsPrediction pred;
+
+    // Quantize the runtime operands.
+    QuantI8 x_q = quantizeI8(tokens);
+    QuantI8 w_q = quantizeI8(wk);
+    QuantI16 q_q = quantizeI16(q);
+
+    // Offline weight pre-conversion: not charged to runtime ops, but
+    // its DRAM footprint is (5 bits vs 8 per weight).
+    LzMatrix wk_lz = lzEncodeI8(w_q.values);
+    pred.predictionBitsFetched =
+        static_cast<double>(wk_lz.rows()) * wk_lz.cols() *
+        wk_lz.bitsPerElement();
+
+    // Phase 1.1: K-hat.
+    MatI64 k_acc = dlzsKPrediction(x_q.values, wk_lz, &pred.ops);
+    pred.kHat = truncateToI16(k_acc, &pred.kShift);
+
+    // Phase 1.2: A-hat, with Q encoded by the runtime (configurable)
+    // LZE in 16-bit mode.
+    LzMatrix q_lz = lzEncodeI16(q_q.values, &pred.ops);
+    MatI64 a_acc = dlzsAPrediction(q_lz, pred.kHat, &pred.ops);
+
+    // Descale to float so downstream stages see score magnitudes
+    // comparable to the exact Q K^T. The DLZS shift substitutes
+    // 2^(W-LZ) = y/M for the encoded operand y, with mantissa M in
+    // [0.5, 1), so each product overestimates by 1/M; for uniformly
+    // distributed operands E[1/M] = ln(2)/0.5 ~ 1.386, the debias
+    // divisor applied per encoded phase.
+    constexpr double kLzBias = 1.3863;
+    const double k_scale = x_q.scale * w_q.scale *
+                           std::pow(2.0, pred.kShift) / kLzBias;
+    const double a_scale = k_scale * q_q.scale / kLzBias;
+    pred.scoresHat = MatF(a_acc.rows(), a_acc.cols());
+    for (std::size_t i = 0; i < a_acc.data().size(); ++i) {
+        pred.scoresHat.data()[i] =
+            static_cast<float>(a_acc.data()[i] * a_scale);
+    }
+    return pred;
+}
+
+} // namespace sofa

@@ -1,0 +1,183 @@
+#include "core/ffn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+namespace {
+
+double
+activate(double v, Activation act)
+{
+    switch (act) {
+      case Activation::Relu:
+        return v > 0.0 ? v : 0.0;
+      case Activation::Gelu:
+        // tanh approximation of GELU.
+        return 0.5 * v *
+               (1.0 + std::tanh(0.7978845608 *
+                                (v + 0.044715 * v * v * v)));
+    }
+    return v;
+}
+
+} // namespace
+
+FfnLayer
+makeFfnLayer(Rng &rng, int hidden, int inner, double hot_frac,
+             double hot_gain, Activation act)
+{
+    SOFA_ASSERT(hidden > 0 && inner > 0);
+    FfnLayer layer;
+    layer.act = act;
+    layer.w1 = MatF(hidden, inner);
+    layer.w2 = MatF(inner, hidden);
+    const double std1 = 1.0 / std::sqrt(hidden);
+    const double std2 = 1.0 / std::sqrt(inner);
+
+    // A subset of intermediate neurons gets a larger fan-in, making
+    // their activations dominate — the skew the pruning exploits.
+    const int hot = std::max(1, static_cast<int>(inner * hot_frac));
+    for (int f = 0; f < inner; ++f) {
+        const double gain = f < hot ? hot_gain : 1.0;
+        for (int h = 0; h < hidden; ++h)
+            layer.w1(h, f) =
+                static_cast<float>(rng.gaussian(0.0, std1 * gain));
+    }
+    for (auto &v : layer.w2.data())
+        v = static_cast<float>(rng.gaussian(0.0, std2));
+    return layer;
+}
+
+FfnResult
+ffnForward(const FfnLayer &layer, const MatF &x)
+{
+    SOFA_ASSERT(static_cast<int>(x.cols()) == layer.hidden());
+    const std::size_t T = x.rows();
+    const std::size_t H = layer.w1.rows();
+    const std::size_t F = layer.w1.cols();
+
+    FfnResult res;
+    res.output = MatF(T, H, 0.0f);
+    res.totalNeurons = static_cast<std::int64_t>(T) *
+                       static_cast<std::int64_t>(F);
+    res.keptNeurons = res.totalNeurons;
+
+    std::vector<double> hbuf(F);
+    for (std::size_t t = 0; t < T; ++t) {
+        const float *xt = x.rowPtr(t);
+        for (std::size_t f = 0; f < F; ++f) {
+            double acc = 0.0;
+            for (std::size_t h = 0; h < H; ++h)
+                acc += static_cast<double>(xt[h]) * layer.w1(h, f);
+            hbuf[f] = activate(acc, layer.act);
+        }
+        res.ops.mulN(static_cast<std::int64_t>(F * H));
+        res.ops.addN(static_cast<std::int64_t>(F * (H - 1)));
+        res.ops.expN(static_cast<std::int64_t>(F)); // activation unit
+
+        float *yt = res.output.rowPtr(t);
+        for (std::size_t f = 0; f < F; ++f) {
+            const double hv = hbuf[f];
+            if (hv == 0.0)
+                continue;
+            for (std::size_t h = 0; h < H; ++h)
+                yt[h] += static_cast<float>(hv * layer.w2(f, h));
+        }
+        res.ops.mulN(static_cast<std::int64_t>(F * H));
+        res.ops.addN(static_cast<std::int64_t>(F * H));
+    }
+    return res;
+}
+
+FfnResult
+ffnForwardSparse(const FfnLayer &layer, const MatF &x,
+                 double keep_frac)
+{
+    SOFA_ASSERT(keep_frac > 0.0 && keep_frac <= 1.0);
+    SOFA_ASSERT(static_cast<int>(x.cols()) == layer.hidden());
+    const std::size_t T = x.rows();
+    const std::size_t H = layer.w1.rows();
+    const std::size_t F = layer.w1.cols();
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(keep_frac * F)));
+
+    FfnResult res;
+    res.output = MatF(T, H, 0.0f);
+    res.totalNeurons = static_cast<std::int64_t>(T) *
+                       static_cast<std::int64_t>(F);
+
+    std::vector<double> hbuf(F);
+    std::vector<int> order(F);
+    for (std::size_t t = 0; t < T; ++t) {
+        const float *xt = x.rowPtr(t);
+        // First projection runs dense (its output decides the mask).
+        for (std::size_t f = 0; f < F; ++f) {
+            double acc = 0.0;
+            for (std::size_t h = 0; h < H; ++h)
+                acc += static_cast<double>(xt[h]) * layer.w1(h, f);
+            hbuf[f] = activate(acc, layer.act);
+        }
+        res.ops.mulN(static_cast<std::int64_t>(F * H));
+        res.ops.addN(static_cast<std::int64_t>(F * (H - 1)));
+        res.ops.expN(static_cast<std::int64_t>(F));
+
+        // Top-keep neurons by |h| (selection cost: one pass of
+        // threshold comparisons, like SADS' clipping unit).
+        std::iota(order.begin(), order.end(), 0);
+        std::nth_element(
+            order.begin(), order.begin() + (keep - 1), order.end(),
+            [&](int a, int b) {
+                return std::fabs(hbuf[a]) > std::fabs(hbuf[b]);
+            });
+        res.ops.cmpN(static_cast<std::int64_t>(F));
+
+        float *yt = res.output.rowPtr(t);
+        for (std::size_t i = 0; i < keep; ++i) {
+            const int f = order[i];
+            const double hv = hbuf[f];
+            if (hv == 0.0)
+                continue;
+            for (std::size_t h = 0; h < H; ++h)
+                yt[h] += static_cast<float>(hv * layer.w2(f, h));
+        }
+        res.ops.mulN(static_cast<std::int64_t>(keep * H));
+        res.ops.addN(static_cast<std::int64_t>(keep * H));
+        res.keptNeurons += static_cast<std::int64_t>(keep);
+    }
+    return res;
+}
+
+double
+calibrateKeepFraction(const FfnLayer &layer, const MatF &probe,
+                      double error_budget)
+{
+    SOFA_ASSERT(error_budget > 0.0);
+    FfnResult dense = ffnForward(layer, probe);
+    for (double keep = 0.05; keep < 1.0; keep += 0.05) {
+        FfnResult sparse = ffnForwardSparse(layer, probe, keep);
+        if (relativeError(sparse.output, dense.output) <=
+            error_budget) {
+            return keep;
+        }
+    }
+    return 1.0;
+}
+
+std::vector<double>
+calibrateStack(const std::vector<FfnLayer> &stack, const MatF &probe,
+               double error_budget)
+{
+    std::vector<double> keeps;
+    keeps.reserve(stack.size());
+    for (const auto &layer : stack)
+        keeps.push_back(
+            calibrateKeepFraction(layer, probe, error_budget));
+    return keeps;
+}
+
+} // namespace sofa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Layer-specific FFN sparsity — the fourth optimization of the SOFA
+ * stack (Fig. 6(a): "Layer Specific FFN Sparsity, sparsity-adaptive").
+ *
+ * FFN activations after the non-linearity are heavily skewed: a small
+ * subset of intermediate neurons carries most of the magnitude per
+ * token. SOFA exploits this dynamically: after the first projection
+ * h = act(x W1), only the top-p fraction of neurons by |h| are
+ * propagated through the second projection (y = h_keep W2), saving
+ * its MACs. The keep fraction is *layer specific* — calibrated per
+ * layer so the output error stays within a budget, mirroring the
+ * per-layer tiling the DSE chooses for attention.
+ */
+
+#ifndef SOFA_CORE_FFN_H
+#define SOFA_CORE_FFN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/opcount.h"
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** Activation function of the FFN's first layer. */
+enum class Activation { Relu, Gelu };
+
+/** One feed-forward layer. */
+struct FfnLayer
+{
+    MatF w1;  ///< [H x F]
+    MatF w2;  ///< [F x H]
+    Activation act = Activation::Gelu;
+
+    int hidden() const { return static_cast<int>(w1.rows()); }
+    int inner() const { return static_cast<int>(w1.cols()); }
+};
+
+/**
+ * Generate a random FFN layer whose activations exhibit realistic
+ * skew (a fraction of "hot" neurons with larger fan-in weights).
+ */
+FfnLayer makeFfnLayer(Rng &rng, int hidden, int inner,
+                      double hot_frac = 0.1, double hot_gain = 3.0,
+                      Activation act = Activation::Gelu);
+
+/** Result of an FFN forward pass. */
+struct FfnResult
+{
+    MatF output;              ///< [T x H]
+    OpCounter ops;
+    std::int64_t keptNeurons = 0;  ///< summed over tokens
+    std::int64_t totalNeurons = 0; ///< tokens x F
+};
+
+/** Dense forward pass (the baseline). */
+FfnResult ffnForward(const FfnLayer &layer, const MatF &x);
+
+/**
+ * Sparse forward pass: per token, only the top-(keep_frac * F)
+ * neurons by post-activation magnitude feed the second projection.
+ */
+FfnResult ffnForwardSparse(const FfnLayer &layer, const MatF &x,
+                           double keep_frac);
+
+/**
+ * Calibrate a layer-specific keep fraction: the smallest keep in
+ * {0.05, 0.10, ..., 1.0} whose relative output error on the probe
+ * batch stays within @p error_budget.
+ */
+double calibrateKeepFraction(const FfnLayer &layer, const MatF &probe,
+                             double error_budget);
+
+/**
+ * Calibrate every layer of a stack; deeper layers typically tolerate
+ * more pruning (their activations are more skewed in practice, which
+ * makeFfnLayer reflects via the per-layer hot fraction).
+ */
+std::vector<double> calibrateStack(const std::vector<FfnLayer> &stack,
+                                   const MatF &probe,
+                                   double error_budget);
+
+} // namespace sofa
+
+#endif // SOFA_CORE_FFN_H

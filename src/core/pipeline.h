@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The functional SOFA cross-stage pipeline: DLZS prediction ->
+ * SADS top-k -> on-demand KV generation -> SU-FA formal compute,
+ * executed tile by tile per Fig. 6. This module is the *algorithmic*
+ * pipeline (values, selections, op counts, quality metrics); the
+ * cycle/energy behaviour lives in src/arch.
+ */
+
+#ifndef SOFA_CORE_PIPELINE_H
+#define SOFA_CORE_PIPELINE_H
+
+#include <cstdint>
+
+#include "attention/opcount.h"
+#include "core/dlzs.h"
+#include "core/sads.h"
+#include "core/sufa.h"
+#include "model/workload.h"
+#include "sparsity/metrics.h"
+
+namespace sofa {
+
+/** Pipeline configuration: the DSE's hyperparameters live here. */
+struct PipelineConfig
+{
+    double topkFrac = 0.2;  ///< k as a fraction of S
+    SadsConfig sads;
+    SufaConfig sufa;
+};
+
+/** End-to-end functional result plus all quality/cost metrics. */
+struct PipelineResult
+{
+    MatF output;                 ///< sparse attention output [T x d]
+    SelectionList selections;    ///< kept key indices per query
+
+    OpCounter predictionOps;     ///< DLZS (both phases)
+    OpCounter sortOps;           ///< SADS
+    OpCounter formalOps;         ///< KV generation + SU-FA
+    OpCounter totalOps() const;
+
+    std::int64_t keysGenerated = 0; ///< on-demand KV rows computed
+    std::int64_t maxViolations = 0; ///< SU-FA max-ensure fallbacks
+
+    double topkRecall = 0.0;     ///< vs exact top-k of true scores
+    double massRecall = 0.0;     ///< post-softmax covered mass
+    double accuracyLossPct = 0.0;
+    double outputRelError = 0.0; ///< vs dense reference output
+};
+
+/**
+ * Run the full SOFA pipeline on a workload.
+ *
+ * On-demand KV: only keys required by at least one query's selection
+ * are projected from tokens (K = x W_k, V = x W_v); their MAC cost is
+ * charged to formalOps and `keysGenerated` records the saving vs
+ * generating all S rows.
+ */
+PipelineResult runSofaPipeline(const AttentionWorkload &w,
+                               const PipelineConfig &cfg);
+
+/**
+ * Baseline "vanilla dynamic sparsity" pipeline of the ablation in
+ * Fig. 17: 4-bit multiplications in pre-compute, whole-row vanilla
+ * sorting in top-k, traditional (dense-iteration) FA-2 over the kept
+ * set in formal compute, and full KV generation (no on-demand
+ * filtering).
+ */
+PipelineResult runBaselinePipeline(const AttentionWorkload &w,
+                                   double topk_frac,
+                                   int block_cols = 16);
+
+/**
+ * Find the smallest top-k fraction whose accuracy-loss proxy stays
+ * within @p loss_percent, via bisection on the workload. Returns the
+ * fraction and fills @p result_out (optional) with the pipeline run
+ * at that fraction.
+ */
+double minimalKeepFraction(const AttentionWorkload &w,
+                           const PipelineConfig &base_cfg,
+                           double loss_percent,
+                           PipelineResult *result_out = nullptr);
+
+} // namespace sofa
+
+#endif // SOFA_CORE_PIPELINE_H

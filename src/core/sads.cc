@@ -1,0 +1,207 @@
+#include "core/sads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sofa {
+
+SelectionList
+SadsResult::selections() const
+{
+    SelectionList out;
+    out.reserve(rows.size());
+    for (const auto &r : rows)
+        out.push_back(r.selected);
+    return out;
+}
+
+namespace {
+
+/** Candidate entry: (value, index). */
+struct Cand
+{
+    float value;
+    int index;
+
+    bool
+    operator<(const Cand &o) const
+    {
+        if (value != o.value)
+            return value > o.value; // descending
+        return index < o.index;
+    }
+};
+
+/**
+ * One sub-segment's local selection with the iterative 16-to-4 core.
+ * Returns the segment's top-m candidates (descending), the elements
+ * it clipped, and its best excluded candidate (for refinement).
+ */
+struct SegmentResult
+{
+    std::vector<Cand> selected;  ///< up to m, descending
+    std::vector<Cand> excluded;  ///< survivors that did not make it
+    std::int64_t clipped = 0;
+};
+
+SegmentResult
+segmentTopM(const float *row, int lo, int hi, int m,
+            const SadsConfig &cfg, float row_span, OpCounter &ops)
+{
+    SegmentResult res;
+    const int len = hi - lo;
+    if (len <= 0 || m <= 0)
+        return res;
+
+    // Adaptive clipping threshold state (Threshold Updating unit).
+    float running_max = -std::numeric_limits<float>::infinity();
+    float low_bound = -std::numeric_limits<float>::infinity();
+    const bool clip_enabled = cfg.radiusFrac < 1.0;
+    const float radius = static_cast<float>(cfg.radiusFrac) * row_span;
+
+    std::vector<Cand> buffer; // sorted descending, holds top-m so far
+    buffer.reserve(m + cfg.sorterInputs);
+
+    int pos = lo;
+    while (pos < hi) {
+        const int chunk = std::min(cfg.sorterInputs, hi - pos);
+        std::vector<Cand> batch;
+        batch.reserve(chunk);
+        for (int i = 0; i < chunk; ++i) {
+            const float v = row[pos + i];
+            ops.cmpN(1); // clip filter compare
+            float threshold = -std::numeric_limits<float>::infinity();
+            if (clip_enabled &&
+                running_max > -std::numeric_limits<float>::infinity()) {
+                threshold = std::max(running_max - radius, low_bound);
+            }
+            if (v < threshold) {
+                ++res.clipped;
+                continue;
+            }
+            batch.push_back({v, pos + i});
+        }
+        pos += chunk;
+        if (batch.empty())
+            continue;
+
+        // One 16-to-4 bitonic pass merges the batch with the current
+        // buffer head; comparator count charged per pass.
+        ops.cmpN(cfg.sorterComparators);
+        for (const Cand &c : batch) {
+            buffer.push_back(c);
+            running_max = std::max(running_max, c.value);
+        }
+        std::sort(buffer.begin(), buffer.end());
+        if (static_cast<int>(buffer.size()) > m) {
+            // Overflowed entries become excluded candidates.
+            for (std::size_t i = m; i < buffer.size(); ++i)
+                res.excluded.push_back(buffer[i]);
+            buffer.resize(m);
+        }
+        if (static_cast<int>(buffer.size()) == m)
+            low_bound = buffer.back().value;
+    }
+
+    res.selected = std::move(buffer);
+    // Keep only the strongest excluded candidates; hardware retains a
+    // handful for the refinement exchange.
+    std::sort(res.excluded.begin(), res.excluded.end());
+    if (static_cast<int>(res.excluded.size()) > m)
+        res.excluded.resize(m);
+    return res;
+}
+
+} // namespace
+
+SadsResult
+sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
+{
+    SOFA_ASSERT(cfg.segments >= 1);
+    SOFA_ASSERT(cfg.sorterInputs >= 1);
+    const int S = static_cast<int>(scores.cols());
+    const int n = std::min(cfg.segments, std::max(1, S));
+    const int keep = std::min(k, S);
+    const int per_seg = static_cast<int>(ceilDiv(keep, n));
+
+    SadsResult result;
+    result.rows.resize(scores.rows());
+
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        const float *row = scores.rowPtr(r);
+        SadsRow &out = result.rows[r];
+
+        // Row span estimate for the clip radius (hardware tracks this
+        // in the TU unit from the running max/min).
+        float mn = row[0], mx = row[0];
+        for (int i = 1; i < S; ++i) {
+            mn = std::min(mn, row[i]);
+            mx = std::max(mx, row[i]);
+        }
+        const float span = std::max(mx - mn, 1e-6f);
+
+        // Distributed per-segment selection.
+        std::vector<Cand> selected;
+        std::vector<Cand> excluded;
+        for (int seg = 0; seg < n; ++seg) {
+            const int lo = static_cast<int>(
+                static_cast<std::int64_t>(seg) * S / n);
+            const int hi = static_cast<int>(
+                static_cast<std::int64_t>(seg + 1) * S / n);
+            SegmentResult sr = segmentTopM(row, lo, hi, per_seg, cfg,
+                                           span, result.ops);
+            out.clipped += sr.clipped;
+            selected.insert(selected.end(), sr.selected.begin(),
+                            sr.selected.end());
+            excluded.insert(excluded.end(), sr.excluded.begin(),
+                            sr.excluded.end());
+        }
+
+        std::sort(selected.begin(), selected.end());
+        std::sort(excluded.begin(), excluded.end());
+
+        // Trim the union (n * ceil(k/n) >= k) down to k; the overflow
+        // joins the excluded pool.
+        while (static_cast<int>(selected.size()) > keep) {
+            excluded.push_back(selected.back());
+            selected.pop_back();
+        }
+        std::sort(excluded.begin(), excluded.end());
+
+        // Sphere-search refinement: swap the selected minimum with the
+        // excluded maximum while the exchange improves the set.
+        int iter = 0;
+        std::size_t ex_head = 0;
+        while (iter < cfg.refineIters && !selected.empty() &&
+               ex_head < excluded.size()) {
+            result.ops.cmpN(1 + n); // min-vs-max + per-segment reports
+            if (excluded[ex_head].value <= selected.back().value)
+                break;
+            std::swap(selected.back(), excluded[ex_head]);
+            ++ex_head;
+            // Re-position the swapped-in element (sorted insert).
+            std::sort(selected.begin(), selected.end());
+            ++iter;
+        }
+
+        out.selected.reserve(selected.size());
+        for (const Cand &c : selected)
+            out.selected.push_back(c.index);
+        out.top1 = selected.empty() ? -1 : selected[0].index;
+        out.top2 = selected.size() > 1 ? selected[1].index : -1;
+    }
+    return result;
+}
+
+std::int64_t
+vanillaSortComparisons(std::int64_t rows, std::int64_t seq)
+{
+    return rows * bitonicSortComparisons(seq);
+}
+
+} // namespace sofa

@@ -1,0 +1,76 @@
+#include "energy/area_model.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+
+SofaAreaModel::SofaAreaModel()
+{
+    modules_ = {
+        {"DLZS prediction", "128x32 shift PEs, 128 LZEs", 0.351,
+         29.05},
+        {"Iterative SADS", "128 16-4 sort cores, 128 clipping units",
+         0.679, 112.79},
+        {"KV generation", "128x4 16-bit PEs", 0.875, 146.21},
+        {"SU-FA module", "128x4 16-bit PEs, 128 EXP, 128 DIV", 3.012,
+         485.12},
+        {"Memory", "192KB Token + 96KB Weight + 28KB Temp SRAM", 0.497,
+         170.23},
+        {"Scheduler & Others", "-", 0.280, 6.45},
+    };
+}
+
+double
+SofaAreaModel::totalAreaMm2() const
+{
+    double a = 0.0;
+    for (const auto &m : modules_)
+        a += m.areaMm2;
+    return a;
+}
+
+double
+SofaAreaModel::totalPowerMw() const
+{
+    double p = 0.0;
+    for (const auto &m : modules_)
+        p += m.powerMw;
+    return p;
+}
+
+double
+SofaAreaModel::lpAreaFraction() const
+{
+    return (byName("DLZS prediction").areaMm2 +
+            byName("Iterative SADS").areaMm2) /
+           totalAreaMm2();
+}
+
+double
+SofaAreaModel::lpPowerFraction() const
+{
+    return (byName("DLZS prediction").powerMw +
+            byName("Iterative SADS").powerMw) /
+           totalPowerMw();
+}
+
+const ModuleBudget &
+SofaAreaModel::byName(const std::string &module) const
+{
+    for (const auto &m : modules_)
+        if (m.module == module)
+            return m;
+    fatal("unknown module: %s", module.c_str());
+}
+
+DevicePower
+DevicePower::atBandwidth(double gbytes_per_s)
+{
+    DevicePower p;
+    const double scale = gbytes_per_s / 59.8;
+    p.interfaceW *= scale;
+    p.dramW *= scale;
+    return p;
+}
+
+} // namespace sofa

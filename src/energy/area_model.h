@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Area and power model of the SOFA accelerator reproducing Table III:
+ * per-module parameters (PE counts, SRAM capacities) mapped to mm^2
+ * and mW at TSMC 28 nm / 1 GHz, with totals 5.69 mm^2 / 949.85 mW.
+ */
+
+#ifndef SOFA_ENERGY_AREA_MODEL_H
+#define SOFA_ENERGY_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/** One row of Table III. */
+struct ModuleBudget
+{
+    std::string module;
+    std::string parameters;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** The SOFA core-part breakdown at 28 nm, 1 GHz (Table III). */
+class SofaAreaModel
+{
+  public:
+    SofaAreaModel();
+
+    const std::vector<ModuleBudget> &modules() const
+    {
+        return modules_;
+    }
+
+    double totalAreaMm2() const;
+    double totalPowerMw() const;
+
+    /** Fraction of area/power attributable to the LP (low-complexity
+     * prediction = DLZS + SADS) engines; the paper reports ~18% of
+     * area and ~15% of power. */
+    double lpAreaFraction() const;
+    double lpPowerFraction() const;
+
+    const ModuleBudget &byName(const std::string &module) const;
+
+  private:
+    std::vector<ModuleBudget> modules_;
+};
+
+/** Table IV: device-level power split at 59.8 GB/s DRAM traffic. */
+struct DevicePower
+{
+    double coreW = 0.95;
+    double interfaceW = 0.53;
+    double dramW = 1.92;
+
+    double totalW() const { return coreW + interfaceW + dramW; }
+
+    /**
+     * Scale the memory-side power linearly with achieved bandwidth
+     * (the 59.8 GB/s operating point anchors the Table IV numbers).
+     */
+    static DevicePower atBandwidth(double gbytes_per_s);
+};
+
+} // namespace sofa
+
+#endif // SOFA_ENERGY_AREA_MODEL_H

@@ -1,0 +1,85 @@
+#include "energy/energy_model.h"
+
+namespace sofa {
+
+OpEnergies
+OpEnergies::horowitz45()
+{
+    return OpEnergies{};
+}
+
+OpEnergies
+OpEnergies::atNode(const TechNode &node)
+{
+    // Dynamic energy ~ C * V^2; capacitance shrinks ~linearly with
+    // feature size, so relative to the 45nm/0.9V reference:
+    const double s = node.nm / 45.0;
+    const double v = node.vdd / 0.9;
+    const double f = s * v * v;
+    OpEnergies e = horowitz45();
+    e.addI8 *= f;
+    e.addI16 *= f;
+    e.addI32 *= f;
+    e.mulI8 *= f;
+    e.mulI16 *= f;
+    e.mulI32 *= f;
+    e.addF16 *= f;
+    e.mulF16 *= f;
+    e.expUnit *= f;
+    e.divUnit *= f;
+    e.shift *= f;
+    e.cmp *= f;
+    return e;
+}
+
+MemEnergies
+MemEnergies::defaults()
+{
+    return MemEnergies{};
+}
+
+double
+opEnergyPj(const OpCounter &ops, Datapath path, const OpEnergies &e)
+{
+    double add = e.addI16, mul = e.mulI16;
+    switch (path) {
+      case Datapath::PredictI8:
+        add = e.addI8;
+        mul = e.mulI8;
+        break;
+      case Datapath::FormalI16:
+        add = e.addI16;
+        mul = e.mulI16;
+        break;
+      case Datapath::FormalF16:
+        add = e.addF16;
+        mul = e.mulF16;
+        break;
+    }
+    return add * static_cast<double>(ops.adds()) +
+           e.cmp * static_cast<double>(ops.cmps()) +
+           e.shift * static_cast<double>(ops.shifts()) +
+           mul * static_cast<double>(ops.muls()) +
+           e.divUnit * static_cast<double>(ops.divs()) +
+           e.expUnit * static_cast<double>(ops.exps());
+}
+
+double
+sramEnergyPj(double bytes, const MemEnergies &e)
+{
+    return bytes * 8.0 * e.sramBit;
+}
+
+double
+dramEnergyPj(double bytes, const MemEnergies &e)
+{
+    return bytes * 8.0 * e.dramBit;
+}
+
+double
+ioEnergyPj(double bytes, const MemEnergies &e)
+{
+    return bytes * 8.0 * e.ioBit;
+}
+
+} // namespace sofa

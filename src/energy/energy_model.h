@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-operation and per-access energy model. Arithmetic energies
+ * follow Horowitz's ISSCC'14 survey (45 nm numbers) scaled to the
+ * target node; memory energies follow the paper's Section II-D
+ * figures: DRAM ~5-20 pJ/bit, on-chip SRAM ~0.1 pJ/bit.
+ */
+
+#ifndef SOFA_ENERGY_ENERGY_MODEL_H
+#define SOFA_ENERGY_ENERGY_MODEL_H
+
+#include "attention/opcount.h"
+#include "energy/tech.h"
+
+namespace sofa {
+
+/** Per-op energies in picojoules at a given node. */
+struct OpEnergies
+{
+    // Integer datapath.
+    double addI8 = 0.03;
+    double addI16 = 0.05;
+    double addI32 = 0.1;
+    double mulI8 = 0.2;
+    double mulI16 = 0.8;
+    double mulI32 = 3.1;
+    // Floating point (fp16-class formal datapath).
+    double addF16 = 0.4;
+    double mulF16 = 1.1;
+    // Special functions (piecewise/poly units).
+    double expUnit = 3.0;
+    double divUnit = 2.5;
+    // Bit-level.
+    double shift = 0.02;
+    double cmp = 0.03;
+
+    /** Horowitz 45nm reference values. */
+    static OpEnergies horowitz45();
+
+    /** Reference values scaled to a target node (energy ~ s^2 * Vdd^2
+     * relative to 45nm/0.9V). */
+    static OpEnergies atNode(const TechNode &node);
+};
+
+/** Memory access energies (pJ per bit). */
+struct MemEnergies
+{
+    double sramBit = 0.1;   ///< on-chip cache access
+    double dramBit = 12.0;  ///< DRAM access, mid of the 5-20 range
+    double ioBit = 4.0;     ///< memory interface (PHY + controller)
+
+    static MemEnergies defaults();
+};
+
+/** Datapath width class used to price an op tally. */
+enum class Datapath { PredictI8, FormalI16, FormalF16 };
+
+/**
+ * Energy (pJ) of an op tally on the given datapath: prediction ops
+ * run on narrow integer units, formal ops on the 16-bit PEs.
+ */
+double opEnergyPj(const OpCounter &ops, Datapath path,
+                  const OpEnergies &e);
+
+/** Energy (pJ) of moving @p bytes through SRAM or DRAM. */
+double sramEnergyPj(double bytes, const MemEnergies &e);
+double dramEnergyPj(double bytes, const MemEnergies &e);
+double ioEnergyPj(double bytes, const MemEnergies &e);
+
+} // namespace sofa
+
+#endif // SOFA_ENERGY_ENERGY_MODEL_H

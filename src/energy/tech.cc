@@ -1,0 +1,35 @@
+#include "energy/tech.h"
+
+namespace sofa {
+
+double
+TechScaler::scaleFrequency(double hz, const TechNode &from) const
+{
+    const double sf = s(from);
+    return hz * sf * sf; // f proportional to 1/s^2
+}
+
+double
+TechScaler::scalePower(double watts, const TechNode &from) const
+{
+    // Table II footnote: power(core) proportional to (1/s)(1.0/Vdd)^2.
+    const double sf = s(from);
+    const double vr = ref_.vdd / from.vdd;
+    return watts * (1.0 / sf) * vr * vr;
+}
+
+double
+TechScaler::scaleArea(double mm2, const TechNode &from) const
+{
+    const double sf = s(from);
+    return mm2 / (sf * sf);
+}
+
+double
+TechScaler::scaleThroughput(double gops, const TechNode &from) const
+{
+    const double sf = s(from);
+    return gops * sf * sf;
+}
+
+} // namespace sofa

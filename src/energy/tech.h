@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CMOS technology scaling used by Table II's normalized comparison:
+ * frequency scales as 1/s^2 and core power as (1/s)(1.0/Vdd)^2 with
+ * s = tech_nm / 28 nm (the paper's footnote, after [61][65]). Area
+ * scales as 1/s^2 (classical shrink).
+ */
+
+#ifndef SOFA_ENERGY_TECH_H
+#define SOFA_ENERGY_TECH_H
+
+namespace sofa {
+
+/** A process node. */
+struct TechNode
+{
+    double nm = 28.0;   ///< feature size in nanometers
+    double vdd = 1.0;   ///< supply voltage
+};
+
+/** Scaling helper from one node to a reference node (default 28nm/1V). */
+class TechScaler
+{
+  public:
+    explicit TechScaler(TechNode reference = {28.0, 1.0})
+        : ref_(reference)
+    {}
+
+    /** s = tech / ref. */
+    double s(const TechNode &from) const { return from.nm / ref_.nm; }
+
+    /** Scale a frequency measured at @p from to the reference node. */
+    double scaleFrequency(double hz, const TechNode &from) const;
+
+    /** Scale core power at @p from to the reference node. */
+    double scalePower(double watts, const TechNode &from) const;
+
+    /** Scale silicon area at @p from to the reference node. */
+    double scaleArea(double mm2, const TechNode &from) const;
+
+    /**
+     * Scale throughput: ops/s improves with frequency, so it follows
+     * the same 1/s^2 rule.
+     */
+    double scaleThroughput(double gops, const TechNode &from) const;
+
+  private:
+    TechNode ref_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_ENERGY_TECH_H

@@ -1,0 +1,169 @@
+#include "model/config.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+namespace models {
+
+// Mixture rates follow Fig. 8(b): Type-II dominates everywhere (>76% on
+// average); Type-I is more frequent in ViT / GPT-2 / Llama (~25%);
+// Type-III is rare and nearly absent in GPT-2 / Llama.
+
+ModelConfig
+bertBase()
+{
+    ModelConfig m;
+    m.name = "BERT-Base";
+    m.layers = 12;
+    m.hidden = 768;
+    m.heads = 12;
+    m.ffnDim = 3072;
+    m.maxSeq = 512;
+    m.mixture = {0.15, 0.78, 0.07};
+    return m;
+}
+
+ModelConfig
+bertLarge()
+{
+    ModelConfig m;
+    m.name = "BERT-Large";
+    m.layers = 24;
+    m.hidden = 1024;
+    m.heads = 16;
+    m.ffnDim = 4096;
+    m.maxSeq = 512;
+    m.mixture = {0.15, 0.78, 0.07};
+    return m;
+}
+
+ModelConfig
+gpt2()
+{
+    ModelConfig m;
+    m.name = "GPT-2";
+    m.layers = 12;
+    m.hidden = 768;
+    m.heads = 12;
+    m.ffnDim = 3072;
+    m.maxSeq = 1024;
+    m.mixture = {0.25, 0.74, 0.01};
+    return m;
+}
+
+ModelConfig
+gpt2Large()
+{
+    ModelConfig m;
+    m.name = "GPT2-L";
+    m.layers = 36;
+    m.hidden = 1280;
+    m.heads = 20;
+    m.ffnDim = 5120;
+    m.maxSeq = 1024;
+    m.mixture = {0.25, 0.74, 0.01};
+    return m;
+}
+
+ModelConfig
+bloom1b7()
+{
+    ModelConfig m;
+    m.name = "Bloom-1.7B";
+    m.layers = 24;
+    m.hidden = 2048;
+    m.heads = 16;
+    m.ffnDim = 8192;
+    m.maxSeq = 2048;
+    m.mixture = {0.18, 0.79, 0.03};
+    return m;
+}
+
+ModelConfig
+bloom3b()
+{
+    ModelConfig m;
+    m.name = "Bloom-3B";
+    m.layers = 30;
+    m.hidden = 2560;
+    m.heads = 32;
+    m.ffnDim = 10240;
+    m.maxSeq = 2048;
+    m.mixture = {0.18, 0.79, 0.03};
+    return m;
+}
+
+ModelConfig
+llama7b()
+{
+    ModelConfig m;
+    m.name = "Llama-7B";
+    m.layers = 32;
+    m.hidden = 4096;
+    m.heads = 32;
+    m.ffnDim = 11008;
+    m.maxSeq = 4096;
+    m.mixture = {0.25, 0.745, 0.005};
+    return m;
+}
+
+ModelConfig
+llama13b()
+{
+    ModelConfig m;
+    m.name = "Llama-13B";
+    m.layers = 40;
+    m.hidden = 5120;
+    m.heads = 40;
+    m.ffnDim = 13824;
+    m.maxSeq = 8192;
+    m.mixture = {0.25, 0.745, 0.005};
+    return m;
+}
+
+ModelConfig
+vitBase()
+{
+    ModelConfig m;
+    m.name = "ViT-B";
+    m.layers = 12;
+    m.hidden = 768;
+    m.heads = 12;
+    m.ffnDim = 3072;
+    m.maxSeq = 196;
+    m.mixture = {0.25, 0.65, 0.10};
+    return m;
+}
+
+ModelConfig
+pvt()
+{
+    ModelConfig m;
+    m.name = "PVT";
+    m.layers = 16;
+    m.hidden = 512;
+    m.heads = 8;
+    m.ffnDim = 2048;
+    m.maxSeq = 3192;
+    m.mixture = {0.25, 0.65, 0.10};
+    return m;
+}
+
+std::vector<ModelConfig>
+all()
+{
+    return {bertBase(),  bertLarge(), gpt2(),   gpt2Large(), bloom1b7(),
+            bloom3b(),   llama7b(),   llama13b(), vitBase(), pvt()};
+}
+
+ModelConfig
+byName(const std::string &name)
+{
+    for (const auto &m : all())
+        if (m.name == name)
+            return m;
+    fatal("unknown model config: %s", name.c_str());
+}
+
+} // namespace models
+} // namespace sofa

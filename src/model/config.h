@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Transformer model configurations for every model the paper evaluates
+ * (BERT-B/L, GPT-2, Bloom-1.7B/3B, Llama-7B/13B, ViT-B, PVT), plus the
+ * attention-score distribution mixture each model family exhibits
+ * (Fig. 8 of the paper).
+ */
+
+#ifndef SOFA_MODEL_CONFIG_H
+#define SOFA_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/**
+ * The three empirical attention-score distribution types of Fig. 8(a).
+ * TypeI: a few dominant tokens; TypeII: several dominant tokens evenly
+ * distributed; TypeIII: dominant tokens concentrated in one region.
+ */
+enum class DistType { TypeI, TypeII, TypeIII };
+
+/** Mixture weights over the three distribution types (sums to 1). */
+struct DistMixture
+{
+    double type1 = 0.0;
+    double type2 = 1.0;
+    double type3 = 0.0;
+};
+
+/** Static description of one Transformer model. */
+struct ModelConfig
+{
+    std::string name;
+    int layers = 12;        ///< Transformer blocks
+    int hidden = 768;       ///< H, hidden size
+    int heads = 12;         ///< A, attention heads
+    int ffnDim = 3072;      ///< FFN intermediate dimension
+    int maxSeq = 512;       ///< maximum supported sequence length
+    DistMixture mixture;    ///< Fig. 8 score-distribution mixture
+
+    int headDim() const { return hidden / heads; }
+};
+
+/** Model zoo keyed by the names used in the paper's evaluation. */
+namespace models {
+
+ModelConfig bertBase();
+ModelConfig bertLarge();
+ModelConfig gpt2();
+ModelConfig gpt2Large();
+ModelConfig bloom1b7();
+ModelConfig bloom3b();
+ModelConfig llama7b();
+ModelConfig llama13b();
+ModelConfig vitBase();
+ModelConfig pvt();
+
+/** All models, for sweeps. */
+std::vector<ModelConfig> all();
+
+/** Lookup by name; fatal() on unknown names. */
+ModelConfig byName(const std::string &name);
+
+} // namespace models
+
+} // namespace sofa
+
+#endif // SOFA_MODEL_CONFIG_H

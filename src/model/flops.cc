@@ -1,0 +1,75 @@
+#include "model/flops.h"
+
+namespace sofa {
+
+OpProfile
+LayerProfile::total() const
+{
+    OpProfile t;
+    t.flops = qkv.flops + atten.flops + ffn.flops;
+    t.bytes = qkv.bytes + atten.bytes + ffn.bytes;
+    return t;
+}
+
+LayerProfile
+layerProfile(const ModelConfig &m, std::int64_t seq, std::int64_t tokens,
+             int bytes_per_elem)
+{
+    LayerProfile p;
+    const double H = static_cast<double>(m.hidden);
+    const double S = static_cast<double>(seq);
+    const double T = static_cast<double>(tokens);
+    const double B = static_cast<double>(bytes_per_elem);
+
+    // QKV: three projections for the T new tokens plus the output
+    // projection: 4 matmuls of [T x H] * [H x H].
+    p.qkv.flops = 4.0 * 2.0 * T * H * H;
+    // Traffic: token activations in, 4 weight matrices, Q/K/V/O out.
+    p.qkv.bytes = (T * H + 4.0 * H * H + 4.0 * T * H) * B;
+
+    // Attention: per head, Q[T x d] x K^T[d x S] and P[T x S] x V[S x d]
+    // across A heads => 2 * (2 T S d) * A = 4 T S H total, plus softmax
+    // element-wise work ~ 5 flops/elem (max, sub, exp, sum, div).
+    const double A = static_cast<double>(m.heads);
+    p.atten.flops = 4.0 * T * S * H + 5.0 * T * S * A;
+    // Traffic: Q for T tokens, K and V for S tokens, plus the per-head
+    // T x S score matrices, which cross memory three times (written
+    // after QK^T, read+written around softmax, read for score x V);
+    // this element-wise churn is what pulls MHA's operational
+    // intensity far below the FFN's (Fig. 4(b)).
+    p.atten.bytes =
+        (T * H + 2.0 * S * H + 3.0 * A * T * S + T * H) * B;
+
+    // FFN: [T x H] * [H x F] and [T x F] * [F x H].
+    const double F = static_cast<double>(m.ffnDim);
+    p.ffn.flops = 2.0 * 2.0 * T * H * F;
+    p.ffn.bytes = (T * H + 2.0 * H * F + T * F + T * H) * B;
+
+    return p;
+}
+
+LayerProfile
+modelProfile(const ModelConfig &m, std::int64_t seq, std::int64_t tokens,
+             int bytes_per_elem)
+{
+    LayerProfile one = layerProfile(m, seq, tokens, bytes_per_elem);
+    const double L = static_cast<double>(m.layers);
+    LayerProfile p;
+    p.qkv.flops = one.qkv.flops * L;
+    p.qkv.bytes = one.qkv.bytes * L;
+    p.atten.flops = one.atten.flops * L;
+    p.atten.bytes = one.atten.bytes * L;
+    p.ffn.flops = one.ffn.flops * L;
+    p.ffn.bytes = one.ffn.bytes * L;
+    return p;
+}
+
+double
+attentionIntensity(const ModelConfig &m, std::int64_t seq,
+                   std::int64_t tokens, int bytes_per_elem)
+{
+    LayerProfile p = layerProfile(m, seq, tokens, bytes_per_elem);
+    return p.atten.intensity();
+}
+
+} // namespace sofa

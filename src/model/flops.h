@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic per-layer FLOP / byte accounting for the three Transformer
+ * components the paper profiles (QKV projection, multi-head attention,
+ * FFN), and operational-intensity (Fig. 4) / breakdown (Fig. 1) helpers.
+ *
+ * Conventions: a multiply-accumulate counts as 2 FLOPs; activations and
+ * weights are @p bytes_per_elem wide (2 for fp16/int16); memory traffic
+ * counts each operand read once and each result written once (ideal
+ * cache for a single layer).
+ */
+
+#ifndef SOFA_MODEL_FLOPS_H
+#define SOFA_MODEL_FLOPS_H
+
+#include <cstdint>
+
+#include "model/config.h"
+
+namespace sofa {
+
+/** FLOPs and memory bytes for one Transformer component. */
+struct OpProfile
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    /** Operational intensity (FLOPs per byte). */
+    double
+    intensity() const
+    {
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+};
+
+/** Per-layer profile split into the paper's three components. */
+struct LayerProfile
+{
+    OpProfile qkv;   ///< Q/K/V projections + output projection
+    OpProfile atten; ///< QK^T, softmax, score x V
+    OpProfile ffn;   ///< two dense layers
+
+    OpProfile total() const;
+};
+
+/**
+ * Analytic profile of one Transformer layer.
+ *
+ * @param m model configuration
+ * @param seq sequence length S (tokens held in the attention context)
+ * @param tokens tokens processed in parallel T (T = S for full prefill)
+ * @param bytes_per_elem operand width in bytes
+ */
+LayerProfile layerProfile(const ModelConfig &m, std::int64_t seq,
+                          std::int64_t tokens, int bytes_per_elem = 2);
+
+/** Whole-model profile (layerProfile x layers). */
+LayerProfile modelProfile(const ModelConfig &m, std::int64_t seq,
+                          std::int64_t tokens, int bytes_per_elem = 2);
+
+/**
+ * Operational intensity of the attention component when @p tokens
+ * queries are processed in parallel against a context of @p seq keys
+ * (Fig. 4(c)): OI rises with parallelism because K/V are reused
+ * across the parallel queries.
+ */
+double attentionIntensity(const ModelConfig &m, std::int64_t seq,
+                          std::int64_t tokens, int bytes_per_elem = 2);
+
+} // namespace sofa
+
+#endif // SOFA_MODEL_FLOPS_H

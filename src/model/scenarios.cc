@@ -1,0 +1,105 @@
+#include "model/scenarios.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+const char *
+servingModeName(ServingMode m)
+{
+    switch (m) {
+      case ServingMode::Prefill:
+        return "prefill";
+      case ServingMode::DisaggregatedPrefill:
+        return "disagg-prefill";
+      case ServingMode::SpeculativeDecode:
+        return "speculative";
+      case ServingMode::AutoregressiveDecode:
+        return "decode";
+    }
+    return "?";
+}
+
+std::int64_t
+ServingScenario::tokenParallelism() const
+{
+    switch (mode) {
+      case ServingMode::Prefill:
+        return promptLen;
+      case ServingMode::DisaggregatedPrefill:
+        return static_cast<std::int64_t>(promptLen) * batch;
+      case ServingMode::SpeculativeDecode:
+        return static_cast<std::int64_t>(speculationGamma) * batch;
+      case ServingMode::AutoregressiveDecode:
+        return batch;
+    }
+    return 1;
+}
+
+std::int64_t
+ServingScenario::contextLength() const
+{
+    return promptLen;
+}
+
+double
+ServingScenario::tokensProduced(double acceptance_rate) const
+{
+    SOFA_ASSERT(acceptance_rate > 0.0 && acceptance_rate <= 1.0);
+    switch (mode) {
+      case ServingMode::Prefill:
+        return static_cast<double>(promptLen);
+      case ServingMode::DisaggregatedPrefill:
+        return static_cast<double>(promptLen) * batch;
+      case ServingMode::SpeculativeDecode: {
+        // Expected accepted tokens of a gamma-length draft with
+        // per-token acceptance a: (1 - a^(g+1)) / (1 - a) - 1 ... we
+        // use the standard geometric expectation plus the bonus
+        // token.
+        const double a = acceptance_rate;
+        double expect = 0.0, p = 1.0;
+        for (int i = 0; i < speculationGamma; ++i) {
+            p *= a;
+            expect += p;
+        }
+        return (expect + 1.0) * batch; // +1: the target's own token
+      }
+      case ServingMode::AutoregressiveDecode:
+        return static_cast<double>(batch);
+    }
+    return 0.0;
+}
+
+std::vector<ServingScenario>
+servingSuite(const ModelConfig &model)
+{
+    std::vector<ServingScenario> v;
+    auto add = [&](const std::string &name, ServingMode mode,
+                   int prompt, int batch, int gamma) {
+        ServingScenario s;
+        s.name = name;
+        s.mode = mode;
+        s.model = model;
+        s.promptLen = prompt;
+        s.batch = batch;
+        s.speculationGamma = gamma;
+        v.push_back(s);
+    };
+
+    add("chat prefill 2k", ServingMode::Prefill, 2048, 1, 0);
+    add("long-doc prefill 4k", ServingMode::Prefill, 4096, 1, 0);
+    add("prefill server b8 x 2k", ServingMode::DisaggregatedPrefill,
+        2048, 8, 0);
+    add("speculative g4 b16", ServingMode::SpeculativeDecode, 2048,
+        16, 4);
+    add("speculative g8 b16", ServingMode::SpeculativeDecode, 2048,
+        16, 8);
+    add("decode b16", ServingMode::AutoregressiveDecode, 2048, 16,
+        0);
+    add("decode b1", ServingMode::AutoregressiveDecode, 2048, 1, 0);
+    return v;
+}
+
+} // namespace sofa

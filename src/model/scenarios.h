@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LLM serving scenarios that produce large-scale token parallel
+ * processing (LTPP) — the paper's motivation (Section I/II-D):
+ *
+ * - Prefill: the whole prompt is processed at once (T = S);
+ * - Disaggregated prefill: dedicated prefill servers batch multiple
+ *   requests' prompts (T = batch x S);
+ * - Speculative decoding: a draft model proposes gamma tokens which
+ *   the target model verifies in parallel, turning decode steps into
+ *   small prefill-like batches;
+ * - Plain autoregressive decode: T = batch (the low-parallelism
+ *   regime prior accelerators were designed for).
+ *
+ * Each scenario maps to an AttentionShape (queries/context), so the
+ * accelerator and GPU models can score them directly, plus an
+ * analytic tokens-per-second estimate for end-to-end serving.
+ */
+
+#ifndef SOFA_MODEL_SCENARIOS_H
+#define SOFA_MODEL_SCENARIOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace sofa {
+
+/** Serving regimes the paper discusses. */
+enum class ServingMode {
+    Prefill,              ///< one prompt, T = S
+    DisaggregatedPrefill, ///< batched prompts on a prefill server
+    SpeculativeDecode,    ///< gamma-token verification batches
+    AutoregressiveDecode, ///< one token per request per step
+};
+
+const char *servingModeName(ServingMode m);
+
+/** A serving scenario instance. */
+struct ServingScenario
+{
+    std::string name;
+    ServingMode mode = ServingMode::Prefill;
+    ModelConfig model;
+    int promptLen = 2048;  ///< S at the step being modeled
+    int batch = 1;         ///< concurrent requests
+    int speculationGamma = 4; ///< draft length (speculative mode)
+
+    /** Queries processed in parallel per attention invocation. */
+    std::int64_t tokenParallelism() const;
+
+    /** Context length each query attends to. */
+    std::int64_t contextLength() const;
+
+    /**
+     * Tokens of useful output the step produces (prefill: the whole
+     * prompt's KV; speculative: expected accepted tokens given an
+     * acceptance rate; decode: one per request).
+     */
+    double tokensProduced(double acceptance_rate = 0.7) const;
+};
+
+/** The scenario suite used by the serving example/bench. */
+std::vector<ServingScenario> servingSuite(const ModelConfig &model);
+
+} // namespace sofa
+
+#endif // SOFA_MODEL_SCENARIOS_H

@@ -1,0 +1,96 @@
+#include "model/suite.h"
+
+#include <algorithm>
+
+namespace sofa {
+
+WorkloadSpec
+Benchmark::workloadSpec(int max_seq_cap, int queries) const
+{
+    WorkloadSpec spec;
+    spec.seq = std::min(seq, max_seq_cap);
+    spec.queries = queries;
+    spec.headDim = std::min(model.headDim(), 128);
+    spec.tokenDim = 128;
+    spec.mixture = model.mixture;
+    // Denser tasks plant more dominant tokens; the generator's
+    // defaults correspond to density 1.0.
+    spec.dominantGain = 3.0;
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    spec.seed = h;
+    return spec;
+}
+
+std::vector<Benchmark>
+suite20()
+{
+    std::vector<Benchmark> v;
+    auto add = [&v](const ModelConfig &m, const std::string &task,
+                    int seq, double density) {
+        Benchmark b;
+        b.model = m;
+        b.task = task;
+        b.seq = seq;
+        b.density = density;
+        b.name = m.name + "/" + task;
+        v.push_back(b);
+    };
+
+    const auto bertB = models::bertBase();
+    const auto bertL = models::bertLarge();
+    // Sequence lengths per Section V-A: MRPC/RTE 256, SQuAD 384,
+    // STS-B/QNLI 512. Sentiment/semantic text tasks are sparse.
+    add(bertB, "MRPC", 256, 0.6);
+    add(bertB, "RTE", 256, 0.6);
+    add(bertB, "SQuAD", 384, 0.8);
+    add(bertB, "STS-B", 512, 0.5);
+    add(bertB, "QNLI", 512, 0.7);
+    add(bertL, "MRPC", 256, 0.6);
+    add(bertL, "RTE", 256, 0.6);
+    add(bertL, "SQuAD", 384, 0.8);
+    add(bertL, "STS-B", 512, 0.5);
+    add(bertL, "QNLI", 512, 0.7);
+
+    const auto gpt2 = models::gpt2();
+    add(gpt2, "Wikitext-2", 1024, 0.8);
+    add(gpt2, "Wiki-raw", 1024, 0.8);
+
+    const auto bloom = models::bloom1b7();
+    add(bloom, "Wikitext-2", 2048, 0.8);
+    add(bloom, "WikiLingua", 2048, 0.8);
+
+    const auto llama7 = models::llama7b();
+    add(llama7, "Wikitext-2", 4096, 0.8);
+    add(llama7, "WikiLingua", 4096, 0.8);
+    add(llama7, "Winogrande", 4096, 0.7);
+
+    const auto llama13 = models::llama13b();
+    add(llama13, "Wikitext-2", 4096, 0.8);
+    add(llama13, "Winogrande", 4096, 0.7);
+
+    // CV: image data is denser (lower sparsity), Section V-B.
+    add(models::pvt(), "ImageNet-1k", 3192, 1.0);
+
+    return v;
+}
+
+std::vector<Benchmark>
+suiteSmall()
+{
+    auto all = suite20();
+    std::vector<Benchmark> v;
+    for (const auto &b : all) {
+        if (b.name == "BERT-Base/MRPC" || b.name == "BERT-Base/QNLI" ||
+            b.name == "GPT-2/Wikitext-2" ||
+            b.name == "Bloom-1.7B/Wikitext-2" ||
+            b.name == "Llama-7B/Wikitext-2" ||
+            b.name == "PVT/ImageNet-1k") {
+            v.push_back(b);
+        }
+    }
+    return v;
+}
+
+} // namespace sofa

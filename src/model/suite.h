@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The 20-benchmark evaluation suite of the paper (Section V-A):
+ * model x task pairs with their sequence lengths and per-task sparsity
+ * profiles, used by every end-to-end figure bench.
+ */
+
+#ifndef SOFA_MODEL_SUITE_H
+#define SOFA_MODEL_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "model/workload.h"
+
+namespace sofa {
+
+/** One model x task evaluation point. */
+struct Benchmark
+{
+    std::string name;     ///< "BERT-B/MRPC"
+    ModelConfig model;
+    std::string task;
+    int seq = 512;        ///< maximum sequence length for the task
+    /**
+     * Task-level sparsity factor in (0, 1]: lower = sparser attention
+     * (text classification tasks have one or two decisive keywords,
+     * CV tasks carry denser information; Section V-B discussion).
+     * Scales the number of dominant tokens in the synthetic workload.
+     */
+    double density = 1.0;
+
+    /** Build a workload spec scaled to simulator-friendly sizes. */
+    WorkloadSpec workloadSpec(int max_seq_cap = 2048,
+                              int queries = 64) const;
+};
+
+/** The full 20-benchmark suite. */
+std::vector<Benchmark> suite20();
+
+/** A compact 6-benchmark subset for quick tests/CI. */
+std::vector<Benchmark> suiteSmall();
+
+} // namespace sofa
+
+#endif // SOFA_MODEL_SUITE_H

@@ -1,0 +1,87 @@
+#include "sparsity/mask.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+
+TopkMask
+TopkMask::fromSelections(const SelectionList &sel, int seq)
+{
+    TopkMask m(static_cast<int>(sel.size()), seq);
+    for (std::size_t r = 0; r < sel.size(); ++r)
+        for (int key : sel[r])
+            m.set(static_cast<int>(r), key);
+    return m;
+}
+
+bool
+TopkMask::get(int query, int key) const
+{
+    SOFA_ASSERT(query >= 0 && query < queries_);
+    SOFA_ASSERT(key >= 0 && key < seq_);
+    return bits_[static_cast<std::size_t>(query) * seq_ + key];
+}
+
+void
+TopkMask::set(int query, int key, bool v)
+{
+    SOFA_ASSERT(query >= 0 && query < queries_);
+    SOFA_ASSERT(key >= 0 && key < seq_);
+    bits_[static_cast<std::size_t>(query) * seq_ + key] = v;
+}
+
+std::int64_t
+TopkMask::popcount() const
+{
+    std::int64_t n = 0;
+    for (bool b : bits_)
+        n += b ? 1 : 0;
+    return n;
+}
+
+double
+TopkMask::density() const
+{
+    if (bits_.empty())
+        return 0.0;
+    return static_cast<double>(popcount()) /
+           static_cast<double>(bits_.size());
+}
+
+std::vector<int>
+TopkMask::requiredKeys() const
+{
+    std::vector<int> keys;
+    for (int key = 0; key < seq_; ++key) {
+        for (int q = 0; q < queries_; ++q) {
+            if (get(q, key)) {
+                keys.push_back(key);
+                break;
+            }
+        }
+    }
+    return keys;
+}
+
+std::vector<int>
+TopkMask::queriesNeedingKey(int key) const
+{
+    std::vector<int> qs;
+    for (int q = 0; q < queries_; ++q)
+        if (get(q, key))
+            qs.push_back(q);
+    return qs;
+}
+
+SelectionList
+TopkMask::toSelections() const
+{
+    SelectionList sel(queries_);
+    for (int q = 0; q < queries_; ++q)
+        for (int key = 0; key < seq_; ++key)
+            if (get(q, key))
+                sel[q].push_back(key);
+    return sel;
+}
+
+} // namespace sofa

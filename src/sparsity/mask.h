@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Top-k mask utilities: conversions between per-row index selections
+ * and dense boolean masks, plus KV coverage queries used by the
+ * on-demand KV generation stage and the RASS scheduler.
+ */
+
+#ifndef SOFA_SPARSITY_MASK_H
+#define SOFA_SPARSITY_MASK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sparsity/topk.h"
+
+namespace sofa {
+
+/** Dense per-(query, key) boolean mask. */
+class TopkMask
+{
+  public:
+    TopkMask() : queries_(0), seq_(0) {}
+    TopkMask(int queries, int seq)
+        : queries_(queries), seq_(seq),
+          bits_(static_cast<std::size_t>(queries) * seq, false)
+    {}
+
+    /** Build from per-row selections. */
+    static TopkMask fromSelections(const SelectionList &sel, int seq);
+
+    int queries() const { return queries_; }
+    int seq() const { return seq_; }
+
+    bool get(int query, int key) const;
+    void set(int query, int key, bool v = true);
+
+    /** Number of selected (query, key) pairs. */
+    std::int64_t popcount() const;
+
+    /** Fraction of pairs selected. */
+    double density() const;
+
+    /** Keys needed by at least one query (the on-demand KV set). */
+    std::vector<int> requiredKeys() const;
+
+    /** Queries that need the given key. */
+    std::vector<int> queriesNeedingKey(int key) const;
+
+    /** Recover per-row selections (ascending key order). */
+    SelectionList toSelections() const;
+
+  private:
+    int queries_;
+    int seq_;
+    std::vector<bool> bits_;
+};
+
+} // namespace sofa
+
+#endif // SOFA_SPARSITY_MASK_H

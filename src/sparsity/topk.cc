@@ -1,0 +1,73 @@
+#include "sparsity/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+Selection
+exactTopK(const float *row, int seq, int k)
+{
+    SOFA_ASSERT(k >= 0 && seq >= 0);
+    k = std::min(k, seq);
+    Selection idx(seq);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [row](int a, int b) {
+                          if (row[a] != row[b])
+                              return row[a] > row[b];
+                          return a < b;
+                      });
+    idx.resize(k);
+    return idx;
+}
+
+SelectionList
+exactTopKRows(const MatF &scores, int k)
+{
+    SelectionList out;
+    out.reserve(scores.rows());
+    for (std::size_t r = 0; r < scores.rows(); ++r)
+        out.push_back(exactTopK(scores.rowPtr(r),
+                                static_cast<int>(scores.cols()), k));
+    return out;
+}
+
+std::int64_t
+bitonicSortComparisons(std::int64_t n)
+{
+    if (n <= 1)
+        return 0;
+    // Next power of two (bitonic networks operate on 2^m inputs).
+    std::int64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    const double lg = std::log2(static_cast<double>(p));
+    return static_cast<std::int64_t>(p / 2 * lg * (lg + 1) / 2);
+}
+
+Selection
+vanillaTopK(const float *row, int seq, int k, OpCounter *ops)
+{
+    if (ops)
+        ops->cmpN(bitonicSortComparisons(seq));
+    return exactTopK(row, seq, k);
+}
+
+SelectionList
+vanillaTopKRows(const MatF &scores, int k, OpCounter *ops)
+{
+    SelectionList out;
+    out.reserve(scores.rows());
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        out.push_back(vanillaTopK(scores.rowPtr(r),
+                                  static_cast<int>(scores.cols()), k,
+                                  ops));
+    }
+    return out;
+}
+
+} // namespace sofa

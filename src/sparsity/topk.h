@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Top-k selection primitives: the exact oracle used as ground truth,
+ * and the "vanilla sorting" baseline of the paper's top-k stage, which
+ * must see a whole row before it can select and whose comparison count
+ * is the cost SADS amortizes away.
+ */
+
+#ifndef SOFA_SPARSITY_TOPK_H
+#define SOFA_SPARSITY_TOPK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/opcount.h"
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** Indices selected for one query row, most important first. */
+using Selection = std::vector<int>;
+
+/** Per-row selections for a whole query block. */
+using SelectionList = std::vector<Selection>;
+
+/**
+ * Exact top-k of one row (descending by value, ties by lower index).
+ * This is the oracle: O(S log S) host-side sort, no op accounting.
+ */
+Selection exactTopK(const float *row, int seq, int k);
+
+/** Exact top-k for every row of a score matrix. */
+SelectionList exactTopKRows(const MatF &scores, int k);
+
+/**
+ * Vanilla hardware top-k: a full bitonic sort of the S-length row
+ * (the "whole-row-processing" style of Fig. 2). Returns the same
+ * selection as the oracle but charges the comparison cost of a
+ * bitonic sorting network, S/2 * log2(S) * (log2(S)+1) / 2 compare-
+ * exchange operations per row.
+ */
+Selection vanillaTopK(const float *row, int seq, int k, OpCounter *ops);
+
+/** Vanilla top-k over all rows. */
+SelectionList vanillaTopKRows(const MatF &scores, int k,
+                              OpCounter *ops);
+
+/** Number of comparators a full bitonic sort of n elements uses. */
+std::int64_t bitonicSortComparisons(std::int64_t n);
+
+} // namespace sofa
+
+#endif // SOFA_SPARSITY_TOPK_H

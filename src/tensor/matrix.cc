@@ -1,0 +1,93 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+namespace sofa {
+
+MatF
+matmulNT(const MatF &a, const MatF &b)
+{
+    SOFA_ASSERT(a.cols() == b.cols());
+    MatF c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const float *ai = a.rowPtr(i);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            const float *bj = b.rowPtr(j);
+            float acc = 0.0f;
+            for (std::size_t n = 0; n < a.cols(); ++n)
+                acc += ai[n] * bj[n];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+MatF
+matmul(const MatF &a, const MatF &b)
+{
+    SOFA_ASSERT(a.cols() == b.rows());
+    MatF c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t n = 0; n < a.cols(); ++n) {
+            float av = a(i, n);
+            if (av == 0.0f)
+                continue;
+            const float *bn = b.rowPtr(n);
+            float *ci = c.rowPtr(i);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                ci[j] += av * bn[j];
+        }
+    }
+    return c;
+}
+
+MatF
+transpose(const MatF &a)
+{
+    MatF t(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+float
+maxAbs(const MatF &a)
+{
+    float m = 0.0f;
+    for (float v : a.data())
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+double
+frobeniusDiff(const MatF &a, const MatF &b)
+{
+    SOFA_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        double d = static_cast<double>(a.data()[i]) - b.data()[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+double
+frobenius(const MatF &a)
+{
+    double acc = 0.0;
+    for (float v : a.data())
+        acc += static_cast<double>(v) * v;
+    return std::sqrt(acc);
+}
+
+double
+relativeError(const MatF &approx, const MatF &exact)
+{
+    double denom = frobenius(exact);
+    if (denom < 1e-12)
+        denom = 1e-12;
+    return frobeniusDiff(approx, exact) / denom;
+}
+
+} // namespace sofa

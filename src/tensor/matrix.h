@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used across the repository. Kept
+ * deliberately simple: the simulator does not need BLAS, it needs
+ * byte-accurate shapes, tiling views and instrumentable matmuls.
+ */
+
+#ifndef SOFA_TENSOR_MATRIX_H
+#define SOFA_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+/** Dense row-major matrix of element type T. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        SOFA_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        SOFA_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    T &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    const T &operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row @p r. */
+    T *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const T *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    std::vector<T> &data() { return data_; }
+    const std::vector<T> &data() const { return data_; }
+
+    /** Total payload in bytes, for memory-traffic accounting. */
+    std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+    /** Fill every element with @p v. */
+    void
+    fill(T v)
+    {
+        for (auto &x : data_)
+            x = v;
+    }
+
+    bool
+    operator==(const Matrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+    }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+using MatF = Matrix<float>;
+using MatD = Matrix<double>;
+using MatI8 = Matrix<std::int8_t>;
+using MatI16 = Matrix<std::int16_t>;
+using MatI32 = Matrix<std::int32_t>;
+using MatI64 = Matrix<std::int64_t>;
+
+/** C = A * B^T (the natural layout for Q x K^T). */
+MatF matmulNT(const MatF &a, const MatF &b);
+
+/** C = A * B. */
+MatF matmul(const MatF &a, const MatF &b);
+
+/** Transpose. */
+MatF transpose(const MatF &a);
+
+/** Max absolute element (0 for empty matrices). */
+float maxAbs(const MatF &a);
+
+/** Frobenius norm of (a - b); matrices must have equal shapes. */
+double frobeniusDiff(const MatF &a, const MatF &b);
+
+/** Frobenius norm. */
+double frobenius(const MatF &a);
+
+/** Relative error ||a-b||_F / ||b||_F with a tiny-denominator guard. */
+double relativeError(const MatF &approx, const MatF &exact);
+
+} // namespace sofa
+
+#endif // SOFA_TENSOR_MATRIX_H

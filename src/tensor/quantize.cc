@@ -1,0 +1,84 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace sofa {
+
+namespace {
+
+template <typename T>
+Quantized<T>
+quantizeImpl(const MatF &m, int bits)
+{
+    Quantized<T> q;
+    q.values = Matrix<T>(m.rows(), m.cols());
+    float amax = maxAbs(m);
+    const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+    q.scale = amax > 0.0f ? amax / qmax : 1.0f;
+    const float inv = 1.0f / q.scale;
+    for (std::size_t i = 0; i < m.data().size(); ++i) {
+        float v = m.data()[i] * inv;
+        v = std::clamp(v, -qmax, qmax);
+        q.values.data()[i] = static_cast<T>(std::lround(v));
+    }
+    return q;
+}
+
+template <typename T>
+MatF
+dequantizeImpl(const Quantized<T> &q)
+{
+    MatF m(q.values.rows(), q.values.cols());
+    for (std::size_t i = 0; i < m.data().size(); ++i)
+        m.data()[i] = static_cast<float>(q.values.data()[i]) * q.scale;
+    return m;
+}
+
+} // namespace
+
+QuantI8
+quantizeI8(const MatF &m)
+{
+    return quantizeImpl<std::int8_t>(m, 8);
+}
+
+QuantI16
+quantizeI16(const MatF &m)
+{
+    return quantizeImpl<std::int16_t>(m, 16);
+}
+
+MatF
+dequantize(const QuantI8 &q)
+{
+    return dequantizeImpl(q);
+}
+
+MatF
+dequantize(const QuantI16 &q)
+{
+    return dequantizeImpl(q);
+}
+
+MatI16
+truncateToI16(const MatI64 &m, int *shift_out)
+{
+    std::int64_t amax = 0;
+    for (std::int64_t v : m.data())
+        amax = std::max<std::int64_t>(amax, std::llabs(v));
+    int shift = 0;
+    while ((amax >> shift) > 32767)
+        ++shift;
+    if (shift_out)
+        *shift_out = shift;
+    MatI16 out(m.rows(), m.cols());
+    for (std::size_t i = 0; i < m.data().size(); ++i) {
+        out.data()[i] = static_cast<std::int16_t>(m.data()[i] >> shift);
+    }
+    return out;
+}
+
+} // namespace sofa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Symmetric linear quantization between float and the INT8/INT16
+ * fixed-point formats the SOFA datapath uses (8-bit tokens/weights in
+ * the prediction phase, 16-bit operands in the formal phase).
+ */
+
+#ifndef SOFA_TENSOR_QUANTIZE_H
+#define SOFA_TENSOR_QUANTIZE_H
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace sofa {
+
+/** A quantized integer matrix together with its dequantization scale. */
+template <typename T>
+struct Quantized
+{
+    Matrix<T> values;
+    /** float = value * scale */
+    float scale = 1.0f;
+};
+
+using QuantI8 = Quantized<std::int8_t>;
+using QuantI16 = Quantized<std::int16_t>;
+
+/**
+ * Symmetric per-tensor quantization to @p bits (<= 16). The scale maps
+ * the max-abs element to the top of the signed range.
+ */
+QuantI8 quantizeI8(const MatF &m);
+QuantI16 quantizeI16(const MatF &m);
+
+/** Dequantize back to float. */
+MatF dequantize(const QuantI8 &q);
+MatF dequantize(const QuantI16 &q);
+
+/**
+ * Truncate an int64 accumulator matrix to 16-bit with a power-of-two
+ * right shift chosen so the max magnitude fits; models the datapath
+ * truncation between the DLZS K-prediction and A-prediction phases.
+ * @param shift_out receives the chosen right-shift amount.
+ */
+MatI16 truncateToI16(const MatI64 &m, int *shift_out);
+
+} // namespace sofa
+
+#endif // SOFA_TENSOR_QUANTIZE_H

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+
+namespace sofa {
+namespace {
+
+AttentionShape
+llamaSlice()
+{
+    AttentionShape s;
+    s.queries = 128;
+    s.seq = 4096;
+    s.headDim = 128;
+    s.heads = 4;
+    s.tokenDim = 128;
+    return s;
+}
+
+TEST(Accelerator, RunsAndProducesPositiveMetrics)
+{
+    SofaAccelerator acc;
+    auto res = acc.run(llamaSlice());
+    EXPECT_GT(res.cycles, 0.0);
+    EXPECT_GT(res.timeNs, 0.0);
+    EXPECT_GT(res.energyPj, 0.0);
+    EXPECT_GT(res.dramBytes, 0.0);
+    EXPECT_GT(res.effectiveGops, 0.0);
+    EXPECT_GT(res.gopsPerWatt, 0.0);
+    EXPECT_GE(res.utilization, 0.0);
+    EXPECT_LE(res.utilization, 1.0);
+}
+
+TEST(Accelerator, TiledPipelineFasterThanSerialized)
+{
+    SofaConfig tiled, serial;
+    serial.features.tiledPipeline = false;
+    SofaAccelerator a(tiled), b(serial);
+    auto shape = llamaSlice();
+    auto rt = a.run(shape);
+    auto rs = b.run(shape);
+    EXPECT_LT(rt.timeNs, rs.timeNs);
+    EXPECT_LT(rt.dramBytes, rs.dramBytes);
+}
+
+TEST(Accelerator, RassCutsDramTraffic)
+{
+    SofaConfig with, without;
+    without.features.rassScheduling = false;
+    SofaAccelerator a(with), b(without);
+    auto shape = llamaSlice();
+    EXPECT_LT(a.run(shape).dramBytes, b.run(shape).dramBytes);
+}
+
+TEST(Accelerator, DlzsSavesEnergy)
+{
+    SofaConfig with, without;
+    without.features.dlzsPrediction = false;
+    SofaAccelerator a(with), b(without);
+    auto shape = llamaSlice();
+    EXPECT_LT(a.run(shape).energyPj, b.run(shape).energyPj);
+}
+
+TEST(Accelerator, SadsFasterThanVanillaSort)
+{
+    SofaConfig with, without;
+    without.features.sadsSorting = false;
+    SofaAccelerator a(with), b(without);
+    auto shape = llamaSlice();
+    EXPECT_LE(a.run(shape).timeNs, b.run(shape).timeNs);
+}
+
+TEST(Accelerator, SufaBeatsFa2Formal)
+{
+    SofaConfig with, without;
+    without.features.sufaOrdering = false;
+    SofaAccelerator a(with), b(without);
+    auto shape = llamaSlice();
+    EXPECT_LT(a.run(shape).energyPj, b.run(shape).energyPj);
+}
+
+TEST(Accelerator, SparsityReducesTime)
+{
+    SofaConfig dense_cfg, sparse_cfg;
+    dense_cfg.topkFrac = 0.9;
+    sparse_cfg.topkFrac = 0.1;
+    SofaAccelerator d(dense_cfg), s(sparse_cfg);
+    auto shape = llamaSlice();
+    EXPECT_LT(s.run(shape).timeNs, d.run(shape).timeNs);
+}
+
+TEST(Accelerator, PeakGopsMatchesDatapath)
+{
+    SofaAccelerator acc;
+    // (128x4 KV + 128x4 SU-FA) MACs * 2 ops * 1 GHz = 2048 GOPS.
+    EXPECT_NEAR(acc.peakGops(), 2048.0, 1.0);
+}
+
+TEST(Accelerator, StatsPopulated)
+{
+    SofaAccelerator acc;
+    auto res = acc.run(llamaSlice());
+    EXPECT_TRUE(res.stats.has("cycles"));
+    EXPECT_TRUE(res.stats.has("dram_bytes"));
+    EXPECT_TRUE(res.stats.has("tiles"));
+    EXPECT_GT(res.stats.get("kept_keys"), 0.0);
+}
+
+TEST(Accelerator, HeadsScaleLinearly)
+{
+    SofaAccelerator acc;
+    auto one = llamaSlice();
+    one.heads = 1;
+    auto four = llamaSlice();
+    four.heads = 4;
+    auto r1 = acc.run(one);
+    auto r4 = acc.run(four);
+    EXPECT_NEAR(r4.cycles / r1.cycles, 4.0, 0.5);
+}
+
+TEST(Accelerator, EnergyEfficiencyBeatsNaive)
+{
+    // All features on vs all off: the full design must win on both
+    // time and energy (the Fig. 21 claim).
+    SofaConfig full, naive;
+    naive.features = {false, false, false, false, false, false};
+    SofaAccelerator a(full), b(naive);
+    auto shape = llamaSlice();
+    auto rf = a.run(shape);
+    auto rn = b.run(shape);
+    EXPECT_LT(rf.timeNs, rn.timeNs);
+    EXPECT_GT(rf.gopsPerWatt, rn.gopsPerWatt);
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "arch/controller.h"
+#include "common/rng.h"
+
+namespace sofa {
+namespace {
+
+StageCosts
+uniformCosts(double c)
+{
+    StageCosts costs;
+    costs.perTile = {c, c, c, c};
+    return costs;
+}
+
+TEST(Controller, SerializedIsSumOfStages)
+{
+    TiledController ctrl(/*pipelined=*/false);
+    auto trace = ctrl.schedule(10, uniformCosts(5.0));
+    EXPECT_DOUBLE_EQ(trace.totalCycles, 4 * 10 * 5.0);
+}
+
+TEST(Controller, PipelinedApproachesMaxStage)
+{
+    // With uniform per-tile costs c and N tiles, the pipeline takes
+    // (N + stages - 1) * c.
+    TiledController ctrl(true);
+    auto trace = ctrl.schedule(100, uniformCosts(2.0));
+    EXPECT_DOUBLE_EQ(trace.totalCycles, (100 + 3) * 2.0);
+}
+
+TEST(Controller, PipelinedBoundedBySlowestStage)
+{
+    TiledController ctrl(true);
+    StageCosts costs;
+    costs.perTile = {1.0, 0.5, 8.0, 2.0};
+    auto trace = ctrl.schedule(50, costs);
+    // Steady state: slowest stage back to back.
+    EXPECT_GE(trace.totalCycles, 50 * 8.0);
+    EXPECT_LE(trace.totalCycles, 50 * 8.0 + 1.0 + 0.5 + 2.0 + 1e-9);
+}
+
+TEST(Controller, PipelineBeatsSerialization)
+{
+    StageCosts costs;
+    costs.perTile = {3.0, 1.0, 2.0, 4.0};
+    auto piped = TiledController(true).schedule(64, costs);
+    auto serial = TiledController(false).schedule(64, costs);
+    EXPECT_LT(piped.totalCycles, serial.totalCycles);
+}
+
+TEST(Controller, RowBarrierDelaysSort)
+{
+    StageCosts costs;
+    costs.perTile = {2.0, 1.0, 1.0, 1.0};
+    auto free = TiledController(true, false).schedule(32, costs);
+    auto barred = TiledController(true, true).schedule(32, costs);
+    EXPECT_GT(barred.totalCycles, free.totalCycles);
+    // Sort of tile 0 starts only after prediction drains all tiles.
+    auto tile0 = barred.tileEvents(0);
+    EXPECT_GE(tile0[static_cast<int>(Stage::Sort)].startCycle,
+              32 * 2.0 - 1e-9);
+}
+
+TEST(Controller, EventsRespectDependencies)
+{
+    StageCosts costs;
+    costs.perTile = {1.5, 2.5, 0.5, 3.0};
+    auto trace = TiledController(true).schedule(16, costs);
+    for (int t = 0; t < 16; ++t) {
+        auto ev = trace.tileEvents(t);
+        ASSERT_EQ(ev.size(), 4u);
+        for (int s = 1; s < kNumStages; ++s) {
+            EXPECT_GE(ev[s].startCycle, ev[s - 1].endCycle - 1e-9)
+                << "tile " << t << " stage " << s;
+        }
+    }
+}
+
+TEST(Controller, SameStageNeverOverlapsItself)
+{
+    StageCosts costs;
+    costs.perTile = {1.0, 4.0, 2.0, 1.0};
+    auto trace = TiledController(true).schedule(20, costs);
+    for (int s = 0; s < kNumStages; ++s) {
+        double last_end = -1.0;
+        for (const auto &e : trace.events) {
+            if (static_cast<int>(e.stage) != s)
+                continue;
+            EXPECT_GE(e.startCycle, last_end - 1e-9);
+            last_end = e.endCycle;
+        }
+    }
+}
+
+TEST(Controller, UtilizationOfBottleneckNearOne)
+{
+    StageCosts costs;
+    costs.perTile = {1.0, 1.0, 10.0, 1.0};
+    auto trace = TiledController(true).schedule(200, costs);
+    EXPECT_GT(trace.utilization(Stage::KvGen), 0.97);
+    EXPECT_LT(trace.utilization(Stage::Predict), 0.15);
+}
+
+TEST(Controller, BusyAccounting)
+{
+    auto trace = TiledController(true).schedule(10, uniformCosts(3.0));
+    for (int s = 0; s < kNumStages; ++s)
+        EXPECT_DOUBLE_EQ(trace.stageBusy[s], 30.0);
+}
+
+TEST(Controller, GanttRendersAllStages)
+{
+    auto trace = TiledController(true).schedule(8, uniformCosts(1.0));
+    auto g = trace.gantt(32);
+    EXPECT_NE(g.find("predict"), std::string::npos);
+    EXPECT_NE(g.find("formal"), std::string::npos);
+    EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(Controller, StageNames)
+{
+    EXPECT_STREQ(stageName(Stage::Predict), "predict");
+    EXPECT_STREQ(stageName(Stage::Sort), "sort");
+    EXPECT_STREQ(stageName(Stage::KvGen), "kvgen");
+    EXPECT_STREQ(stageName(Stage::Formal), "formal");
+}
+
+TEST(ControllerDeath, ZeroTilesPanics)
+{
+    TiledController ctrl;
+    EXPECT_DEATH(ctrl.schedule(0, uniformCosts(1.0)), "assertion");
+}
+
+/** Cross-validation against the closed-form used by accelerator.cc:
+ * max_stage_total + (sum - max)/tiles. */
+class ControllerClosedForm
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(ControllerClosedForm, MatchesWithinFill)
+{
+    auto [tiles, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    StageCosts costs;
+    double total[4];
+    double max_total = 0.0, sum_total = 0.0;
+    for (int s = 0; s < kNumStages; ++s) {
+        costs.perTile[s] = rng.uniform(0.5, 8.0);
+        total[s] = costs.perTile[s] * tiles;
+        max_total = std::max(max_total, total[s]);
+        sum_total += total[s];
+    }
+    const double closed =
+        max_total + (sum_total - max_total) / tiles;
+    auto trace = TiledController(true).schedule(tiles, costs);
+    EXPECT_NEAR(trace.totalCycles, closed, closed * 0.02 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ControllerClosedForm,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(1, 2, 3, 4)));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "arch/dram.h"
+
+namespace sofa {
+namespace {
+
+TEST(DramConfig, Presets)
+{
+    EXPECT_NEAR(DramConfig::ddr4().bandwidthGBs, 25.6, 1e-9);
+    EXPECT_GT(DramConfig::hbm2().bandwidthGBs, 100.0);
+    EXPECT_NEAR(DramConfig::hbm2Sofa().bandwidthGBs, 59.8, 1e-9);
+}
+
+TEST(Dram, TransferTime)
+{
+    Dram d(DramConfig::ddr4());
+    // 25.6 GB/s == 25.6 bytes/ns.
+    EXPECT_NEAR(d.transferNs(256), 10.0, 1e-9);
+}
+
+TEST(Dram, TrafficAccounting)
+{
+    Dram d;
+    d.read(1000);
+    d.write(500);
+    EXPECT_DOUBLE_EQ(d.bytesRead(), 1000.0);
+    EXPECT_DOUBLE_EQ(d.bytesWritten(), 500.0);
+    EXPECT_DOUBLE_EQ(d.totalBytes(), 1500.0);
+}
+
+TEST(Dram, EnergyPerBit)
+{
+    DramConfig cfg;
+    cfg.energyPjPerBit = 10.0;
+    Dram d(cfg);
+    d.read(1); // 8 bits
+    EXPECT_DOUBLE_EQ(d.energyPj(), 80.0);
+}
+
+TEST(Dram, DemandBandwidth)
+{
+    Dram d;
+    d.read(500);
+    d.write(500);
+    // 1000 bytes over 100 ns = 10 GB/s.
+    EXPECT_NEAR(d.demandGBs(100.0), 10.0, 1e-9);
+}
+
+TEST(Dram, ResetAndReport)
+{
+    Dram d;
+    d.read(64);
+    StatGroup g;
+    d.report(g);
+    EXPECT_DOUBLE_EQ(g.get("dram.bytes_read"), 64.0);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.totalBytes(), 0.0);
+}
+
+TEST(Dram, Ddr4SlowerThanHbm2)
+{
+    Dram ddr(DramConfig::ddr4()), hbm(DramConfig::hbm2());
+    EXPECT_GT(ddr.transferNs(1 << 20), hbm.transferNs(1 << 20));
+}
+
+} // namespace
+} // namespace sofa

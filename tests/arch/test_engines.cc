@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "arch/dlzs_engine.h"
+#include "arch/kv_engine.h"
+#include "arch/sads_engine.h"
+#include "arch/sufa_engine.h"
+
+namespace sofa {
+namespace {
+
+TEST(DlzsEngine, ThroughputMatchesArray)
+{
+    DlzsEngine e;
+    EXPECT_DOUBLE_EQ(e.throughputPerCycle(), 128.0 * 32.0);
+}
+
+TEST(DlzsEngine, KPredictionScalesWithWork)
+{
+    DlzsEngine e;
+    auto c1 = e.kPrediction(128, 128, 64);
+    auto c2 = e.kPrediction(256, 128, 64);
+    EXPECT_GT(c2.cycles, c1.cycles * 1.8);
+    EXPECT_NEAR(c2.energyPj / c1.energyPj, 2.0, 0.01);
+}
+
+TEST(DlzsEngine, ZeroEliminationReducesCost)
+{
+    DlzsEngine e;
+    auto dense = e.kPrediction(256, 128, 64, 0.0);
+    auto sparse = e.kPrediction(256, 128, 64, 0.5);
+    EXPECT_LT(sparse.cycles, dense.cycles);
+    EXPECT_NEAR(sparse.energyPj / dense.energyPj, 0.5, 0.01);
+}
+
+TEST(DlzsEngine, APredictionIncludesLzePass)
+{
+    DlzsEngine e;
+    auto c = e.aPrediction(128, 16, 64);
+    // LZE pass alone: 128*64/128 = 64 cycles minimum.
+    EXPECT_GT(c.cycles, 64.0);
+}
+
+TEST(SadsEngine, CyclesScaleWithRowsAboveLaneCount)
+{
+    SadsEngine e;
+    auto c128 = e.sort(128, 1024, 4);
+    auto c256 = e.sort(256, 1024, 4);
+    EXPECT_NEAR(c256.cycles / c128.cycles, 2.0, 0.01);
+}
+
+TEST(SadsEngine, ParallelRowsFree)
+{
+    // 1 row and 128 rows take the same cycles (128 lanes).
+    SadsEngine e;
+    auto c1 = e.sort(1, 1024, 4);
+    auto c128 = e.sort(128, 1024, 4);
+    EXPECT_DOUBLE_EQ(c1.cycles, c128.cycles);
+    // Energy still scales with rows.
+    EXPECT_GT(c128.energyPj, c1.energyPj * 100);
+}
+
+TEST(SadsEngine, ClippingSavesEnergyAndCycles)
+{
+    SadsEngine e;
+    auto open = e.sort(128, 4096, 4, 0.0);
+    auto clipped = e.sort(128, 4096, 4, 0.6);
+    EXPECT_LT(clipped.cycles, open.cycles);
+    EXPECT_LT(clipped.energyPj, open.energyPj);
+}
+
+TEST(KvEngine, ThroughputAndScaling)
+{
+    KvEngine e;
+    EXPECT_DOUBLE_EQ(e.throughputPerCycle(), 512.0);
+    auto c1 = e.generate(64, 128, 64);
+    auto c2 = e.generate(128, 128, 64);
+    EXPECT_NEAR(c2.energyPj / c1.energyPj, 2.0, 0.01);
+    EXPECT_GT(c2.cycles, c1.cycles);
+}
+
+TEST(KvEngine, ZeroKeysCheap)
+{
+    KvEngine e;
+    auto c = e.generate(0, 128, 64);
+    EXPECT_LT(c.cycles, 200.0); // only pipeline fill
+    EXPECT_DOUBLE_EQ(c.energyPj, 0.0);
+}
+
+TEST(SufaEngine, DescendingCheaperThanAscending)
+{
+    SufaEngine e;
+    auto d = e.attention(128, 512, 64, SufaOrder::Descending);
+    auto a = e.attention(128, 512, 64, SufaOrder::Ascending);
+    EXPECT_LT(d.energyPj, a.energyPj);
+    EXPECT_LE(d.cycles, a.cycles);
+}
+
+TEST(SufaEngine, SufaCheaperThanFa2)
+{
+    SufaEngine e;
+    auto sufa = e.attention(128, 512, 64, SufaOrder::Descending);
+    auto fa2 = e.attentionFa2(128, 512, 64, 16);
+    EXPECT_LT(sufa.energyPj, fa2.energyPj);
+}
+
+TEST(SufaEngine, ViolationsCostEnergy)
+{
+    SufaEngine e;
+    auto clean = e.attention(128, 512, 64, SufaOrder::Descending,
+                             0.0);
+    auto noisy = e.attention(128, 512, 64, SufaOrder::Descending,
+                             0.2);
+    EXPECT_GT(noisy.energyPj, clean.energyPj);
+}
+
+TEST(SufaEngine, Fa2SmallerTilesCostMore)
+{
+    SufaEngine e;
+    auto fine = e.attentionFa2(128, 512, 64, 4);
+    auto coarse = e.attentionFa2(128, 512, 64, 64);
+    EXPECT_GT(fine.energyPj, coarse.energyPj);
+}
+
+TEST(EngineCost, Accumulates)
+{
+    EngineCost a{10.0, 5.0}, b{1.0, 2.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.cycles, 11.0);
+    EXPECT_DOUBLE_EQ(a.energyPj, 7.0);
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "arch/fetcher.h"
+#include "common/rng.h"
+
+namespace sofa {
+namespace {
+
+DataFetcher
+makeFetcher(int banks = 8, int width = 16,
+            std::int64_t cap = 64 * 1024)
+{
+    return DataFetcher(banks, width, cap);
+}
+
+TEST(Fetcher, AllocationLaysOutSequentially)
+{
+    auto f = makeFetcher();
+    auto a = f.allocate("a", 4, 32);
+    auto b = f.allocate("b", 2, 64);
+    EXPECT_EQ(a.baseAddr, 0);
+    EXPECT_EQ(a.bytes(), 128);
+    EXPECT_GE(b.baseAddr, a.bytes());
+    EXPECT_EQ(f.allocatedBytes(), a.baseAddr + 128 + 128);
+}
+
+TEST(Fetcher, RowAddressing)
+{
+    auto f = makeFetcher();
+    auto t = f.allocate("t", 8, 32);
+    EXPECT_EQ(t.rowAddr(0), t.baseAddr);
+    EXPECT_EQ(t.rowAddr(3), t.baseAddr + 3 * 32);
+}
+
+TEST(FetcherDeath, RowOutOfRange)
+{
+    auto f = makeFetcher();
+    auto t = f.allocate("t", 8, 32);
+    EXPECT_DEATH(t.rowAddr(8), "assertion");
+}
+
+TEST(FetcherDeath, OverCapacityIsFatal)
+{
+    auto f = makeFetcher(8, 16, 1024);
+    EXPECT_EXIT(f.allocate("huge", 1024, 1024),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(Fetcher, ResetReclaims)
+{
+    auto f = makeFetcher(8, 16, 1024);
+    f.allocate("a", 8, 64);
+    f.reset();
+    EXPECT_EQ(f.allocatedBytes(), 0);
+    auto b = f.allocate("b", 8, 64);
+    EXPECT_EQ(b.baseAddr, 0);
+}
+
+TEST(Fetcher, BankInterleaving)
+{
+    auto f = makeFetcher(4, 16, 4096);
+    EXPECT_EQ(f.bankOf(0), 0);
+    EXPECT_EQ(f.bankOf(16), 1);
+    EXPECT_EQ(f.bankOf(48), 3);
+    EXPECT_EQ(f.bankOf(64), 0); // wraps
+}
+
+TEST(Fetcher, DenseTileSpreadsAcrossBanks)
+{
+    // Rows of one bank-width each land on consecutive banks: a tile
+    // of `banks` rows is conflict-free.
+    auto f = makeFetcher(8, 16, 4096);
+    auto t = f.allocate("t", 64, 16);
+    auto reqs = f.tileRequests(t, 0, 8);
+    ASSERT_EQ(reqs.size(), 8u);
+    std::vector<bool> seen(8, false);
+    for (const auto &r : reqs) {
+        EXPECT_FALSE(seen[r.bank]);
+        seen[r.bank] = true;
+    }
+    auto res = f.issue(reqs);
+    EXPECT_EQ(res.conflicts, 0);
+    EXPECT_EQ(res.cycles, 1);
+}
+
+TEST(Fetcher, GatherConflictsSerialize)
+{
+    auto f = makeFetcher(8, 16, 4096);
+    auto t = f.allocate("t", 64, 16);
+    // All gathered rows hit the same bank (stride = banks).
+    std::vector<int> rows = {0, 8, 16, 24};
+    auto reqs = f.gatherRequests(t, rows);
+    for (const auto &r : reqs)
+        EXPECT_EQ(r.bank, reqs[0].bank);
+    auto res = f.issue(reqs);
+    EXPECT_EQ(res.cycles, 4);
+    EXPECT_GT(res.conflicts, 0);
+}
+
+TEST(Fetcher, WideRowsOccupyMultipleCycles)
+{
+    auto f = makeFetcher(4, 16, 4096);
+    auto t = f.allocate("t", 8, 64); // 4 bank-widths per row
+    auto res = f.issue(f.tileRequests(t, 0, 1));
+    EXPECT_EQ(res.cycles, 4);
+    EXPECT_EQ(res.bytes, 64);
+}
+
+TEST(Fetcher, StatsAccumulate)
+{
+    auto f = makeFetcher(8, 16, 4096);
+    auto t = f.allocate("t", 32, 16);
+    f.issue(f.tileRequests(t, 0, 8));
+    f.issue(f.tileRequests(t, 8, 8));
+    EXPECT_DOUBLE_EQ(f.stats().get("requests"), 16.0);
+    EXPECT_DOUBLE_EQ(f.stats().get("bytes"), 256.0);
+}
+
+TEST(Fetcher, EmptyIssueIsFree)
+{
+    auto f = makeFetcher();
+    auto res = f.issue({});
+    EXPECT_EQ(res.cycles, 0);
+    EXPECT_EQ(res.bytes, 0);
+}
+
+/** Property: conflicts never make a batch faster than the busiest
+ * bank, and never slower than fully serialized. */
+class FetcherProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FetcherProperty, CycleBounds)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    auto f = makeFetcher(8, 16, 1 << 20);
+    auto t = f.allocate("t", 512, 16);
+    std::vector<int> rows;
+    for (int i = 0; i < 64; ++i)
+        rows.push_back(static_cast<int>(rng.uniformInt(0, 511)));
+    auto reqs = f.gatherRequests(t, rows);
+    auto res = f.issue(reqs);
+    EXPECT_GE(res.cycles, (64 + 7) / 8); // ideal
+    EXPECT_LE(res.cycles, 64);           // fully serialized
+    EXPECT_EQ(res.bytes, 64 * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FetcherProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/funcunit.h"
+#include "common/rng.h"
+
+namespace sofa {
+namespace {
+
+TEST(ExpUnit, ExactAtSegmentBoundaries)
+{
+    // Integer inputs hit x*log2(e) exactly only at 0; check the
+    // identity point.
+    ExpUnit u;
+    EXPECT_NEAR(u.compute(0.0), 1.0, 1e-12);
+}
+
+TEST(ExpUnit, PositiveInputsClampToOne)
+{
+    ExpUnit u;
+    EXPECT_NEAR(u.compute(3.0), 1.0, 1e-12);
+}
+
+TEST(ExpUnit, UnderflowsToZero)
+{
+    ExpUnit u;
+    EXPECT_DOUBLE_EQ(u.compute(-60.0), 0.0);
+}
+
+TEST(ExpUnit, MonotoneNonDecreasing)
+{
+    ExpUnit u;
+    double prev = 0.0;
+    for (double x = -20.0; x <= 0.0; x += 0.01) {
+        const double v = u.compute(x);
+        EXPECT_GE(v, prev - 1e-15) << "x=" << x;
+        prev = v;
+    }
+}
+
+TEST(ExpUnit, ErrorBoundedBySegmentCount)
+{
+    // Piecewise-linear interpolation of 2^f: error shrinks ~4x per
+    // segment doubling.
+    ExpUnit coarse(8), fine(32);
+    const double ec = coarse.maxRelativeError();
+    const double ef = fine.maxRelativeError();
+    EXPECT_LT(ec, 0.01);
+    EXPECT_LT(ef, ec / 8.0);
+}
+
+TEST(ExpUnit, SixteenSegmentsGoodForInt16Softmax)
+{
+    // The 128 EXP units run a 16-segment LUT: error must sit below
+    // the int16 quantization floor (~3e-5).
+    ExpUnit u(16);
+    EXPECT_LT(u.maxRelativeError(), 1e-3);
+}
+
+TEST(DivUnit, ReciprocalAccuracy)
+{
+    DivUnit one(1), two(2);
+    EXPECT_LT(one.maxRelativeError(), 1e-2);
+    EXPECT_LT(two.maxRelativeError(), 1e-4);
+    // Each Newton step squares the error.
+    EXPECT_LT(two.maxRelativeError(),
+              one.maxRelativeError() * one.maxRelativeError() * 4.0);
+}
+
+TEST(DivUnit, DivideMatchesRatio)
+{
+    DivUnit u(2);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-10.0, 10.0);
+        const double b = rng.uniform(0.01, 100.0);
+        EXPECT_NEAR(u.divide(a, b), a / b,
+                    std::fabs(a / b) * 2e-4 + 1e-12);
+    }
+}
+
+TEST(DivUnit, PowerOfTwoNearExact)
+{
+    // Powers of two only exercise the exponent path; the residual is
+    // the Newton error at mantissa 0.5 (~2e-5 after two steps).
+    DivUnit u(2);
+    for (double x : {0.25, 0.5, 1.0, 2.0, 1024.0})
+        EXPECT_NEAR(u.reciprocal(x) * x, 1.0, 1e-4);
+}
+
+TEST(DivUnitDeath, NonPositivePanics)
+{
+    DivUnit u;
+    EXPECT_DEATH(u.reciprocal(0.0), "assertion");
+    EXPECT_DEATH(u.reciprocal(-1.0), "assertion");
+}
+
+TEST(FuncUnit, LatencyAccounting)
+{
+    EXPECT_EQ(ExpUnit(16, 2).latencyCycles(), 2);
+    EXPECT_EQ(DivUnit(2, 3).latencyCycles(), 6);
+}
+
+TEST(HardwareSoftmax, ErrorBelowQuantizationFloor)
+{
+    // A realistic score row through the hardware units: probability
+    // error must be negligible against the 16-bit datapath.
+    Rng rng(7);
+    std::vector<float> scores(512);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.gaussian(0.0, 2.0));
+    scores[37] = 9.0f; // a dominant
+
+    ExpUnit e(16);
+    DivUnit d(2);
+    const double err = hardwareSoftmaxError(
+        e, d, scores.data(), static_cast<int>(scores.size()));
+    EXPECT_LT(err, 5e-4);
+}
+
+TEST(HardwareSoftmax, SingleElementNearExact)
+{
+    // exp(0) is exact; the residual is the Newton reciprocal's
+    // ~1e-5 error at 1.0.
+    ExpUnit e;
+    DivUnit d;
+    float one = 3.3f;
+    EXPECT_NEAR(hardwareSoftmaxError(e, d, &one, 1), 0.0, 1e-4);
+}
+
+/** Sweep: error scales down with LUT size across row shapes. */
+class SoftmaxHwSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SoftmaxHwSweep, ErrorShrinksWithSegments)
+{
+    Rng rng(11);
+    std::vector<float> scores(256);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.gaussian(0.0, 3.0));
+    DivUnit d(2);
+    const double coarse = hardwareSoftmaxError(
+        ExpUnit(4), d, scores.data(), GetParam());
+    const double fine = hardwareSoftmaxError(
+        ExpUnit(64), d, scores.data(), GetParam());
+    EXPECT_LE(fine, coarse + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RowLengths, SoftmaxHwSweep,
+                         ::testing::Values(16, 64, 256));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "arch/sram.h"
+
+namespace sofa {
+namespace {
+
+TEST(Sram, CapacityCheck)
+{
+    Sram s("buf", 1024);
+    EXPECT_TRUE(s.fits(1024));
+    EXPECT_FALSE(s.fits(1025));
+    EXPECT_EQ(s.capacity(), 1024);
+}
+
+TEST(Sram, TrafficAccounting)
+{
+    Sram s("buf", 1 << 20);
+    s.read(100);
+    s.write(50);
+    s.read(10);
+    EXPECT_DOUBLE_EQ(s.bytesRead(), 110.0);
+    EXPECT_DOUBLE_EQ(s.bytesWritten(), 50.0);
+    EXPECT_DOUBLE_EQ(s.totalBytes(), 160.0);
+}
+
+TEST(Sram, CyclesFromBandwidth)
+{
+    Sram s("buf", 1 << 20, 64.0);
+    EXPECT_DOUBLE_EQ(s.read(640), 10.0);
+    EXPECT_DOUBLE_EQ(s.write(64), 1.0);
+}
+
+TEST(Sram, EnergyLinearInTraffic)
+{
+    Sram s("buf", 1 << 20);
+    s.read(1000);
+    MemEnergies e = MemEnergies::defaults();
+    const double e1 = s.energyPj(e);
+    s.read(1000);
+    EXPECT_NEAR(s.energyPj(e), 2.0 * e1, 1e-9);
+}
+
+TEST(Sram, ResetClearsTraffic)
+{
+    Sram s("buf", 1024);
+    s.read(10);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.totalBytes(), 0.0);
+}
+
+TEST(Sram, ReportExportsCounters)
+{
+    Sram s("token", 1024);
+    s.read(7);
+    s.write(3);
+    StatGroup g;
+    s.report(g);
+    EXPECT_DOUBLE_EQ(g.get("token.bytes_read"), 7.0);
+    EXPECT_DOUBLE_EQ(g.get("token.bytes_written"), 3.0);
+}
+
+TEST(SramDeath, InvalidConfigPanics)
+{
+    EXPECT_DEATH(Sram("bad", 0), "assertion");
+}
+
+} // namespace
+} // namespace sofa

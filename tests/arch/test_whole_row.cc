@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "arch/whole_row.h"
+
+namespace sofa {
+namespace {
+
+WholeRowConfig
+factLike()
+{
+    WholeRowConfig cfg;
+    cfg.name = "FACT";
+    cfg.throughputGops = 928.0;
+    cfg.sramBytes = 2 << 20;
+    return cfg;
+}
+
+TEST(WholeRow, LowParallelismFitsSram)
+{
+    // T=1 on BERT-like shapes: intermediates fit, no spill.
+    auto res = runWholeRow(factLike(), 1, 512, 64, 16);
+    EXPECT_DOUBLE_EQ(res.spillBytes, 0.0);
+    EXPECT_LT(res.matRatio(), 0.5);
+}
+
+TEST(WholeRow, HighParallelismSpills)
+{
+    auto res = runWholeRow(factLike(), 512, 512, 64, 16);
+    EXPECT_GT(res.spillBytes, 0.0);
+}
+
+TEST(WholeRow, MatRatioRisesWithParallelism)
+{
+    // Fig. 3: DRAM access share grows as parallelism scales.
+    double prev = 0.0;
+    for (std::int64_t t : {1, 32, 128, 512}) {
+        auto res = runWholeRow(factLike(), t, 512, 64, 16);
+        EXPECT_GE(res.matRatio(), prev - 1e-9) << "T=" << t;
+        prev = res.matRatio();
+    }
+    EXPECT_GT(prev, 0.5); // memory becomes the bottleneck
+}
+
+TEST(WholeRow, MatDominatesAtPaperScale)
+{
+    // Fig. 3 reports ~72% average MAT at max parallelism.
+    auto res = runWholeRow(factLike(), 512, 512, 64, 16);
+    EXPECT_GT(res.matRatio(), 0.55);
+    EXPECT_LT(res.matRatio(), 0.95);
+}
+
+TEST(WholeRow, BiggerSramDelaysSpill)
+{
+    WholeRowConfig small = factLike();
+    small.sramBytes = 1 << 20;
+    WholeRowConfig big = factLike();
+    big.sramBytes = 8 << 20;
+    auto rs = runWholeRow(small, 64, 512, 64, 16);
+    auto rb = runWholeRow(big, 64, 512, 64, 16);
+    EXPECT_GE(rs.spillBytes, rb.spillBytes);
+}
+
+TEST(WholeRow, ComputeScalesWithTotalWork)
+{
+    // Total work is the full S x S attention regardless of wave
+    // size; compute time therefore scales with S^2, not with T.
+    auto rt1 = runWholeRow(factLike(), 64, 512, 64, 16);
+    auto rt2 = runWholeRow(factLike(), 128, 512, 64, 16);
+    EXPECT_NEAR(rt2.computeNs / rt1.computeNs, 1.0, 0.01);
+
+    auto rs1 = runWholeRow(factLike(), 64, 512, 64, 16);
+    auto rs2 = runWholeRow(factLike(), 64, 1024, 64, 16);
+    EXPECT_NEAR(rs2.computeNs / rs1.computeNs, 4.0, 0.1);
+}
+
+TEST(WholeRow, FasterDramLowersMat)
+{
+    WholeRowConfig slow = factLike();
+    WholeRowConfig fast = factLike();
+    fast.dram = DramConfig::hbm2();
+    auto rs = runWholeRow(slow, 512, 512, 64, 16);
+    auto rf = runWholeRow(fast, 512, 512, 64, 16);
+    EXPECT_GT(rs.matRatio(), rf.matRatio());
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "attention/flash.h"
+#include "attention/reference.h"
+#include "model/workload.h"
+
+namespace sofa {
+namespace {
+
+AttentionWorkload
+smallWorkload(int seq = 256, int queries = 16)
+{
+    WorkloadSpec spec;
+    spec.seq = seq;
+    spec.queries = queries;
+    spec.headDim = 32;
+    spec.tokenDim = 32;
+    return generateWorkload(spec);
+}
+
+TEST(Flash2, NumericallyMatchesReference)
+{
+    auto w = smallWorkload();
+    auto dense = referenceAttention(w.q, w.k, w.v);
+    auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
+    EXPECT_LT(relativeError(fa2.output, dense.output), 1e-4);
+}
+
+TEST(Flash1, NumericallyMatchesReference)
+{
+    auto w = smallWorkload();
+    auto dense = referenceAttention(w.q, w.k, w.v);
+    auto fa1 = flashAttention1(w.q, w.k, w.v, {16});
+    EXPECT_LT(relativeError(fa1.output, dense.output), 1e-4);
+}
+
+TEST(Flash2, TileSizeDoesNotChangeResult)
+{
+    auto w = smallWorkload(128, 8);
+    auto a = flashAttention2(w.q, w.k, w.v, {4});
+    auto b = flashAttention2(w.q, w.k, w.v, {64});
+    EXPECT_LT(relativeError(a.output, b.output), 1e-5);
+}
+
+TEST(Flash2, MoreExpsThanVanilla)
+{
+    // Fig. 5(b): FA-2 pays extra exponentials vs vanilla softmax.
+    auto w = smallWorkload(512, 8);
+    OpCounter vanilla_ops;
+    auto dense = referenceAttention(w.q, w.k, w.v);
+    auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
+    EXPECT_GT(fa2.ops.exps(), dense.ops.exps());
+}
+
+TEST(Flash2, SmallerTilesCostMore)
+{
+    // Fig. 5(c): complexity grows with Tc (smaller Bc).
+    auto w = smallWorkload(512, 8);
+    auto fine = flashAttention2(w.q, w.k, w.v, {4});
+    auto coarse = flashAttention2(w.q, w.k, w.v, {64});
+    EXPECT_GT(fine.ops.normalized(), coarse.ops.normalized());
+}
+
+TEST(Flash1, CostsMoreThanFlash2)
+{
+    auto w = smallWorkload(512, 8);
+    auto fa1 = flashAttention1(w.q, w.k, w.v, {16});
+    auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
+    EXPECT_GT(fa1.ops.normalized(), fa2.ops.normalized());
+}
+
+TEST(AnalyticOps, Fa2MatchesMeasuredShape)
+{
+    // The closed-form FA-2 ops should be within ~25% of the measured
+    // kernel (the analytic form assumes worst-case rescales).
+    auto w = smallWorkload(512, 4);
+    auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
+    OpCounter analytic = fa2AnalyticOps(4, 512, 16, 32);
+    const double measured = fa2.ops.normalized();
+    const double predicted = analytic.normalized();
+    EXPECT_GT(predicted, measured * 0.8);
+    EXPECT_LT(predicted, measured * 1.35);
+}
+
+TEST(AnalyticOps, VanillaMatchesReferenceExactly)
+{
+    auto w = smallWorkload(256, 4);
+    auto dense = referenceAttention(w.q, w.k, w.v);
+    OpCounter analytic = vanillaAnalyticOps(4, 256, 32);
+    EXPECT_EQ(analytic.exps(), dense.ops.exps());
+    EXPECT_EQ(analytic.muls(), dense.ops.muls());
+    EXPECT_EQ(analytic.divs(), dense.ops.divs());
+}
+
+TEST(AnalyticOps, Fa2GapGrowsWithSeq)
+{
+    // Fig. 5(b): the FA-2-minus-vanilla exp gap grows with S.
+    const OpCounter fa_1k = fa2AnalyticOps(1, 1024, 16, 64);
+    const OpCounter va_1k = vanillaAnalyticOps(1, 1024, 64);
+    const OpCounter fa_2k = fa2AnalyticOps(1, 2048, 16, 64);
+    const OpCounter va_2k = vanillaAnalyticOps(1, 2048, 64);
+    const double gap_1k =
+        static_cast<double>(fa_1k.exps() - va_1k.exps());
+    const double gap_2k =
+        static_cast<double>(fa_2k.exps() - va_2k.exps());
+    EXPECT_GT(gap_2k, gap_1k * 1.8);
+}
+
+/** Parameterized numerical-equivalence sweep over tile sizes. */
+class FlashTileSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FlashTileSweep, MatchesReference)
+{
+    auto w = smallWorkload(96, 6);
+    auto dense = referenceAttention(w.q, w.k, w.v);
+    FlashConfig cfg{GetParam()};
+    auto fa2 = flashAttention2(w.q, w.k, w.v, cfg);
+    EXPECT_LT(relativeError(fa2.output, dense.output), 1e-4)
+        << "Bc=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, FlashTileSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 33, 96,
+                                           200));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "attention/opcount.h"
+
+namespace sofa {
+namespace {
+
+TEST(OpCounter, StartsAtZero)
+{
+    OpCounter c;
+    EXPECT_EQ(c.total(), 0);
+    EXPECT_DOUBLE_EQ(c.normalized(), 0.0);
+}
+
+TEST(OpCounter, TallyAndTotal)
+{
+    OpCounter c;
+    c.addN(10);
+    c.mulN(5);
+    c.expN(2);
+    c.cmpN(3);
+    c.shiftN(4);
+    c.divN(1);
+    EXPECT_EQ(c.adds(), 10);
+    EXPECT_EQ(c.muls(), 5);
+    EXPECT_EQ(c.exps(), 2);
+    EXPECT_EQ(c.total(), 25);
+}
+
+TEST(OpCounter, NormalizedUsesCosts)
+{
+    OpCounter c;
+    c.addN(2);
+    c.mulN(1);
+    OpCosts costs;
+    costs.add = 1.0;
+    costs.mul = 3.0;
+    EXPECT_DOUBLE_EQ(c.normalized(costs), 5.0);
+}
+
+TEST(OpCounter, ExpDominatesAdds)
+{
+    // The arithmetic complexity model makes one exp much costlier
+    // than one add — the core of the Fig. 5 argument.
+    OpCounter exp_heavy, add_heavy;
+    exp_heavy.expN(1);
+    add_heavy.addN(10);
+    EXPECT_GT(exp_heavy.normalized(), add_heavy.normalized());
+}
+
+TEST(OpCounter, PlusEqualsMerges)
+{
+    OpCounter a, b;
+    a.addN(1);
+    a.expN(2);
+    b.addN(3);
+    b.mulN(4);
+    a += b;
+    EXPECT_EQ(a.adds(), 4);
+    EXPECT_EQ(a.exps(), 2);
+    EXPECT_EQ(a.muls(), 4);
+}
+
+TEST(OpCounter, ResetClears)
+{
+    OpCounter c;
+    c.mulN(100);
+    c.reset();
+    EXPECT_EQ(c.total(), 0);
+}
+
+TEST(OpCounter, ToStringMentionsFields)
+{
+    OpCounter c;
+    c.expN(7);
+    auto s = c.toString();
+    EXPECT_NE(s.find("exps=7"), std::string::npos);
+    EXPECT_NE(s.find("normalized="), std::string::npos);
+}
+
+TEST(OpCosts, ScaledNarrowDatapathCheaper)
+{
+    OpCosts full;
+    OpCosts narrow = OpCosts::scaled(0.25); // 4-bit vs 16-bit
+    EXPECT_LT(narrow.add, full.add);
+    EXPECT_LT(narrow.mul, full.mul);
+    // Mul scales quadratically, add linearly.
+    EXPECT_NEAR(narrow.mul / full.mul, 0.0625, 1e-9);
+    EXPECT_NEAR(narrow.add / full.add, 0.25, 1e-9);
+}
+
+TEST(OpCosts, ShiftCheaperThanAdd)
+{
+    OpCosts c;
+    EXPECT_LT(c.shift, c.add);
+    EXPECT_LT(c.add, c.mul);
+    EXPECT_LT(c.mul, c.exp);
+}
+
+} // namespace
+} // namespace sofa

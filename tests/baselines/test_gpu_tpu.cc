@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gpu.h"
+#include "baselines/tpu.h"
+
+namespace sofa {
+namespace {
+
+AttentionShape
+bigSlice()
+{
+    AttentionShape s;
+    s.queries = 512;
+    s.seq = 4096;
+    s.headDim = 128;
+    s.heads = 8;
+    return s;
+}
+
+TEST(Gpu, DenseSlowerThanSparseModes)
+{
+    GpuModel gpu;
+    auto shape = bigSlice();
+    auto dense = gpu.run(shape, GpuMode::Dense);
+    auto lp = gpu.run(shape, GpuMode::LP, 0.2);
+    auto fa2 = gpu.run(shape, GpuMode::LPFlash2, 0.2);
+    EXPECT_GT(dense.timeNs, lp.timeNs);
+    EXPECT_GT(lp.timeNs, fa2.timeNs);
+}
+
+TEST(Gpu, ModeOrderingMatchesFig19)
+{
+    // Fig. 19(b): LP ~1.76x, LP+FA1 ~2.7x, LP+FA2 ~3.2x over dense.
+    GpuModel gpu;
+    auto shape = bigSlice();
+    const double dense = gpu.run(shape, GpuMode::Dense).timeNs;
+    const double lp = dense / gpu.run(shape, GpuMode::LP, 0.1).timeNs;
+    const double fa1 =
+        dense / gpu.run(shape, GpuMode::LPFlash1, 0.1).timeNs;
+    const double fa2 =
+        dense / gpu.run(shape, GpuMode::LPFlash2, 0.1).timeNs;
+    const double soft =
+        dense / gpu.run(shape, GpuMode::SofaSoft, 0.1).timeNs;
+    EXPECT_GT(lp, 1.2);
+    EXPECT_GT(fa1, lp);
+    EXPECT_GT(fa2, fa1);
+    EXPECT_GE(soft, fa2 * 0.95);
+    EXPECT_LT(soft, 6.0); // GPU cannot exploit everything
+}
+
+TEST(Gpu, LowerKeepIsFaster)
+{
+    GpuModel gpu;
+    auto shape = bigSlice();
+    auto k10 = gpu.run(shape, GpuMode::LPFlash2, 0.1);
+    auto k50 = gpu.run(shape, GpuMode::LPFlash2, 0.5);
+    EXPECT_LT(k10.timeNs, k50.timeNs);
+}
+
+TEST(Gpu, PowerWithinDeviceEnvelope)
+{
+    GpuModel gpu;
+    auto shape = bigSlice();
+    for (auto mode : {GpuMode::Dense, GpuMode::LP, GpuMode::LPFlash2,
+                      GpuMode::SofaSoft}) {
+        auto r = gpu.run(shape, mode, 0.2);
+        EXPECT_GE(r.powerW, gpu.config().idlePowerW);
+        EXPECT_LE(r.powerW, gpu.config().peakPowerW);
+    }
+}
+
+TEST(Gpu, EnergyConsistent)
+{
+    GpuModel gpu;
+    auto r = gpu.run(bigSlice(), GpuMode::Dense);
+    EXPECT_NEAR(r.energyPj, r.powerW * r.timeNs * 1e3, 1.0);
+    EXPECT_GT(r.gopsPerWatt, 0.0);
+}
+
+TEST(Tpu, DenseCompetitiveSparseWorse)
+{
+    // The TPU handles dense matmul well but collapses on fine-grained
+    // sparsity relative to the GPU (Section V-C).
+    GpuModel gpu;
+    TpuModel tpu;
+    auto shape = bigSlice();
+    const double gpu_gain =
+        gpu.run(shape, GpuMode::Dense).timeNs /
+        gpu.run(shape, GpuMode::SofaSoft, 0.2).timeNs;
+    const double tpu_gain =
+        tpu.run(shape, GpuMode::Dense).timeNs /
+        tpu.run(shape, GpuMode::SofaSoft, 0.2).timeNs;
+    EXPECT_GT(gpu_gain, tpu_gain);
+}
+
+TEST(Tpu, RunsAllModes)
+{
+    TpuModel tpu;
+    auto shape = bigSlice();
+    for (auto mode : {GpuMode::Dense, GpuMode::LP, GpuMode::LPFlash1,
+                      GpuMode::LPFlash2, GpuMode::SofaSoft}) {
+        auto r = tpu.run(shape, mode, 0.2);
+        EXPECT_GT(r.timeNs, 0.0);
+        EXPECT_GT(r.effectiveGops, 0.0);
+    }
+}
+
+TEST(GpuDeath, InvalidKeepFraction)
+{
+    GpuModel gpu;
+    EXPECT_DEATH(gpu.run(bigSlice(), GpuMode::LP, 0.0), "assertion");
+    EXPECT_DEATH(gpu.run(bigSlice(), GpuMode::LP, 1.5), "assertion");
+}
+
+} // namespace
+} // namespace sofa

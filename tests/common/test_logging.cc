@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace sofa {
+namespace {
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(SOFA_ASSERT(1 == 2), "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    SOFA_ASSERT(1 == 1);
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("this is a warning %s", "ok");
+    inform("status %d", 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace sofa {
+namespace {
+
+TEST(StatGroup, AddAndGet)
+{
+    StatGroup g("test");
+    g.add("cycles", 10);
+    g.add("cycles", 5);
+    EXPECT_DOUBLE_EQ(g.get("cycles"), 15.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+    EXPECT_TRUE(g.has("cycles"));
+    EXPECT_FALSE(g.has("missing"));
+}
+
+TEST(StatGroup, SetOverrides)
+{
+    StatGroup g;
+    g.add("x", 100);
+    g.set("x", 3);
+    EXPECT_DOUBLE_EQ(g.get("x"), 3.0);
+}
+
+TEST(StatGroup, MergeSums)
+{
+    StatGroup a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("x", 10);
+    b.add("z", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 11.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 3.0);
+}
+
+TEST(StatGroup, ClearKeepsKeys)
+{
+    StatGroup g;
+    g.add("x", 5);
+    g.clear();
+    EXPECT_TRUE(g.has("x"));
+    EXPECT_DOUBLE_EQ(g.get("x"), 0.0);
+}
+
+TEST(StatGroup, ToStringContainsName)
+{
+    StatGroup g("grp");
+    g.add("a", 1);
+    auto s = g.toString();
+    EXPECT_NE(s.find("grp.a"), std::string::npos);
+}
+
+TEST(Summary, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Summary, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Summary, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Summary, GeomeanLessOrEqualMean)
+{
+    // AM-GM inequality as a sanity property.
+    std::vector<double> v = {1.0, 3.0, 9.0, 27.0};
+    EXPECT_LE(geomean(v), mean(v));
+}
+
+} // namespace
+} // namespace sofa

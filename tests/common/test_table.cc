@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace sofa {
+namespace {
+
+Table
+sampleTable()
+{
+    Table t;
+    t.column("name", Align::Left).column("value").column("share");
+    t.row().cell("alpha").cell(std::int64_t{42}).pct(0.125);
+    t.row().cell("beta").cell(3.14159, 3).pct(0.875);
+    return t;
+}
+
+TEST(Table, Dimensions)
+{
+    auto t = sampleTable();
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RenderContainsHeadersAndValues)
+{
+    auto s = sampleTable().render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.142"), std::string::npos);
+    EXPECT_NE(s.find("12.5%"), std::string::npos);
+    EXPECT_NE(s.find("-+-"), std::string::npos); // separator
+}
+
+TEST(Table, ColumnsAligned)
+{
+    auto s = sampleTable().render();
+    // Every line has the same length (fixed-width rendering).
+    std::size_t prev = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t nl = s.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        const std::size_t len = nl - pos;
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
+        prev = len;
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t;
+    t.column("a", Align::Left).column("b", Align::Left);
+    t.row().cell("plain").cell("has,comma");
+    t.row().cell("has\"quote").cell("x");
+    auto csv = t.csv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+    EXPECT_EQ(csv.find("plain,"), csv.find("plain"));
+}
+
+TEST(Table, CsvRowCount)
+{
+    auto csv = sampleTable().csv();
+    int lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3); // header + 2 rows
+}
+
+TEST(TableDeath, ColumnAfterRowPanics)
+{
+    Table t;
+    t.column("a");
+    t.row().cell("1");
+    EXPECT_DEATH(t.column("b"), "assertion");
+}
+
+TEST(TableDeath, TooManyCellsPanics)
+{
+    Table t;
+    t.column("a");
+    t.row().cell("1");
+    EXPECT_DEATH(t.cell("2"), "assertion");
+}
+
+TEST(TableDeath, CellWithoutRowPanics)
+{
+    Table t;
+    t.column("a");
+    EXPECT_DEATH(t.cell("1"), "assertion");
+}
+
+} // namespace
+} // namespace sofa

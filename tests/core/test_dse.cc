@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dse.h"
+
+namespace sofa {
+namespace {
+
+TEST(DseSpace, TotalConfigurationsHuge)
+{
+    // BERT-Base: 12 layers, 16 Tc choices, 10 top-k choices
+    // -> 16^12 * 10 > 10^15 (the paper's intractability claim).
+    DseSpace space;
+    space.layers = 12;
+    EXPECT_GT(space.totalConfigurations(), 1e15);
+}
+
+TEST(DseSpace, RandomPointsValid)
+{
+    DseSpace space;
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        DsePoint p = space.randomPoint(rng);
+        EXPECT_EQ(p.tcPerLayer.size(), 12u);
+        for (int tc : p.tcPerLayer) {
+            EXPECT_GE(tc, space.tcMin);
+            EXPECT_LE(tc, space.tcMax);
+            EXPECT_EQ((tc - space.tcMin) % space.tcStep, 0);
+        }
+        EXPECT_GE(p.topkFrac, space.topkMin - 1e-9);
+        EXPECT_LE(p.topkFrac, space.topkMax + 1e-9);
+    }
+}
+
+TEST(DsePoint, FeaturesNormalized)
+{
+    DsePoint p;
+    p.tcPerLayer = {2, 32};
+    p.topkFrac = 0.25;
+    auto f = p.features(32);
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_NEAR(f[0], 2.0 / 32.0, 1e-12);
+    EXPECT_NEAR(f[1], 1.0, 1e-12);
+    EXPECT_NEAR(f[2], 0.25, 1e-12);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints)
+{
+    GaussianProcess gp(0.5, 1.0, 1e-8);
+    std::vector<std::vector<double>> x = {{0.0}, {0.5}, {1.0}};
+    std::vector<double> y = {1.0, 0.0, 1.0};
+    gp.fit(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double mu, var;
+        gp.predict(x[i], &mu, &var);
+        EXPECT_NEAR(mu, y[i], 1e-3);
+        EXPECT_LT(var, 1e-4);
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp(0.2, 1.0, 1e-6);
+    gp.fit({{0.0}}, {0.5});
+    double mu0, var0, mu1, var1;
+    gp.predict({0.0}, &mu0, &var0);
+    gp.predict({3.0}, &mu1, &var1);
+    EXPECT_LT(var0, var1);
+    // Far from data the mean reverts to the prior (training mean).
+    EXPECT_NEAR(mu1, 0.5, 1e-3);
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainAndWorse)
+{
+    EXPECT_NEAR(expectedImprovement(10.0, 1e-12, 0.0), 0.0, 1e-6);
+}
+
+TEST(ExpectedImprovement, PositiveWhenBetter)
+{
+    EXPECT_GT(expectedImprovement(-1.0, 0.1, 0.0), 0.5);
+}
+
+TEST(ExpectedImprovement, GrowsWithUncertainty)
+{
+    const double lo = expectedImprovement(0.5, 0.01, 0.0);
+    const double hi = expectedImprovement(0.5, 1.0, 0.0);
+    EXPECT_GT(hi, lo);
+}
+
+namespace {
+
+/** Synthetic objective with a known optimum: prefers Tc = 16 and
+ * topk = 0.2 (quadratic bowl). */
+DseEvaluation
+bowl(const DsePoint &p)
+{
+    DseEvaluation e;
+    double acc = 0.0;
+    for (int tc : p.tcPerLayer) {
+        const double d = (tc - 16.0) / 32.0;
+        acc += d * d;
+    }
+    const double dk = (p.topkFrac - 0.2) / 0.5;
+    e.len = acc / p.tcPerLayer.size() + dk * dk;
+    e.lcmp = analyticLcmp(p, 1024);
+    e.lexp = analyticLexp(p, 1024);
+    return e;
+}
+
+} // namespace
+
+TEST(BayesianSearch, ImprovesOverIterations)
+{
+    DseSpace space;
+    space.layers = 4;
+    DseObjectiveWeights w{0.05, 0.05};
+    DseResult res = bayesianSearch(space, w, bowl, 40, 8, 128, 7);
+    EXPECT_EQ(res.evaluations, 48);
+    // History is the best-so-far curve: non-increasing.
+    for (std::size_t i = 1; i < res.history.size(); ++i)
+        EXPECT_LE(res.history[i], res.history[i - 1] + 1e-12);
+    // The found optimum beats the initial design.
+    EXPECT_LT(res.history.back(), res.history[7] + 1e-12);
+}
+
+TEST(BayesianSearch, BeatsRandomOnBudget)
+{
+    DseSpace space;
+    space.layers = 6;
+    DseObjectiveWeights w{0.05, 0.05};
+    DseResult bo = bayesianSearch(space, w, bowl, 40, 8, 128, 21);
+    DseResult rs = randomSearch(space, w, bowl, 48, 22);
+    // Same evaluation budget; BO should not be materially worse and
+    // is usually better on a smooth bowl (both searches are noisy on
+    // a 7-dimensional discrete space at this budget).
+    EXPECT_LE(bo.bestObjective, rs.bestObjective * 1.3);
+}
+
+TEST(AnalyticPenalties, LcmpIncreasesWithBc)
+{
+    // Larger Bc (smaller Tc) -> higher sorting penalty (Eq. 3).
+    DsePoint coarse, fine;
+    coarse.tcPerLayer = {2, 2};  // Bc = S/2
+    fine.tcPerLayer = {32, 32};  // Bc = S/32
+    EXPECT_GT(analyticLcmp(coarse, 1024), analyticLcmp(fine, 1024));
+}
+
+TEST(AnalyticPenalties, LexpIncreasesWithTc)
+{
+    // More tiles -> more SU-FA exp overhead (Eq. 4).
+    DsePoint coarse, fine;
+    coarse.tcPerLayer = {2, 2};
+    fine.tcPerLayer = {32, 32};
+    EXPECT_LT(analyticLexp(coarse, 1024), analyticLexp(fine, 1024));
+}
+
+TEST(DseObjective, WeightsCombine)
+{
+    DseEvaluation e;
+    e.len = 1.0;
+    e.lcmp = 2.0;
+    e.lexp = 3.0;
+    DseObjectiveWeights w{0.5, 0.25};
+    EXPECT_DOUBLE_EQ(e.objective(w), 1.0 + 1.0 + 0.75);
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/ffn.h"
+
+namespace sofa {
+namespace {
+
+MatF
+probeBatch(Rng &rng, int tokens, int hidden)
+{
+    MatF x(tokens, hidden);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return x;
+}
+
+TEST(Ffn, DenseShapes)
+{
+    Rng rng(1);
+    auto layer = makeFfnLayer(rng, 32, 128);
+    auto x = probeBatch(rng, 4, 32);
+    auto res = ffnForward(layer, x);
+    EXPECT_EQ(res.output.rows(), 4u);
+    EXPECT_EQ(res.output.cols(), 32u);
+    EXPECT_EQ(res.keptNeurons, res.totalNeurons);
+}
+
+TEST(Ffn, FullKeepMatchesDense)
+{
+    Rng rng(2);
+    auto layer = makeFfnLayer(rng, 32, 96);
+    auto x = probeBatch(rng, 8, 32);
+    auto dense = ffnForward(layer, x);
+    auto sparse = ffnForwardSparse(layer, x, 1.0);
+    EXPECT_LT(relativeError(sparse.output, dense.output), 1e-5);
+}
+
+TEST(Ffn, SkewMakesSmallKeepAccurate)
+{
+    // With hot neurons, keeping 25% reproduces the dense output well.
+    Rng rng(3);
+    auto layer = makeFfnLayer(rng, 48, 192, 0.1, 4.0);
+    auto x = probeBatch(rng, 16, 48);
+    auto dense = ffnForward(layer, x);
+    auto sparse = ffnForwardSparse(layer, x, 0.25);
+    EXPECT_LT(relativeError(sparse.output, dense.output), 0.2);
+}
+
+TEST(Ffn, ErrorMonotoneInKeep)
+{
+    Rng rng(4);
+    auto layer = makeFfnLayer(rng, 32, 128);
+    auto x = probeBatch(rng, 8, 32);
+    auto dense = ffnForward(layer, x);
+    double prev = 1e9;
+    for (double keep : {0.1, 0.3, 0.6, 0.9}) {
+        auto sparse = ffnForwardSparse(layer, x, keep);
+        const double err =
+            relativeError(sparse.output, dense.output);
+        EXPECT_LE(err, prev + 1e-6) << "keep=" << keep;
+        prev = err;
+    }
+}
+
+TEST(Ffn, OpsSavedInSecondProjection)
+{
+    Rng rng(5);
+    auto layer = makeFfnLayer(rng, 32, 128);
+    auto x = probeBatch(rng, 8, 32);
+    auto dense = ffnForward(layer, x);
+    auto sparse = ffnForwardSparse(layer, x, 0.25);
+    // First projection cost is identical; the savings come from W2.
+    EXPECT_LT(sparse.ops.muls(), dense.ops.muls());
+    const double saved =
+        1.0 - static_cast<double>(sparse.ops.muls()) /
+                  static_cast<double>(dense.ops.muls());
+    // W2 is half of the muls; 75% of it pruned -> ~37.5% saved.
+    EXPECT_NEAR(saved, 0.375, 0.05);
+}
+
+TEST(Ffn, KeptNeuronsAccounting)
+{
+    Rng rng(6);
+    auto layer = makeFfnLayer(rng, 16, 64);
+    auto x = probeBatch(rng, 10, 16);
+    auto sparse = ffnForwardSparse(layer, x, 0.5);
+    EXPECT_EQ(sparse.keptNeurons, 10 * 32);
+    EXPECT_EQ(sparse.totalNeurons, 10 * 64);
+}
+
+TEST(Ffn, ReluZerosPropagate)
+{
+    Rng rng(7);
+    auto layer =
+        makeFfnLayer(rng, 16, 64, 0.1, 3.0, Activation::Relu);
+    auto x = probeBatch(rng, 4, 16);
+    auto res = ffnForward(layer, x);
+    for (float v : res.output.data())
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Ffn, CalibrationMeetsBudget)
+{
+    Rng rng(8);
+    auto layer = makeFfnLayer(rng, 32, 128, 0.1, 4.0);
+    auto probe = probeBatch(rng, 12, 32);
+    const double budget = 0.15;
+    const double keep = calibrateKeepFraction(layer, probe, budget);
+    auto dense = ffnForward(layer, probe);
+    auto sparse = ffnForwardSparse(layer, probe, keep);
+    EXPECT_LE(relativeError(sparse.output, dense.output),
+              budget + 1e-9);
+    EXPECT_LT(keep, 1.0);
+}
+
+TEST(Ffn, CalibrationTighterBudgetKeepsMore)
+{
+    Rng rng(9);
+    auto layer = makeFfnLayer(rng, 32, 128, 0.1, 4.0);
+    auto probe = probeBatch(rng, 12, 32);
+    const double loose = calibrateKeepFraction(layer, probe, 0.3);
+    const double tight = calibrateKeepFraction(layer, probe, 0.05);
+    EXPECT_LE(loose, tight);
+}
+
+TEST(Ffn, StackCalibrationIsLayerSpecific)
+{
+    Rng rng(10);
+    std::vector<FfnLayer> stack;
+    // More skew in deeper layers -> smaller keeps.
+    stack.push_back(makeFfnLayer(rng, 32, 128, 0.5, 1.2));
+    stack.push_back(makeFfnLayer(rng, 32, 128, 0.05, 6.0));
+    auto probe = probeBatch(rng, 12, 32);
+    auto keeps = calibrateStack(stack, probe, 0.15);
+    ASSERT_EQ(keeps.size(), 2u);
+    EXPECT_GE(keeps[0], keeps[1]);
+}
+
+TEST(FfnDeath, BadKeepPanics)
+{
+    Rng rng(11);
+    auto layer = makeFfnLayer(rng, 8, 16);
+    auto x = probeBatch(rng, 1, 8);
+    EXPECT_DEATH(ffnForwardSparse(layer, x, 0.0), "assertion");
+    EXPECT_DEATH(ffnForwardSparse(layer, x, 1.5), "assertion");
+}
+
+} // namespace
+} // namespace sofa

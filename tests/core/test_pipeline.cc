@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "attention/reference.h"
+#include "core/pipeline.h"
+#include "model/suite.h"
+
+namespace sofa {
+namespace {
+
+AttentionWorkload
+pipelineWorkload(int seq = 512, int queries = 32)
+{
+    WorkloadSpec spec;
+    spec.seq = seq;
+    spec.queries = queries;
+    spec.headDim = 32;
+    spec.tokenDim = 48;
+    spec.mixture = {0.2, 0.8, 0.0};
+    return generateWorkload(spec);
+}
+
+TEST(Pipeline, RunsAndProducesSaneQuality)
+{
+    auto w = pipelineWorkload();
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.25;
+    auto res = runSofaPipeline(w, cfg);
+    EXPECT_EQ(res.output.rows(), w.q.rows());
+    EXPECT_GT(res.massRecall, 0.85);
+    EXPECT_GT(res.topkRecall, 0.5);
+    EXPECT_LT(res.outputRelError, 0.25);
+    EXPECT_EQ(res.selections.size(), w.q.rows());
+}
+
+TEST(Pipeline, PredictionIsMultiplierFree)
+{
+    auto w = pipelineWorkload(128, 8);
+    PipelineConfig cfg;
+    auto res = runSofaPipeline(w, cfg);
+    EXPECT_EQ(res.predictionOps.muls(), 0);
+    EXPECT_GT(res.predictionOps.shifts(), 0);
+}
+
+TEST(Pipeline, OnDemandKvGeneratesSubset)
+{
+    auto w = pipelineWorkload(512, 16);
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.1;
+    auto res = runSofaPipeline(w, cfg);
+    EXPECT_LT(res.keysGenerated, 512);
+    EXPECT_GT(res.keysGenerated, 0);
+}
+
+TEST(Pipeline, MoreKeepBetterQuality)
+{
+    auto w = pipelineWorkload();
+    PipelineConfig lo, hi;
+    lo.topkFrac = 0.05;
+    hi.topkFrac = 0.5;
+    auto rl = runSofaPipeline(w, lo);
+    auto rh = runSofaPipeline(w, hi);
+    EXPECT_GT(rh.massRecall, rl.massRecall);
+    EXPECT_LE(rh.accuracyLossPct, rl.accuracyLossPct);
+    EXPECT_LT(rh.outputRelError, rl.outputRelError + 1e-9);
+}
+
+TEST(Pipeline, CheaperThanBaselineAtSameKeep)
+{
+    // Fig. 17: DLZS+SADS+SU-FA cut normalized complexity vs the
+    // 4-bit + vanilla-sort + FA-2 baseline at equal sparsity.
+    auto w = pipelineWorkload(1024, 32);
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.2;
+    auto sofa_run = runSofaPipeline(w, cfg);
+    auto base_run = runBaselinePipeline(w, 0.2);
+
+    // Baseline prediction runs on a 4-bit datapath: cost its ops at
+    // quarter width, SOFA's shift-add prediction at int8 width.
+    OpCosts narrow = OpCosts::scaled(0.5);
+    const double sofa_cost =
+        sofa_run.predictionOps.normalized(narrow) +
+        sofa_run.sortOps.normalized() +
+        sofa_run.formalOps.normalized();
+    const double base_cost =
+        base_run.predictionOps.normalized(narrow) +
+        base_run.sortOps.normalized() +
+        base_run.formalOps.normalized();
+    EXPECT_LT(sofa_cost, base_cost);
+}
+
+TEST(Pipeline, BaselineQualityComparable)
+{
+    auto w = pipelineWorkload();
+    auto base = runBaselinePipeline(w, 0.25);
+    EXPECT_GT(base.massRecall, 0.9);
+    EXPECT_LT(base.outputRelError, 0.2);
+}
+
+TEST(Pipeline, MinimalKeepFractionMonotoneInLoss)
+{
+    auto w = pipelineWorkload();
+    PipelineConfig cfg;
+    const double k0 = minimalKeepFraction(w, cfg, 0.25);
+    const double k1 = minimalKeepFraction(w, cfg, 1.0);
+    const double k2 = minimalKeepFraction(w, cfg, 2.0);
+    EXPECT_GE(k0, k1);
+    EXPECT_GE(k1, k2);
+    EXPECT_GT(k2, 0.0);
+}
+
+TEST(Pipeline, MinimalKeepMeetsLossTarget)
+{
+    auto w = pipelineWorkload();
+    PipelineConfig cfg;
+    PipelineResult at_min;
+    minimalKeepFraction(w, cfg, 1.0, &at_min);
+    EXPECT_LE(at_min.accuracyLossPct, 1.0 + 1e-9);
+}
+
+TEST(Pipeline, TotalOpsIsSumOfStages)
+{
+    auto w = pipelineWorkload(128, 8);
+    auto res = runSofaPipeline(w, PipelineConfig{});
+    EXPECT_EQ(res.totalOps().total(),
+              res.predictionOps.total() + res.sortOps.total() +
+                  res.formalOps.total());
+}
+
+TEST(Pipeline, SuiteBenchmarkSmoke)
+{
+    // One small suite benchmark end to end.
+    auto suite = suiteSmall();
+    ASSERT_FALSE(suite.empty());
+    auto spec = suite[0].workloadSpec(256, 16);
+    auto w = generateWorkload(spec);
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.3;
+    auto res = runSofaPipeline(w, cfg);
+    EXPECT_GT(res.massRecall, 0.8);
+}
+
+} // namespace
+} // namespace sofa

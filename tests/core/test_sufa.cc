@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "attention/reference.h"
+#include "core/sads.h"
+#include "core/sufa.h"
+#include "model/workload.h"
+
+namespace sofa {
+namespace {
+
+struct Setup
+{
+    AttentionWorkload w;
+    SelectionList selections; ///< descending by exact score
+};
+
+Setup
+makeSetup(int seq = 256, int queries = 16, int k = 64)
+{
+    Setup s;
+    WorkloadSpec spec;
+    spec.seq = seq;
+    spec.queries = queries;
+    spec.headDim = 32;
+    spec.tokenDim = 32;
+    s.w = generateWorkload(spec);
+    s.selections = exactTopKRows(s.w.scores, k);
+    return s;
+}
+
+TEST(Sufa, MatchesMaskedReference)
+{
+    auto s = makeSetup();
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    auto ref =
+        maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
+    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+}
+
+TEST(Sufa, AscendingAlsoMatches)
+{
+    auto s = makeSetup();
+    SufaConfig cfg;
+    cfg.order = SufaOrder::Ascending;
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
+    auto ref =
+        maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
+    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+}
+
+TEST(Sufa, NoViolationsWithExactOrdering)
+{
+    // Exact descending order: the first element is the true max, so
+    // the max-ensuring circuit never fires.
+    auto s = makeSetup();
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    EXPECT_EQ(sufa.maxViolations, 0);
+}
+
+TEST(Sufa, MispredictedOrderStillCorrect)
+{
+    // Shuffle the selections (simulating DLZS misprediction): output
+    // must stay correct, violations must be counted.
+    auto s = makeSetup();
+    Rng rng(5);
+    SelectionList shuffled = s.selections;
+    for (auto &sel : shuffled)
+        rng.shuffle(sel);
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, shuffled, {});
+    auto ref =
+        maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
+    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+    EXPECT_GT(sufa.maxViolations, 0);
+}
+
+TEST(Sufa, DescendingCheaperThanAscending)
+{
+    // Fig. 10: descending updates skip the per-step l rescale
+    // multiply of the ascending order (Eq. (2) vs Eq. (1)).
+    auto s = makeSetup(512, 16, 128);
+    SufaConfig desc, asc;
+    asc.order = SufaOrder::Ascending;
+    auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, desc);
+    auto ra = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, asc);
+    EXPECT_LT(rd.ops.normalized(), ra.ops.normalized());
+    // The gap is the per-element multiply on the l path.
+    EXPECT_GT(ra.ops.muls(), rd.ops.muls());
+    EXPECT_EQ(ra.ops.exps(), rd.ops.exps());
+}
+
+TEST(Sufa, CheaperThanSparseFa2)
+{
+    auto s = makeSetup(1024, 16, 256);
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    auto fa2 = sparseFlash2(s.w.q, s.w.k, s.w.v, s.selections, 16);
+    EXPECT_LT(sufa.ops.normalized(), fa2.ops.normalized());
+}
+
+TEST(Sufa, ReductionsNearPaperNumbers)
+{
+    // Paper: descending SU-FA averages ~25% less complexity than
+    // traditional FA and ~11% less than ascending (softmax-side ops).
+    auto s = makeSetup(2048, 8, 512);
+    SufaConfig desc, asc;
+    asc.order = SufaOrder::Ascending;
+    auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, desc);
+    auto ra = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, asc);
+    auto fa = sparseFlash2(s.w.q, s.w.k, s.w.v, s.selections, 4);
+
+    // Compare the softmax-update machinery (exps + rescale muls),
+    // excluding the shared QK^T / PV MACs.
+    auto softmax_cost = [](const OpCounter &ops, std::int64_t macs) {
+        OpCosts costs;
+        return ops.normalized(costs) -
+               static_cast<double>(macs) * (costs.mul + costs.add);
+    };
+    const std::int64_t macs = 2 * 8 * 512 * 32;
+    const double d_cost = softmax_cost(rd.ops, macs);
+    const double a_cost = softmax_cost(ra.ops, macs);
+    const double f_cost = softmax_cost(fa.ops, macs);
+    EXPECT_LT(d_cost, a_cost);
+    EXPECT_LT(a_cost, f_cost);
+    // Descending saves >= 15% vs FA on the softmax side.
+    EXPECT_LT(d_cost, 0.85 * f_cost);
+}
+
+TEST(Sufa, EmptySelectionsYieldZeros)
+{
+    auto s = makeSetup(32, 4, 8);
+    SelectionList empty(4);
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, empty, {});
+    for (float v : sufa.output.data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Sufa, TileCountTracksBlockCols)
+{
+    auto s = makeSetup(256, 4, 64);
+    SufaConfig cfg;
+    cfg.blockCols = 16;
+    auto r = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
+    EXPECT_EQ(r.tiles, 4 * (64 / 16));
+}
+
+TEST(SufaAnalytic, MatchesMeasuredWithinTolerance)
+{
+    auto s = makeSetup(512, 8, 128);
+    auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    OpCounter analytic =
+        sufaAnalyticOps(8, 128, 32, SufaOrder::Descending);
+    EXPECT_NEAR(analytic.normalized() / rd.ops.normalized(), 1.0,
+                0.15);
+}
+
+TEST(SufaAnalytic, OrderingOfSchemes)
+{
+    const auto d = sufaAnalyticOps(64, 256, 64, SufaOrder::Descending);
+    const auto a = sufaAnalyticOps(64, 256, 64, SufaOrder::Ascending);
+    const auto f = sparseFa2AnalyticOps(64, 256, 64, 16);
+    EXPECT_LT(d.normalized(), a.normalized());
+    EXPECT_LT(d.normalized(), f.normalized());
+}
+
+TEST(SparseFa2, MatchesMaskedReference)
+{
+    auto s = makeSetup();
+    auto fa2 = sparseFlash2(s.w.q, s.w.k, s.w.v, s.selections, 16);
+    auto ref =
+        maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
+    EXPECT_LT(relativeError(fa2.output, ref.output), 1e-4);
+}
+
+/** Property: SU-FA equals masked reference across block sizes. */
+class SufaBlockSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SufaBlockSweep, NumericalEquivalence)
+{
+    auto s = makeSetup(128, 8, 48);
+    SufaConfig cfg;
+    cfg.blockCols = GetParam();
+    auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
+    auto ref =
+        maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
+    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4)
+        << "Bc=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, SufaBlockSweep,
+                         ::testing::Values(1, 2, 7, 16, 48, 100));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "energy/area_model.h"
+
+namespace sofa {
+namespace {
+
+TEST(AreaModel, TotalsMatchTableIII)
+{
+    SofaAreaModel m;
+    EXPECT_NEAR(m.totalAreaMm2(), 5.69, 0.01);
+    EXPECT_NEAR(m.totalPowerMw(), 949.85, 0.1);
+}
+
+TEST(AreaModel, SixModules)
+{
+    SofaAreaModel m;
+    EXPECT_EQ(m.modules().size(), 6u);
+}
+
+TEST(AreaModel, LpFractionsMatchPaper)
+{
+    // Paper: LP (DLZS + SADS) accounts for ~18% area and ~15% power.
+    SofaAreaModel m;
+    EXPECT_NEAR(m.lpAreaFraction(), 0.18, 0.02);
+    EXPECT_NEAR(m.lpPowerFraction(), 0.15, 0.02);
+}
+
+TEST(AreaModel, SufaIsLargestModule)
+{
+    SofaAreaModel m;
+    const auto &sufa = m.byName("SU-FA module");
+    for (const auto &mod : m.modules()) {
+        EXPECT_LE(mod.areaMm2, sufa.areaMm2);
+        EXPECT_LE(mod.powerMw, sufa.powerMw);
+    }
+}
+
+TEST(AreaModelDeath, UnknownModuleFatal)
+{
+    SofaAreaModel m;
+    EXPECT_EXIT(m.byName("nope"), ::testing::ExitedWithCode(1),
+                "unknown module");
+}
+
+TEST(DevicePower, TableIVTotals)
+{
+    DevicePower p;
+    EXPECT_NEAR(p.totalW(), 3.40, 0.01);
+    EXPECT_NEAR(p.coreW, 0.95, 1e-9);
+    EXPECT_NEAR(p.interfaceW, 0.53, 1e-9);
+    EXPECT_NEAR(p.dramW, 1.92, 1e-9);
+}
+
+TEST(DevicePower, BandwidthScalesMemorySide)
+{
+    DevicePower half = DevicePower::atBandwidth(29.9);
+    EXPECT_NEAR(half.dramW, 0.96, 0.01);
+    EXPECT_NEAR(half.interfaceW, 0.265, 0.005);
+    EXPECT_NEAR(half.coreW, 0.95, 1e-9); // core unaffected
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace sofa {
+namespace {
+
+TEST(OpEnergies, HorowitzOrdering)
+{
+    OpEnergies e = OpEnergies::horowitz45();
+    EXPECT_LT(e.addI8, e.addI32);
+    EXPECT_LT(e.addI8, e.mulI8);
+    EXPECT_LT(e.mulI8, e.mulI32);
+    EXPECT_LT(e.shift, e.addI8);
+}
+
+TEST(OpEnergies, NodeScalingShrinksEnergy)
+{
+    OpEnergies e45 = OpEnergies::horowitz45();
+    OpEnergies e28 = OpEnergies::atNode({28.0, 1.0});
+    EXPECT_LT(e28.mulI16, e45.mulI16);
+    EXPECT_LT(e28.addI8, e45.addI8);
+}
+
+TEST(OpEnergyPj, PredictPathCheaperThanFormal)
+{
+    OpCounter ops;
+    ops.addN(1000);
+    ops.mulN(1000);
+    OpEnergies e = OpEnergies::atNode({28.0, 1.0});
+    EXPECT_LT(opEnergyPj(ops, Datapath::PredictI8, e),
+              opEnergyPj(ops, Datapath::FormalI16, e));
+}
+
+TEST(OpEnergyPj, ShiftAddBeatsMultiply)
+{
+    // The DLZS argument: shifts + adds cost less than multiplies for
+    // the same operation count.
+    OpCounter dlzs, mul;
+    dlzs.shiftN(1000);
+    dlzs.addN(1000);
+    mul.mulN(1000);
+    mul.addN(1000);
+    OpEnergies e = OpEnergies::atNode({28.0, 1.0});
+    EXPECT_LT(opEnergyPj(dlzs, Datapath::PredictI8, e),
+              opEnergyPj(mul, Datapath::PredictI8, e));
+}
+
+TEST(OpEnergyPj, ExpDominates)
+{
+    OpCounter exp_ops, add_ops;
+    exp_ops.expN(10);
+    add_ops.addN(10);
+    OpEnergies e = OpEnergies::atNode({28.0, 1.0});
+    EXPECT_GT(opEnergyPj(exp_ops, Datapath::FormalI16, e),
+              10.0 * opEnergyPj(add_ops, Datapath::FormalI16, e));
+}
+
+TEST(MemEnergy, DramOrdersOfMagnitudeAboveSram)
+{
+    // Section II-D: DRAM ~2 orders of magnitude above cache access.
+    MemEnergies e = MemEnergies::defaults();
+    EXPECT_GT(e.dramBit / e.sramBit, 50.0);
+    EXPECT_GT(dramEnergyPj(1024, e), sramEnergyPj(1024, e) * 50.0);
+}
+
+TEST(MemEnergy, LinearInBytes)
+{
+    MemEnergies e = MemEnergies::defaults();
+    EXPECT_DOUBLE_EQ(sramEnergyPj(2048, e), 2.0 * sramEnergyPj(1024, e));
+    EXPECT_DOUBLE_EQ(dramEnergyPj(2048, e), 2.0 * dramEnergyPj(1024, e));
+    EXPECT_DOUBLE_EQ(ioEnergyPj(0, e), 0.0);
+}
+
+} // namespace
+} // namespace sofa

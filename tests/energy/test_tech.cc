@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "energy/tech.h"
+
+namespace sofa {
+namespace {
+
+TEST(TechScaler, IdentityAtReference)
+{
+    TechScaler s;
+    TechNode node{28.0, 1.0};
+    EXPECT_DOUBLE_EQ(s.scaleFrequency(1e9, node), 1e9);
+    EXPECT_DOUBLE_EQ(s.scalePower(1.0, node), 1.0);
+    EXPECT_DOUBLE_EQ(s.scaleArea(2.0, node), 2.0);
+    EXPECT_DOUBLE_EQ(s.scaleThroughput(100.0, node), 100.0);
+}
+
+TEST(TechScaler, FrequencyRule)
+{
+    // f ~ 1/s^2: a 40nm design normalized to 28nm gets faster by
+    // (40/28)^2 ~ 2.04.
+    TechScaler s;
+    TechNode n40{40.0, 1.0};
+    EXPECT_NEAR(s.scaleFrequency(1e9, n40) / 1e9, 2.0408, 1e-3);
+}
+
+TEST(TechScaler, PowerRuleFollowsFootnote)
+{
+    // power(core) ~ (1/s)(1.0/Vdd)^2.
+    TechScaler s;
+    TechNode n56{56.0, 1.0};
+    EXPECT_NEAR(s.scalePower(2.0, n56), 1.0, 1e-9);
+    TechNode n28lowv{28.0, 0.5};
+    EXPECT_NEAR(s.scalePower(1.0, n28lowv), 4.0, 1e-9);
+}
+
+TEST(TechScaler, AreaShrinks)
+{
+    TechScaler s;
+    TechNode n56{56.0, 1.0};
+    EXPECT_NEAR(s.scaleArea(4.0, n56), 1.0, 1e-9);
+}
+
+TEST(TechScaler, EfficiencyGainFromScaling)
+{
+    // Normalizing an older node to 28nm boosts GOPS/W by s^3.
+    TechScaler s;
+    TechNode n40{40.0, 1.0};
+    const double gops = s.scaleThroughput(100.0, n40);
+    const double power = s.scalePower(1.0, n40);
+    const double eff_gain = (gops / power) / 100.0;
+    const double sf = 40.0 / 28.0;
+    EXPECT_NEAR(eff_gain, sf * sf * sf, 1e-6);
+}
+
+TEST(TechScaler, SmallerNodeScalesDown)
+{
+    // A 22nm design normalized *to* 28nm loses frequency.
+    TechScaler s;
+    TechNode n22{22.0, 1.0};
+    EXPECT_LT(s.scaleFrequency(1e9, n22), 1e9);
+    EXPECT_GT(s.scaleArea(1.0, n22), 1.0);
+}
+
+} // namespace
+} // namespace sofa

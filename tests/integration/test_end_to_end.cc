@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "attention/reference.h"
+#include "baselines/gpu.h"
+#include "core/pipeline.h"
+#include "model/suite.h"
+
+namespace sofa {
+namespace {
+
+/** Full functional + architectural run over one suite benchmark. */
+TEST(EndToEnd, FunctionalAndArchAgreeOnSparsity)
+{
+    auto suite = suiteSmall();
+    ASSERT_FALSE(suite.empty());
+    auto spec = suite[0].workloadSpec(512, 32);
+    auto w = generateWorkload(spec);
+
+    PipelineConfig pcfg;
+    pcfg.topkFrac = 0.2;
+    auto func = runSofaPipeline(w, pcfg);
+
+    SofaConfig acfg;
+    acfg.topkFrac = 0.2;
+    SofaAccelerator acc(acfg);
+    AttentionShape shape;
+    shape.queries = spec.queries;
+    shape.seq = spec.seq;
+    shape.headDim = spec.headDim;
+    shape.tokenDim = spec.tokenDim;
+    shape.keyCoverage =
+        static_cast<double>(func.keysGenerated) / spec.seq;
+    shape.violationRate =
+        static_cast<double>(func.maxViolations) /
+        std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(spec.queries) *
+                   static_cast<std::int64_t>(0.2 * spec.seq));
+    auto sim = acc.run(shape);
+
+    EXPECT_GT(sim.timeNs, 0.0);
+    EXPECT_GT(func.massRecall, 0.85);
+}
+
+TEST(EndToEnd, SofaBeatsGpuModelAtScale)
+{
+    // The headline claim at workload scale: SOFA's simulated
+    // throughput beats the A100 model by a large factor on long
+    // sequences with 2%-loss sparsity.
+    AttentionShape shape;
+    shape.queries = 512;
+    shape.seq = 4096;
+    shape.headDim = 128;
+    shape.heads = 8;
+
+    SofaConfig cfg;
+    cfg.topkFrac = 0.08; // 2%-loss operating point
+    SofaAccelerator acc(cfg);
+    auto sofa_res = acc.run(shape);
+
+    GpuModel gpu;
+    auto gpu_res = gpu.run(shape, GpuMode::Dense);
+
+    const double speedup = gpu_res.timeNs / sofa_res.timeNs;
+    EXPECT_GT(speedup, 3.0);
+
+    const double eff_gain = sofa_res.gopsPerWatt / gpu_res.gopsPerWatt;
+    EXPECT_GT(eff_gain, 10.0);
+}
+
+TEST(EndToEnd, SuiteLossTargetsAchievable)
+{
+    // Every small-suite benchmark can hit the 2% loss target with a
+    // keep fraction well below dense.
+    for (const auto &b : suiteSmall()) {
+        auto w = generateWorkload(b.workloadSpec(384, 16));
+        PipelineConfig cfg;
+        const double frac = minimalKeepFraction(w, cfg, 2.0);
+        EXPECT_LT(frac, 0.7) << b.name;
+        EXPECT_GT(frac, 0.0) << b.name;
+    }
+}
+
+TEST(EndToEnd, CrossStageInfoReducesFormalOps)
+{
+    // The cross-stage claim in microcosm: with SADS ordering handed
+    // to SU-FA, the formal stage spends fewer ops than sparse FA-2
+    // on the same selections.
+    auto w = generateWorkload(
+        suiteSmall()[0].workloadSpec(512, 32));
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.2;
+    auto sofa_run = runSofaPipeline(w, cfg);
+    auto base_run = runBaselinePipeline(w, 0.2);
+    // Compare only the attention-side formal ops (KV generation is
+    // charged in both, but baseline generates all S keys).
+    EXPECT_LT(sofa_run.formalOps.normalized(),
+              base_run.formalOps.normalized());
+}
+
+TEST(EndToEnd, ViolationRateSmall)
+{
+    // DLZS misprediction seldom breaks the descending order property
+    // on realistic mixtures.
+    auto w = generateWorkload(
+        suiteSmall()[1].workloadSpec(512, 32));
+    PipelineConfig cfg;
+    cfg.topkFrac = 0.2;
+    auto res = runSofaPipeline(w, cfg);
+    const double per_element =
+        static_cast<double>(res.maxViolations) /
+        (static_cast<double>(w.spec.queries) * 0.2 * w.spec.seq);
+    EXPECT_LT(per_element, 0.25);
+}
+
+} // namespace
+} // namespace sofa

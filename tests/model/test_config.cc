@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "model/config.h"
+
+namespace sofa {
+namespace {
+
+TEST(ModelConfig, ZooContainsAllPaperModels)
+{
+    auto all = models::all();
+    EXPECT_EQ(all.size(), 10u);
+    for (const char *name :
+         {"BERT-Base", "BERT-Large", "GPT-2", "Bloom-1.7B", "Llama-7B",
+          "Llama-13B", "ViT-B", "PVT"}) {
+        bool found = false;
+        for (const auto &m : all)
+            found |= m.name == name;
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+TEST(ModelConfig, HeadDimDividesHidden)
+{
+    for (const auto &m : models::all()) {
+        EXPECT_EQ(m.hidden % m.heads, 0) << m.name;
+        EXPECT_EQ(m.headDim() * m.heads, m.hidden) << m.name;
+    }
+}
+
+TEST(ModelConfig, MixturesNormalized)
+{
+    for (const auto &m : models::all()) {
+        const double sum =
+            m.mixture.type1 + m.mixture.type2 + m.mixture.type3;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << m.name;
+        // Fig. 8: Type-II dominates in every model.
+        EXPECT_GT(m.mixture.type2, 0.5) << m.name;
+    }
+}
+
+TEST(ModelConfig, Fig8TypeIIIRareInGptAndLlama)
+{
+    EXPECT_LE(models::gpt2().mixture.type3, 0.02);
+    EXPECT_LE(models::llama7b().mixture.type3, 0.02);
+    // Type-I more frequent in ViT/GPT-2/Llama (~25%).
+    EXPECT_NEAR(models::vitBase().mixture.type1, 0.25, 0.05);
+    EXPECT_NEAR(models::llama7b().mixture.type1, 0.25, 0.05);
+}
+
+TEST(ModelConfig, KnownShapes)
+{
+    auto llama = models::llama7b();
+    EXPECT_EQ(llama.layers, 32);
+    EXPECT_EQ(llama.hidden, 4096);
+    EXPECT_EQ(llama.heads, 32);
+    EXPECT_EQ(llama.headDim(), 128);
+
+    auto bert = models::bertBase();
+    EXPECT_EQ(bert.layers, 12);
+    EXPECT_EQ(bert.hidden, 768);
+    EXPECT_EQ(bert.headDim(), 64);
+}
+
+TEST(ModelConfig, ByNameRoundTrip)
+{
+    for (const auto &m : models::all()) {
+        auto copy = models::byName(m.name);
+        EXPECT_EQ(copy.hidden, m.hidden);
+        EXPECT_EQ(copy.layers, m.layers);
+    }
+}
+
+TEST(ModelConfigDeath, ByNameUnknownFatal)
+{
+    EXPECT_EXIT(models::byName("NoSuchModel"),
+                ::testing::ExitedWithCode(1), "unknown model");
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "model/config.h"
+#include <cmath>
+
+#include "model/flops.h"
+
+namespace sofa {
+namespace {
+
+TEST(Flops, AttentionQuadraticInSeq)
+{
+    auto m = models::llama7b();
+    auto p1 = layerProfile(m, 1024, 1024);
+    auto p2 = layerProfile(m, 2048, 2048);
+    // Attention flops grow ~4x when S doubles (T=S prefill).
+    EXPECT_NEAR(p2.atten.flops / p1.atten.flops, 4.0, 0.1);
+    // FFN grows ~2x (linear in T).
+    EXPECT_NEAR(p2.ffn.flops / p1.ffn.flops, 2.0, 0.01);
+}
+
+TEST(Flops, AttentionDominatesAtLongSeq)
+{
+    // Fig. 1: attention overtakes FFN as S grows past ~32k.
+    auto m = models::llama7b();
+    auto short_p = layerProfile(m, 4096, 4096);
+    auto long_p = layerProfile(m, 131072, 131072);
+    EXPECT_LT(short_p.atten.flops, short_p.ffn.flops);
+    EXPECT_GT(long_p.atten.flops, long_p.ffn.flops);
+}
+
+TEST(Flops, AttentionMemoryDominatesAtLongSeq)
+{
+    auto m = models::llama7b();
+    auto long_p = layerProfile(m, 131072, 131072);
+    EXPECT_GT(long_p.atten.bytes, long_p.ffn.bytes);
+    EXPECT_GT(long_p.atten.bytes, long_p.qkv.bytes);
+}
+
+TEST(Flops, MhaIntensityWellBelowFfn)
+{
+    // Fig. 4(b): MHA operational intensity ~15% of FFN on average.
+    std::vector<ModelConfig> ms = {models::vitBase(),
+                                   models::bertBase(), models::gpt2(),
+                                   models::bloom3b()};
+    double ratio_sum = 0.0;
+    for (const auto &m : ms) {
+        auto p = layerProfile(m, 512, 512);
+        ratio_sum += p.atten.intensity() / p.ffn.intensity();
+    }
+    const double avg = ratio_sum / ms.size();
+    EXPECT_LT(avg, 0.35);
+}
+
+TEST(Flops, IntensityRisesWithParallelism)
+{
+    // Fig. 4(c): OI of MHA increases with token parallelism.
+    auto m = models::bloom3b();
+    double prev = 0.0;
+    for (int t : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        const double oi = attentionIntensity(m, 2048, t);
+        EXPECT_GT(oi, prev);
+        prev = oi;
+    }
+}
+
+TEST(Flops, IntensitySaturates)
+{
+    // The OI gain flattens: going 64 -> 128 gains less than 1 -> 2.
+    auto m = models::gpt2();
+    const double g_low = attentionIntensity(m, 1024, 2) /
+                         attentionIntensity(m, 1024, 1);
+    const double g_high = attentionIntensity(m, 1024, 128) /
+                          attentionIntensity(m, 1024, 64);
+    EXPECT_GT(g_low, g_high);
+}
+
+TEST(Flops, ModelProfileScalesWithLayers)
+{
+    auto m = models::bertBase();
+    auto one = layerProfile(m, 256, 256);
+    auto whole = modelProfile(m, 256, 256);
+    EXPECT_NEAR(whole.total().flops,
+                one.total().flops * m.layers, 1.0);
+}
+
+TEST(Flops, TotalsAreSumOfParts)
+{
+    auto m = models::gpt2();
+    auto p = layerProfile(m, 512, 64);
+    EXPECT_DOUBLE_EQ(p.total().flops,
+                     p.qkv.flops + p.atten.flops + p.ffn.flops);
+    EXPECT_DOUBLE_EQ(p.total().bytes,
+                     p.qkv.bytes + p.atten.bytes + p.ffn.bytes);
+}
+
+/** Parameterized sweep: profiles stay positive and finite. */
+class FlopsSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(FlopsSweep, PositiveFinite)
+{
+    auto [seq, tokens] = GetParam();
+    auto p = layerProfile(models::llama7b(), seq, tokens);
+    for (const OpProfile *op : {&p.qkv, &p.atten, &p.ffn}) {
+        EXPECT_GT(op->flops, 0.0);
+        EXPECT_GT(op->bytes, 0.0);
+        EXPECT_TRUE(std::isfinite(op->intensity()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlopsSweep,
+    ::testing::Combine(::testing::Values(128, 1024, 8192, 131072),
+                       ::testing::Values(1, 64, 512)));
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "model/scenarios.h"
+
+namespace sofa {
+namespace {
+
+ServingScenario
+make(ServingMode mode, int prompt = 2048, int batch = 4,
+     int gamma = 4)
+{
+    ServingScenario s;
+    s.mode = mode;
+    s.model = models::llama7b();
+    s.promptLen = prompt;
+    s.batch = batch;
+    s.speculationGamma = gamma;
+    return s;
+}
+
+TEST(Scenarios, PrefillParallelismIsPromptLength)
+{
+    auto s = make(ServingMode::Prefill, 4096);
+    EXPECT_EQ(s.tokenParallelism(), 4096);
+    EXPECT_EQ(s.contextLength(), 4096);
+}
+
+TEST(Scenarios, DisaggregatedScalesWithBatch)
+{
+    auto s = make(ServingMode::DisaggregatedPrefill, 2048, 8);
+    EXPECT_EQ(s.tokenParallelism(), 2048 * 8);
+}
+
+TEST(Scenarios, SpeculativeTurnsDecodeIntoSmallPrefill)
+{
+    auto spec = make(ServingMode::SpeculativeDecode, 2048, 16, 4);
+    auto dec = make(ServingMode::AutoregressiveDecode, 2048, 16);
+    EXPECT_EQ(spec.tokenParallelism(), 64);
+    EXPECT_EQ(dec.tokenParallelism(), 16);
+    EXPECT_GT(spec.tokenParallelism(), dec.tokenParallelism());
+}
+
+TEST(Scenarios, TokensProducedPrefill)
+{
+    auto s = make(ServingMode::Prefill, 1000);
+    EXPECT_DOUBLE_EQ(s.tokensProduced(), 1000.0);
+}
+
+TEST(Scenarios, SpeculativeExpectationBounds)
+{
+    auto s = make(ServingMode::SpeculativeDecode, 2048, 1, 4);
+    // With acceptance a in (0,1): between 1 (bonus only) and
+    // gamma + 1 tokens per step.
+    for (double a : {0.3, 0.7, 0.99}) {
+        const double t = s.tokensProduced(a);
+        EXPECT_GT(t, 1.0);
+        EXPECT_LT(t, 5.0 + 1e-9);
+    }
+    // Higher acceptance -> more tokens.
+    EXPECT_GT(s.tokensProduced(0.9), s.tokensProduced(0.5));
+}
+
+TEST(Scenarios, SpeculativeLongerDraftMoreTokens)
+{
+    auto g4 = make(ServingMode::SpeculativeDecode, 2048, 1, 4);
+    auto g8 = make(ServingMode::SpeculativeDecode, 2048, 1, 8);
+    EXPECT_GT(g8.tokensProduced(0.8), g4.tokensProduced(0.8));
+}
+
+TEST(Scenarios, DecodeProducesBatchTokens)
+{
+    auto s = make(ServingMode::AutoregressiveDecode, 2048, 16);
+    EXPECT_DOUBLE_EQ(s.tokensProduced(), 16.0);
+}
+
+TEST(Scenarios, SuiteCoversAllModes)
+{
+    auto suite = servingSuite(models::llama7b());
+    EXPECT_GE(suite.size(), 6u);
+    bool saw[4] = {false, false, false, false};
+    for (const auto &s : suite)
+        saw[static_cast<int>(s.mode)] = true;
+    for (bool b : saw)
+        EXPECT_TRUE(b);
+}
+
+TEST(Scenarios, ModeNames)
+{
+    EXPECT_STREQ(servingModeName(ServingMode::Prefill), "prefill");
+    EXPECT_STREQ(servingModeName(ServingMode::SpeculativeDecode),
+                 "speculative");
+}
+
+TEST(ScenariosDeath, BadAcceptanceRate)
+{
+    auto s = make(ServingMode::SpeculativeDecode);
+    EXPECT_DEATH(s.tokensProduced(0.0), "assertion");
+    EXPECT_DEATH(s.tokensProduced(1.5), "assertion");
+}
+
+} // namespace
+} // namespace sofa

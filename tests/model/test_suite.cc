@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/suite.h"
+
+namespace sofa {
+namespace {
+
+TEST(Suite, HasTwentyBenchmarks)
+{
+    EXPECT_EQ(suite20().size(), 20u);
+}
+
+TEST(Suite, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &b : suite20())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), 20u);
+}
+
+TEST(Suite, SequenceLengthsMatchPaper)
+{
+    for (const auto &b : suite20()) {
+        if (b.task == "MRPC" || b.task == "RTE") {
+            EXPECT_EQ(b.seq, 256) << b.name;
+        }
+        if (b.task == "SQuAD") {
+            EXPECT_EQ(b.seq, 384) << b.name;
+        }
+        if (b.task == "STS-B" || b.task == "QNLI") {
+            EXPECT_EQ(b.seq, 512) << b.name;
+        }
+        if (b.model.name == "Llama-7B") {
+            EXPECT_EQ(b.seq, 4096) << b.name;
+        }
+        if (b.model.name == "PVT") {
+            EXPECT_EQ(b.seq, 3192) << b.name;
+        }
+    }
+}
+
+TEST(Suite, DensityInRange)
+{
+    for (const auto &b : suite20()) {
+        EXPECT_GT(b.density, 0.0) << b.name;
+        EXPECT_LE(b.density, 1.0) << b.name;
+    }
+    // CV denser than sentiment text tasks (Section V-B).
+    double pvt = 0.0, stsb = 0.0;
+    for (const auto &b : suite20()) {
+        if (b.name == "PVT/ImageNet-1k")
+            pvt = b.density;
+        if (b.name == "BERT-Base/STS-B")
+            stsb = b.density;
+    }
+    EXPECT_GT(pvt, stsb);
+}
+
+TEST(Suite, WorkloadSpecCapsSeq)
+{
+    for (const auto &b : suite20()) {
+        auto spec = b.workloadSpec(1024, 32);
+        EXPECT_LE(spec.seq, 1024) << b.name;
+        EXPECT_EQ(spec.queries, 32) << b.name;
+        EXPECT_GT(spec.headDim, 0) << b.name;
+    }
+}
+
+TEST(Suite, WorkloadSeedsDifferAcrossBenchmarks)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &b : suite20())
+        seeds.insert(b.workloadSpec().seed);
+    EXPECT_EQ(seeds.size(), 20u);
+}
+
+TEST(Suite, SmallSubsetIsSubset)
+{
+    auto small = suiteSmall();
+    EXPECT_GE(small.size(), 5u);
+    auto all = suite20();
+    for (const auto &s : small) {
+        bool found = false;
+        for (const auto &b : all)
+            found |= b.name == s.name;
+        EXPECT_TRUE(found) << s.name;
+    }
+}
+
+TEST(Suite, MixturePropagatedFromModel)
+{
+    for (const auto &b : suite20()) {
+        auto spec = b.workloadSpec();
+        EXPECT_DOUBLE_EQ(spec.mixture.type1, b.model.mixture.type1)
+            << b.name;
+    }
+}
+
+} // namespace
+} // namespace sofa

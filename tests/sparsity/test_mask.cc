@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sparsity/mask.h"
+
+namespace sofa {
+namespace {
+
+TEST(TopkMask, FromSelectionsRoundTrip)
+{
+    SelectionList sel = {{3, 1}, {0}, {}};
+    TopkMask m = TopkMask::fromSelections(sel, 4);
+    EXPECT_EQ(m.queries(), 3);
+    EXPECT_EQ(m.seq(), 4);
+    EXPECT_TRUE(m.get(0, 1));
+    EXPECT_TRUE(m.get(0, 3));
+    EXPECT_TRUE(m.get(1, 0));
+    EXPECT_FALSE(m.get(2, 0));
+
+    auto back = m.toSelections();
+    EXPECT_EQ(back[0], (Selection{1, 3})); // ascending order
+    EXPECT_EQ(back[1], (Selection{0}));
+    EXPECT_TRUE(back[2].empty());
+}
+
+TEST(TopkMask, PopcountAndDensity)
+{
+    SelectionList sel = {{0, 1}, {1}};
+    TopkMask m = TopkMask::fromSelections(sel, 4);
+    EXPECT_EQ(m.popcount(), 3);
+    EXPECT_DOUBLE_EQ(m.density(), 3.0 / 8.0);
+}
+
+TEST(TopkMask, RequiredKeysIsUnion)
+{
+    SelectionList sel = {{0, 2}, {2, 3}, {5}};
+    TopkMask m = TopkMask::fromSelections(sel, 8);
+    EXPECT_EQ(m.requiredKeys(), (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(TopkMask, QueriesNeedingKey)
+{
+    SelectionList sel = {{0, 2}, {2}, {1}};
+    TopkMask m = TopkMask::fromSelections(sel, 4);
+    EXPECT_EQ(m.queriesNeedingKey(2), (std::vector<int>{0, 1}));
+    EXPECT_EQ(m.queriesNeedingKey(1), (std::vector<int>{2}));
+    EXPECT_TRUE(m.queriesNeedingKey(3).empty());
+}
+
+TEST(TopkMask, SetAndClear)
+{
+    TopkMask m(2, 2);
+    m.set(0, 0);
+    EXPECT_TRUE(m.get(0, 0));
+    m.set(0, 0, false);
+    EXPECT_FALSE(m.get(0, 0));
+    EXPECT_EQ(m.popcount(), 0);
+}
+
+TEST(TopkMaskDeath, BoundsChecked)
+{
+    TopkMask m(2, 2);
+    EXPECT_DEATH(m.get(2, 0), "assertion");
+    EXPECT_DEATH(m.set(0, 2), "assertion");
+}
+
+TEST(TopkMask, EmptyMask)
+{
+    TopkMask m;
+    EXPECT_EQ(m.queries(), 0);
+    EXPECT_EQ(m.popcount(), 0);
+    EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+} // namespace
+} // namespace sofa

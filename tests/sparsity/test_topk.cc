@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/workload.h"
+#include "sparsity/topk.h"
+
+namespace sofa {
+namespace {
+
+TEST(ExactTopK, PicksLargest)
+{
+    std::vector<float> row = {1.0f, 9.0f, 3.0f, 7.0f, 5.0f};
+    auto sel = exactTopK(row.data(), 5, 2);
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0], 1);
+    EXPECT_EQ(sel[1], 3);
+}
+
+TEST(ExactTopK, DescendingOrder)
+{
+    std::vector<float> row = {0.5f, 0.1f, 0.9f, 0.3f};
+    auto sel = exactTopK(row.data(), 4, 4);
+    for (std::size_t i = 1; i < sel.size(); ++i)
+        EXPECT_GE(row[sel[i - 1]], row[sel[i]]);
+}
+
+TEST(ExactTopK, TieBreakByLowerIndex)
+{
+    std::vector<float> row = {2.0f, 2.0f, 2.0f};
+    auto sel = exactTopK(row.data(), 3, 2);
+    EXPECT_EQ(sel[0], 0);
+    EXPECT_EQ(sel[1], 1);
+}
+
+TEST(ExactTopK, KLargerThanSeqClamps)
+{
+    std::vector<float> row = {1.0f, 2.0f};
+    auto sel = exactTopK(row.data(), 2, 10);
+    EXPECT_EQ(sel.size(), 2u);
+}
+
+TEST(ExactTopK, ZeroK)
+{
+    std::vector<float> row = {1.0f};
+    EXPECT_TRUE(exactTopK(row.data(), 1, 0).empty());
+}
+
+TEST(ExactTopKRows, PerRowSelection)
+{
+    MatF m(2, 4);
+    m(0, 0) = 5;
+    m(0, 3) = 9;
+    m(1, 1) = 7;
+    m(1, 2) = 8;
+    auto sel = exactTopKRows(m, 1);
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0][0], 3);
+    EXPECT_EQ(sel[1][0], 2);
+}
+
+TEST(BitonicComparisons, KnownValues)
+{
+    // n=2^m: n/2 * m(m+1)/2 compare-exchange ops.
+    EXPECT_EQ(bitonicSortComparisons(2), 1);
+    EXPECT_EQ(bitonicSortComparisons(4), 6);
+    EXPECT_EQ(bitonicSortComparisons(8), 24);
+    EXPECT_EQ(bitonicSortComparisons(16), 80);
+    EXPECT_EQ(bitonicSortComparisons(1), 0);
+}
+
+TEST(BitonicComparisons, NonPowerOfTwoRoundsUp)
+{
+    EXPECT_EQ(bitonicSortComparisons(9), bitonicSortComparisons(16));
+}
+
+TEST(BitonicComparisons, SuperlinearGrowth)
+{
+    // The whole-row sorting cost grows faster than linearly — the
+    // motivation for SADS.
+    const auto c1k = bitonicSortComparisons(1024);
+    const auto c4k = bitonicSortComparisons(4096);
+    EXPECT_GT(c4k, 4 * c1k);
+}
+
+TEST(VanillaTopK, SameSelectionAsOracleWithCost)
+{
+    MatF m(3, 64);
+    Rng rng(5);
+    for (auto &v : m.data())
+        v = static_cast<float>(rng.gaussian());
+    OpCounter ops;
+    auto vanilla = vanillaTopKRows(m, 8, &ops);
+    auto oracle = exactTopKRows(m, 8);
+    EXPECT_EQ(vanilla, oracle);
+    EXPECT_EQ(ops.cmps(), 3 * bitonicSortComparisons(64));
+}
+
+TEST(VanillaTopK, NullCounterAllowed)
+{
+    std::vector<float> row = {3.0f, 1.0f, 2.0f};
+    auto sel = vanillaTopK(row.data(), 3, 1, nullptr);
+    EXPECT_EQ(sel[0], 0);
+}
+
+} // namespace
+} // namespace sofa

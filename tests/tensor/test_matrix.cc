@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.h"
+
+namespace sofa {
+namespace {
+
+TEST(Matrix, ConstructAndAccess)
+{
+    MatF m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+    m(0, 1) = 7.0f;
+    EXPECT_FLOAT_EQ(m.at(0, 1), 7.0f);
+}
+
+TEST(Matrix, BytesAccounting)
+{
+    MatF m(4, 4);
+    EXPECT_EQ(m.bytes(), 64u);
+    MatI8 m8(4, 4);
+    EXPECT_EQ(m8.bytes(), 16u);
+}
+
+TEST(MatrixDeath, OutOfBoundsAtPanics)
+{
+    MatF m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "assertion");
+    EXPECT_DEATH(m.at(0, 2), "assertion");
+}
+
+TEST(Matrix, RowPtrContiguity)
+{
+    MatF m(3, 4);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m(r, c) = static_cast<float>(r * 10 + c);
+    const float *row1 = m.rowPtr(1);
+    EXPECT_FLOAT_EQ(row1[0], 10.0f);
+    EXPECT_FLOAT_EQ(row1[3], 13.0f);
+}
+
+TEST(Matmul, IdentityIsNoop)
+{
+    MatF a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    MatF eye(2, 2, 0.0f);
+    eye(0, 0) = eye(1, 1) = 1.0f;
+    MatF c = matmul(a, eye);
+    EXPECT_EQ(c, a);
+}
+
+TEST(Matmul, KnownProduct)
+{
+    MatF a(2, 3);
+    MatF b(3, 2);
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data().begin());
+    std::copy(bv, bv + 6, b.data().begin());
+    MatF c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(MatmulNT, EqualsMatmulWithTranspose)
+{
+    MatF a(3, 4);
+    MatF b(5, 4);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(i) * 0.5f - 3.0f;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = static_cast<float>(i % 7) - 2.0f;
+    MatF c1 = matmulNT(a, b);
+    MatF c2 = matmul(a, transpose(b));
+    ASSERT_EQ(c1.rows(), c2.rows());
+    ASSERT_EQ(c1.cols(), c2.cols());
+    for (std::size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-4);
+}
+
+TEST(Transpose, Involution)
+{
+    MatF a(3, 5);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(i);
+    EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Norms, MaxAbs)
+{
+    MatF a(2, 2);
+    a(0, 0) = -9.0f;
+    a(1, 1) = 3.0f;
+    EXPECT_FLOAT_EQ(maxAbs(a), 9.0f);
+    EXPECT_FLOAT_EQ(maxAbs(MatF{}), 0.0f);
+}
+
+TEST(Norms, Frobenius)
+{
+    MatF a(1, 2);
+    a(0, 0) = 3.0f;
+    a(0, 1) = 4.0f;
+    EXPECT_NEAR(frobenius(a), 5.0, 1e-9);
+}
+
+TEST(Norms, RelativeErrorZeroForEqual)
+{
+    MatF a(2, 2, 2.0f);
+    EXPECT_NEAR(relativeError(a, a), 0.0, 1e-12);
+}
+
+TEST(Norms, RelativeErrorScale)
+{
+    MatF exact(1, 1);
+    exact(0, 0) = 10.0f;
+    MatF approx(1, 1);
+    approx(0, 0) = 11.0f;
+    EXPECT_NEAR(relativeError(approx, exact), 0.1, 1e-6);
+}
+
+TEST(MatmulDeath, ShapeMismatchPanics)
+{
+    MatF a(2, 3), b(2, 2);
+    EXPECT_DEATH(matmul(a, b), "assertion");
+    EXPECT_DEATH(matmulNT(a, b), "assertion");
+}
+
+} // namespace
+} // namespace sofa

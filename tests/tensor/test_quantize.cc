@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/quantize.h"
+
+namespace sofa {
+namespace {
+
+TEST(QuantizeI8, RoundTripSmallError)
+{
+    MatF m(4, 4);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = std::sin(static_cast<float>(i)) * 3.0f;
+    QuantI8 q = quantizeI8(m);
+    MatF back = dequantize(q);
+    // Max error is half a quantization step.
+    const float step = q.scale;
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_NEAR(back.data()[i], m.data()[i], step * 0.51f);
+}
+
+TEST(QuantizeI8, MaxAbsMapsToRangeTop)
+{
+    MatF m(1, 3);
+    m(0, 0) = -12.7f;
+    m(0, 1) = 0.0f;
+    m(0, 2) = 6.0f;
+    QuantI8 q = quantizeI8(m);
+    EXPECT_EQ(q.values(0, 0), -127);
+    EXPECT_EQ(q.values(0, 1), 0);
+}
+
+TEST(QuantizeI16, HigherPrecisionThanI8)
+{
+    MatF m(8, 8);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = std::cos(static_cast<float>(i) * 0.37f);
+    QuantI8 q8 = quantizeI8(m);
+    QuantI16 q16 = quantizeI16(m);
+    const double err8 = relativeError(dequantize(q8), m);
+    const double err16 = relativeError(dequantize(q16), m);
+    EXPECT_LT(err16, err8 / 50.0);
+}
+
+TEST(Quantize, AllZerosStable)
+{
+    MatF m(2, 2, 0.0f);
+    QuantI8 q = quantizeI8(m);
+    EXPECT_FLOAT_EQ(q.scale, 1.0f);
+    for (auto v : q.values.data())
+        EXPECT_EQ(v, 0);
+}
+
+TEST(TruncateToI16, NoShiftWhenFits)
+{
+    MatI64 m(1, 3);
+    m(0, 0) = 100;
+    m(0, 1) = -32768;
+    m(0, 2) = 32767;
+    int shift = -1;
+    MatI16 t = truncateToI16(m, &shift);
+    // 32768 magnitude forces one shift (32767 is the max).
+    EXPECT_EQ(shift, 1);
+    EXPECT_EQ(t(0, 0), 50);
+}
+
+TEST(TruncateToI16, LargeValuesShifted)
+{
+    MatI64 m(1, 2);
+    m(0, 0) = 1 << 20;
+    m(0, 1) = -(1 << 19);
+    int shift = 0;
+    MatI16 t = truncateToI16(m, &shift);
+    EXPECT_GT(shift, 0);
+    EXPECT_EQ(t(0, 0), (1 << 20) >> shift);
+    // Ordering and sign are preserved.
+    EXPECT_GT(t(0, 0), 0);
+    EXPECT_LT(t(0, 1), 0);
+}
+
+TEST(TruncateToI16, PreservesRatiosApprox)
+{
+    MatI64 m(1, 2);
+    m(0, 0) = 1000000;
+    m(0, 1) = 500000;
+    MatI16 t = truncateToI16(m, nullptr);
+    EXPECT_NEAR(static_cast<double>(t(0, 0)) / t(0, 1), 2.0, 0.01);
+}
+
+} // namespace
+} // namespace sofa
