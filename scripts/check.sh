@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library, tests,
+# bench + example binaries), run the full test suite. This is the exact
+# command sequence CI and the ROADMAP use.
+#
+# Usage:
+#   scripts/check.sh                 # default build + full ctest
+#   SOFA_SANITIZE=ON scripts/check.sh   # ASan/UBSan build
+#   SOFA_WERROR=ON scripts/check.sh     # warnings as errors
+#   CTEST_ARGS="-L tier1" scripts/check.sh  # fast suite only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+    -DSOFA_SANITIZE="${SOFA_SANITIZE:-OFF}" \
+    -DSOFA_WERROR="${SOFA_WERROR:-OFF}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+cd "$BUILD_DIR"
+# shellcheck disable=SC2086
+ctest --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}

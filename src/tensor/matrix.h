@@ -82,6 +82,8 @@ class Matrix
         return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
     }
 
+    bool operator!=(const Matrix &o) const { return !(*this == o); }
+
   private:
     std::size_t rows_;
     std::size_t cols_;

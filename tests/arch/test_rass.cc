@@ -5,6 +5,7 @@
 #include "arch/rass.h"
 #include "core/sads.h"
 #include "model/workload.h"
+#include "testutil.h"
 
 namespace sofa {
 namespace {
@@ -126,10 +127,8 @@ TEST(Rass, EmptySelections)
 TEST(Naive, SmallBufferThrashes)
 {
     // Shrinking the buffer increases naive refetches.
-    WorkloadSpec spec;
-    spec.seq = 256;
-    spec.queries = 32;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(256, 32, /*headDim=*/64,
+                                    /*tokenDim=*/128);
     auto sads = sadsTopK(w.scores, 64, {});
     auto sel = sads.selections();
     auto big = scheduleNaive(sel, 256);

@@ -3,49 +3,41 @@
 #include "attention/flash.h"
 #include "attention/reference.h"
 #include "model/workload.h"
+#include "testutil.h"
 
 namespace sofa {
 namespace {
 
-AttentionWorkload
-smallWorkload(int seq = 256, int queries = 16)
-{
-    WorkloadSpec spec;
-    spec.seq = seq;
-    spec.queries = queries;
-    spec.headDim = 32;
-    spec.tokenDim = 32;
-    return generateWorkload(spec);
-}
+using testutil::makeWorkload;
 
 TEST(Flash2, NumericallyMatchesReference)
 {
-    auto w = smallWorkload();
+    auto w = makeWorkload();
     auto dense = referenceAttention(w.q, w.k, w.v);
     auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
-    EXPECT_LT(relativeError(fa2.output, dense.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(fa2.output, dense.output, 1e-4));
 }
 
 TEST(Flash1, NumericallyMatchesReference)
 {
-    auto w = smallWorkload();
+    auto w = makeWorkload();
     auto dense = referenceAttention(w.q, w.k, w.v);
     auto fa1 = flashAttention1(w.q, w.k, w.v, {16});
-    EXPECT_LT(relativeError(fa1.output, dense.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(fa1.output, dense.output, 1e-4));
 }
 
 TEST(Flash2, TileSizeDoesNotChangeResult)
 {
-    auto w = smallWorkload(128, 8);
+    auto w = makeWorkload(128, 8);
     auto a = flashAttention2(w.q, w.k, w.v, {4});
     auto b = flashAttention2(w.q, w.k, w.v, {64});
-    EXPECT_LT(relativeError(a.output, b.output), 1e-5);
+    EXPECT_TRUE(testutil::MatrixNear(a.output, b.output, 1e-5));
 }
 
 TEST(Flash2, MoreExpsThanVanilla)
 {
     // Fig. 5(b): FA-2 pays extra exponentials vs vanilla softmax.
-    auto w = smallWorkload(512, 8);
+    auto w = makeWorkload(512, 8);
     OpCounter vanilla_ops;
     auto dense = referenceAttention(w.q, w.k, w.v);
     auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
@@ -55,7 +47,7 @@ TEST(Flash2, MoreExpsThanVanilla)
 TEST(Flash2, SmallerTilesCostMore)
 {
     // Fig. 5(c): complexity grows with Tc (smaller Bc).
-    auto w = smallWorkload(512, 8);
+    auto w = makeWorkload(512, 8);
     auto fine = flashAttention2(w.q, w.k, w.v, {4});
     auto coarse = flashAttention2(w.q, w.k, w.v, {64});
     EXPECT_GT(fine.ops.normalized(), coarse.ops.normalized());
@@ -63,7 +55,7 @@ TEST(Flash2, SmallerTilesCostMore)
 
 TEST(Flash1, CostsMoreThanFlash2)
 {
-    auto w = smallWorkload(512, 8);
+    auto w = makeWorkload(512, 8);
     auto fa1 = flashAttention1(w.q, w.k, w.v, {16});
     auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
     EXPECT_GT(fa1.ops.normalized(), fa2.ops.normalized());
@@ -73,7 +65,7 @@ TEST(AnalyticOps, Fa2MatchesMeasuredShape)
 {
     // The closed-form FA-2 ops should be within ~25% of the measured
     // kernel (the analytic form assumes worst-case rescales).
-    auto w = smallWorkload(512, 4);
+    auto w = makeWorkload(512, 4);
     auto fa2 = flashAttention2(w.q, w.k, w.v, {16});
     OpCounter analytic = fa2AnalyticOps(4, 512, 16, 32);
     const double measured = fa2.ops.normalized();
@@ -84,7 +76,7 @@ TEST(AnalyticOps, Fa2MatchesMeasuredShape)
 
 TEST(AnalyticOps, VanillaMatchesReferenceExactly)
 {
-    auto w = smallWorkload(256, 4);
+    auto w = makeWorkload(256, 4);
     auto dense = referenceAttention(w.q, w.k, w.v);
     OpCounter analytic = vanillaAnalyticOps(4, 256, 32);
     EXPECT_EQ(analytic.exps(), dense.ops.exps());
@@ -112,11 +104,11 @@ class FlashTileSweep : public ::testing::TestWithParam<int>
 
 TEST_P(FlashTileSweep, MatchesReference)
 {
-    auto w = smallWorkload(96, 6);
+    auto w = makeWorkload(96, 6);
     auto dense = referenceAttention(w.q, w.k, w.v);
     FlashConfig cfg{GetParam()};
     auto fa2 = flashAttention2(w.q, w.k, w.v, cfg);
-    EXPECT_LT(relativeError(fa2.output, dense.output), 1e-4)
+    EXPECT_TRUE(testutil::MatrixNear(fa2.output, dense.output, 1e-4))
         << "Bc=" << GetParam();
 }
 

@@ -5,6 +5,7 @@
 
 #include "attention/reference.h"
 #include "model/workload.h"
+#include "testutil.h"
 #include "sparsity/topk.h"
 
 namespace sofa {
@@ -13,12 +14,8 @@ namespace {
 AttentionWorkload
 tinyWorkload(int seq = 64, int queries = 8)
 {
-    WorkloadSpec spec;
-    spec.seq = seq;
-    spec.queries = queries;
-    spec.headDim = 16;
-    spec.tokenDim = 24;
-    return generateWorkload(spec);
+    return testutil::makeWorkload(seq, queries, /*headDim=*/16,
+                                  /*tokenDim=*/24);
 }
 
 TEST(SoftmaxRows, RowsSumToOne)

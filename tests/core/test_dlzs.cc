@@ -5,6 +5,7 @@
 #include "common/stats.h"
 #include "core/dlzs.h"
 #include "model/workload.h"
+#include "testutil.h"
 #include "sparsity/metrics.h"
 #include "sparsity/topk.h"
 
@@ -142,12 +143,8 @@ TEST(DlzsKPrediction, MultiplierFree)
 
 TEST(DlzsPredict, ScoresCorrelateWithExact)
 {
-    WorkloadSpec spec;
-    spec.seq = 256;
-    spec.queries = 32;
-    spec.headDim = 32;
-    spec.tokenDim = 48;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(256, 32, /*headDim=*/32,
+                                    /*tokenDim=*/48);
     DlzsPrediction pred = dlzsPredict(w.tokens, w.wk, w.q);
     ASSERT_EQ(pred.scoresHat.rows(), w.scores.rows());
     ASSERT_EQ(pred.scoresHat.cols(), w.scores.cols());
@@ -174,10 +171,8 @@ TEST(DlzsPredict, ScoresCorrelateWithExact)
 
 TEST(DlzsPredict, TopkRecallHigh)
 {
-    WorkloadSpec spec;
-    spec.seq = 512;
-    spec.queries = 32;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(512, 32, /*headDim=*/64,
+                                    /*tokenDim=*/128);
     DlzsPrediction pred = dlzsPredict(w.tokens, w.wk, w.q);
     const int k = 64;
     auto predicted = exactTopKRows(pred.scoresHat, k);
@@ -189,10 +184,8 @@ TEST(DlzsPredict, TopkRecallHigh)
 
 TEST(DlzsPredict, NoMultipliesAnywhere)
 {
-    WorkloadSpec spec;
-    spec.seq = 64;
-    spec.queries = 8;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(64, 8, /*headDim=*/64,
+                                    /*tokenDim=*/128);
     DlzsPrediction pred = dlzsPredict(w.tokens, w.wk, w.q);
     EXPECT_EQ(pred.ops.muls(), 0);
     EXPECT_GT(pred.ops.shifts(), 0);
@@ -200,10 +193,8 @@ TEST(DlzsPredict, NoMultipliesAnywhere)
 
 TEST(DlzsPredict, WeightBitsSmallerThanInt8)
 {
-    WorkloadSpec spec;
-    spec.seq = 64;
-    spec.queries = 8;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(64, 8, /*headDim=*/64,
+                                    /*tokenDim=*/128);
     DlzsPrediction pred = dlzsPredict(w.tokens, w.wk, w.q);
     const double int8_bits =
         static_cast<double>(w.wk.rows()) * w.wk.cols() * 8.0;

@@ -6,55 +6,39 @@
 #include "core/sads.h"
 #include "core/sufa.h"
 #include "model/workload.h"
+#include "testutil.h"
 
 namespace sofa {
 namespace {
 
-struct Setup
-{
-    AttentionWorkload w;
-    SelectionList selections; ///< descending by exact score
-};
-
-Setup
-makeSetup(int seq = 256, int queries = 16, int k = 64)
-{
-    Setup s;
-    WorkloadSpec spec;
-    spec.seq = seq;
-    spec.queries = queries;
-    spec.headDim = 32;
-    spec.tokenDim = 32;
-    s.w = generateWorkload(spec);
-    s.selections = exactTopKRows(s.w.scores, k);
-    return s;
-}
+// Shared fixture: workload + exact descending top-k selections.
+using testutil::makeTopkSetup;
 
 TEST(Sufa, MatchesMaskedReference)
 {
-    auto s = makeSetup();
+    auto s = makeTopkSetup();
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
     auto ref =
         maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
-    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(sufa.output, ref.output, 1e-4));
 }
 
 TEST(Sufa, AscendingAlsoMatches)
 {
-    auto s = makeSetup();
+    auto s = makeTopkSetup();
     SufaConfig cfg;
     cfg.order = SufaOrder::Ascending;
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
     auto ref =
         maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
-    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(sufa.output, ref.output, 1e-4));
 }
 
 TEST(Sufa, NoViolationsWithExactOrdering)
 {
     // Exact descending order: the first element is the true max, so
     // the max-ensuring circuit never fires.
-    auto s = makeSetup();
+    auto s = makeTopkSetup();
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
     EXPECT_EQ(sufa.maxViolations, 0);
 }
@@ -63,15 +47,15 @@ TEST(Sufa, MispredictedOrderStillCorrect)
 {
     // Shuffle the selections (simulating DLZS misprediction): output
     // must stay correct, violations must be counted.
-    auto s = makeSetup();
-    Rng rng(5);
+    auto s = makeTopkSetup();
+    Rng rng = testutil::makeRng(5);
     SelectionList shuffled = s.selections;
     for (auto &sel : shuffled)
         rng.shuffle(sel);
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, shuffled, {});
     auto ref =
         maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
-    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(sufa.output, ref.output, 1e-4));
     EXPECT_GT(sufa.maxViolations, 0);
 }
 
@@ -79,7 +63,7 @@ TEST(Sufa, DescendingCheaperThanAscending)
 {
     // Fig. 10: descending updates skip the per-step l rescale
     // multiply of the ascending order (Eq. (2) vs Eq. (1)).
-    auto s = makeSetup(512, 16, 128);
+    auto s = makeTopkSetup(512, 16, 128);
     SufaConfig desc, asc;
     asc.order = SufaOrder::Ascending;
     auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, desc);
@@ -92,7 +76,7 @@ TEST(Sufa, DescendingCheaperThanAscending)
 
 TEST(Sufa, CheaperThanSparseFa2)
 {
-    auto s = makeSetup(1024, 16, 256);
+    auto s = makeTopkSetup(1024, 16, 256);
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
     auto fa2 = sparseFlash2(s.w.q, s.w.k, s.w.v, s.selections, 16);
     EXPECT_LT(sufa.ops.normalized(), fa2.ops.normalized());
@@ -102,7 +86,7 @@ TEST(Sufa, ReductionsNearPaperNumbers)
 {
     // Paper: descending SU-FA averages ~25% less complexity than
     // traditional FA and ~11% less than ascending (softmax-side ops).
-    auto s = makeSetup(2048, 8, 512);
+    auto s = makeTopkSetup(2048, 8, 512);
     SufaConfig desc, asc;
     asc.order = SufaOrder::Ascending;
     auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, desc);
@@ -128,7 +112,7 @@ TEST(Sufa, ReductionsNearPaperNumbers)
 
 TEST(Sufa, EmptySelectionsYieldZeros)
 {
-    auto s = makeSetup(32, 4, 8);
+    auto s = makeTopkSetup(32, 4, 8);
     SelectionList empty(4);
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, empty, {});
     for (float v : sufa.output.data())
@@ -137,7 +121,7 @@ TEST(Sufa, EmptySelectionsYieldZeros)
 
 TEST(Sufa, TileCountTracksBlockCols)
 {
-    auto s = makeSetup(256, 4, 64);
+    auto s = makeTopkSetup(256, 4, 64);
     SufaConfig cfg;
     cfg.blockCols = 16;
     auto r = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
@@ -146,7 +130,7 @@ TEST(Sufa, TileCountTracksBlockCols)
 
 TEST(SufaAnalytic, MatchesMeasuredWithinTolerance)
 {
-    auto s = makeSetup(512, 8, 128);
+    auto s = makeTopkSetup(512, 8, 128);
     auto rd = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
     OpCounter analytic =
         sufaAnalyticOps(8, 128, 32, SufaOrder::Descending);
@@ -165,11 +149,11 @@ TEST(SufaAnalytic, OrderingOfSchemes)
 
 TEST(SparseFa2, MatchesMaskedReference)
 {
-    auto s = makeSetup();
+    auto s = makeTopkSetup();
     auto fa2 = sparseFlash2(s.w.q, s.w.k, s.w.v, s.selections, 16);
     auto ref =
         maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
-    EXPECT_LT(relativeError(fa2.output, ref.output), 1e-4);
+    EXPECT_TRUE(testutil::MatrixNear(fa2.output, ref.output, 1e-4));
 }
 
 /** Property: SU-FA equals masked reference across block sizes. */
@@ -178,13 +162,13 @@ class SufaBlockSweep : public ::testing::TestWithParam<int>
 
 TEST_P(SufaBlockSweep, NumericalEquivalence)
 {
-    auto s = makeSetup(128, 8, 48);
+    auto s = makeTopkSetup(128, 8, 48);
     SufaConfig cfg;
     cfg.blockCols = GetParam();
     auto sufa = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, cfg);
     auto ref =
         maskedReferenceAttention(s.w.q, s.w.k, s.w.v, s.selections);
-    EXPECT_LT(relativeError(sufa.output, ref.output), 1e-4)
+    EXPECT_TRUE(testutil::MatrixNear(sufa.output, ref.output, 1e-4))
         << "Bc=" << GetParam();
 }
 

@@ -2,6 +2,7 @@
 
 #include "attention/reference.h"
 #include "model/workload.h"
+#include "testutil.h"
 #include "sparsity/metrics.h"
 
 namespace sofa {
@@ -79,13 +80,11 @@ TEST(OutputError, ZeroForIdentical)
 
 TEST(MetricsIntegration, RecallImprovesWithK)
 {
-    WorkloadSpec spec;
-    spec.seq = 256;
-    spec.queries = 16;
-    auto w = generateWorkload(spec);
+    auto w = testutil::makeWorkload(256, 16, /*headDim=*/64,
+                                    /*tokenDim=*/128);
     // Noisy prediction: exact scores + noise.
     MatF noisy = w.scores;
-    Rng rng(7);
+    Rng rng = testutil::makeRng(7);
     for (auto &v : noisy.data())
         v += static_cast<float>(rng.gaussian(0.0, 1.0));
 

@@ -103,5 +103,71 @@ TEST(VanillaTopK, NullCounterAllowed)
     EXPECT_EQ(sel[0], 0);
 }
 
+TEST(ExactTopKRows, ZeroKYieldsEmptySelections)
+{
+    MatF m(3, 4, 1.0f);
+    auto sel = exactTopKRows(m, 0);
+    ASSERT_EQ(sel.size(), 3u);
+    for (const auto &row : sel)
+        EXPECT_TRUE(row.empty());
+}
+
+TEST(ExactTopKRows, KAtLeastSeqSelectsEverything)
+{
+    MatF m(2, 3);
+    m(0, 0) = 3;
+    m(0, 1) = 1;
+    m(0, 2) = 2;
+    m(1, 0) = -1;
+    m(1, 1) = -3;
+    m(1, 2) = -2;
+    for (int k : {3, 7}) {
+        auto sel = exactTopKRows(m, k);
+        ASSERT_EQ(sel.size(), 2u);
+        EXPECT_EQ(sel[0], (Selection{0, 2, 1}));
+        EXPECT_EQ(sel[1], (Selection{0, 2, 1}));
+    }
+}
+
+TEST(ExactTopK, SingleElementRow)
+{
+    std::vector<float> row = {-4.5f};
+    auto sel = exactTopK(row.data(), 1, 1);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0], 0);
+}
+
+TEST(VanillaTopK, ZeroKChargesSortButSelectsNothing)
+{
+    std::vector<float> row = {1.0f, 4.0f, 2.0f, 3.0f};
+    OpCounter ops;
+    auto sel = vanillaTopK(row.data(), 4, 0, &ops);
+    EXPECT_TRUE(sel.empty());
+    // The whole-row sort happens before selection, so its comparison
+    // cost is paid regardless of k.
+    EXPECT_EQ(ops.cmps(), bitonicSortComparisons(4));
+}
+
+TEST(VanillaTopK, KLargerThanSeqClamps)
+{
+    std::vector<float> row = {2.0f, 1.0f};
+    auto sel = vanillaTopK(row.data(), 2, 5, nullptr);
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0], 0);
+    EXPECT_EQ(sel[1], 1);
+}
+
+TEST(VanillaTopK, TiedScoresKeepLowerIndexFirst)
+{
+    // All-equal scores: the lower-index-first tie break, pinned
+    // against the literal expected selection (vanillaTopK currently
+    // delegates to exactTopK, so comparing the two would be a
+    // tautology; this must keep holding if vanilla grows a real
+    // bitonic-sort implementation).
+    std::vector<float> row(8, 1.5f);
+    auto vanilla = vanillaTopK(row.data(), 8, 3, nullptr);
+    EXPECT_EQ(vanilla, (Selection{0, 1, 2}));
+}
+
 } // namespace
 } // namespace sofa

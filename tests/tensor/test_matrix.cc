@@ -135,5 +135,92 @@ TEST(MatmulDeath, ShapeMismatchPanics)
     EXPECT_DEATH(matmulNT(a, b), "assertion");
 }
 
+TEST(Matrix, DefaultIsEmpty)
+{
+    MatF m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.bytes(), 0u);
+}
+
+TEST(Matrix, EqualityAndInequality)
+{
+    MatF a(2, 2, 1.0f);
+    MatF b(2, 2, 1.0f);
+    EXPECT_EQ(a, b);
+    b(1, 1) = 2.0f;
+    EXPECT_NE(a, b);
+    // Same payload, different shape: not equal.
+    MatF wide(1, 4, 1.0f);
+    MatF tall(4, 1, 1.0f);
+    EXPECT_NE(wide, tall);
+    EXPECT_EQ(MatF{}, MatF{});
+}
+
+TEST(Matrix, ZeroDimensionedShapes)
+{
+    // 0xN and Nx0 are distinct from 0x0 but all hold no data.
+    MatF zr(0, 5);
+    MatF zc(5, 0);
+    EXPECT_TRUE(zr.empty());
+    EXPECT_TRUE(zc.empty());
+    EXPECT_EQ(zr.cols(), 5u);
+    EXPECT_EQ(zc.rows(), 5u);
+    EXPECT_NE(zr, zc);
+}
+
+TEST(Matmul, EmptyOperandsYieldEmptyProduct)
+{
+    // (0x3) * (3x2) -> 0x2; inner dimension still matches.
+    MatF a(0, 3), b(3, 2, 1.0f);
+    MatF c = matmul(a, b);
+    EXPECT_EQ(c.rows(), 0u);
+    EXPECT_EQ(c.cols(), 2u);
+    // (2x0) * (0x3) -> 2x3 of zeros (empty accumulation).
+    MatF d = matmul(MatF(2, 0), MatF(0, 3));
+    EXPECT_EQ(d.rows(), 2u);
+    EXPECT_EQ(d.cols(), 3u);
+    for (float v : d.data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Matmul, OneByNRowVector)
+{
+    // (1xN) * (Nx1) is the dot product.
+    MatF row(1, 4);
+    MatF col(4, 1);
+    for (std::size_t i = 0; i < 4; ++i) {
+        row(0, i) = static_cast<float>(i + 1);
+        col(i, 0) = 2.0f;
+    }
+    MatF c = matmul(row, col);
+    ASSERT_EQ(c.rows(), 1u);
+    ASSERT_EQ(c.cols(), 1u);
+    EXPECT_FLOAT_EQ(c(0, 0), 20.0f);
+}
+
+TEST(Transpose, OneByNAndEmpty)
+{
+    MatF row(1, 3);
+    row(0, 0) = 1;
+    row(0, 1) = 2;
+    row(0, 2) = 3;
+    MatF col = transpose(row);
+    EXPECT_EQ(col.rows(), 3u);
+    EXPECT_EQ(col.cols(), 1u);
+    EXPECT_FLOAT_EQ(col(2, 0), 3.0f);
+
+    MatF e = transpose(MatF{});
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(Norms, EmptyMatricesHaveZeroError)
+{
+    EXPECT_NEAR(frobenius(MatF{}), 0.0, 1e-12);
+    EXPECT_NEAR(relativeError(MatF{}, MatF{}), 0.0, 1e-12);
+}
+
 } // namespace
 } // namespace sofa

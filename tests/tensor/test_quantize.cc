@@ -79,6 +79,44 @@ TEST(TruncateToI16, LargeValuesShifted)
     EXPECT_LT(t(0, 1), 0);
 }
 
+TEST(QuantizeI16, RoundTripBoundedByHalfStep)
+{
+    MatF m(1, 5);
+    m(0, 0) = -100.0f;
+    m(0, 1) = -0.003f;
+    m(0, 2) = 0.0f;
+    m(0, 3) = 42.42f;
+    m(0, 4) = 100.0f;
+    QuantI16 q = quantizeI16(m);
+    MatF back = dequantize(q);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_NEAR(back.data()[i], m.data()[i], q.scale * 0.51f);
+}
+
+TEST(QuantizeI8, NegativeMaxSetsScale)
+{
+    // Scale follows max |x| even when the extremum is negative.
+    MatF m(1, 2);
+    m(0, 0) = -25.4f;
+    m(0, 1) = 1.0f;
+    QuantI8 q = quantizeI8(m);
+    EXPECT_EQ(q.values(0, 0), -127);
+    EXPECT_NEAR(q.scale, 25.4f / 127.0f, 1e-6);
+}
+
+TEST(Quantize, OneByNRoundTrip)
+{
+    MatF m(1, 7);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(i) - 3.0f;
+    QuantI8 q = quantizeI8(m);
+    MatF back = dequantize(q);
+    EXPECT_EQ(back.rows(), 1u);
+    EXPECT_EQ(back.cols(), 7u);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_NEAR(back.data()[i], m.data()[i], q.scale * 0.51f);
+}
+
 TEST(TruncateToI16, PreservesRatiosApprox)
 {
     MatI64 m(1, 2);
