@@ -1,126 +1,257 @@
 /**
  * @file
- * Google-benchmark micro-benchmarks of the core kernels: DLZS
- * prediction, SADS sorting, SU-FA vs FA-2 execution, and RASS
- * scheduling — wall-clock performance of the simulator itself.
+ * Kernel-layer benchmark: naive seed kernels vs the register-tiled
+ * cache-blocked kernels vs blocked + threaded, for matmulNT, matmul
+ * and transpose. Reports GFLOP/s (GB/s for transpose) and speedups,
+ * cross-checks blocked results against the naive reference, and
+ * writes a machine-readable BENCH_kernels.json so later PRs can diff
+ * the performance trajectory.
+ *
+ * Usage: bench_kernels [--quick] [--json PATH] [--no-json]
+ *   --quick    drop the 1024^3 cases (CI smoke)
+ *   --json     output path (default BENCH_kernels.json)
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "arch/rass.h"
-#include "attention/flash.h"
-#include "core/dlzs.h"
-#include "core/sads.h"
-#include "core/sufa.h"
-#include "model/workload.h"
-#include "sparsity/topk.h"
+#include "benchutil.h"
+#include "common/jsonwriter.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
 
 namespace {
 
 using namespace sofa;
+using benchutil::timeBest;
 
-AttentionWorkload &
-sharedWorkload()
+MatF
+randomMat(std::size_t rows, std::size_t cols, Rng &rng)
 {
-    static AttentionWorkload w = [] {
-        WorkloadSpec spec;
-        spec.seq = 1024;
-        spec.queries = 32;
-        spec.headDim = 64;
-        spec.tokenDim = 64;
-        return generateWorkload(spec);
-    }();
-    return w;
+    MatF m(rows, cols);
+    for (auto &x : m.data())
+        x = static_cast<float>(rng.gaussian());
+    return m;
 }
 
-void
-BM_DlzsPredict(benchmark::State &state)
+struct Result
 {
-    auto &w = sharedWorkload();
-    for (auto _ : state) {
-        auto pred = dlzsPredict(w.tokens, w.wk, w.q);
-        benchmark::DoNotOptimize(pred.scoresHat);
-    }
-}
-BENCHMARK(BM_DlzsPredict)->Unit(benchmark::kMillisecond);
+    std::string kernel;
+    std::size_t m, n, k;
+    double naive_s, blocked_s, threaded_s;
+    double flops; ///< arithmetic per run (2mnk; bytes for transpose)
+    double max_rel_err; ///< blocked vs naive
+    bool threaded_matches_blocked;
+    bool threaded = true; ///< false: kernel has no threaded variant
+};
 
-void
-BM_SadsTopK(benchmark::State &state)
+double
+gflops(double flops, double seconds)
 {
-    auto &w = sharedWorkload();
-    SadsConfig cfg;
-    cfg.segments = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        auto res = sadsTopK(w.scores, 204, cfg);
-        benchmark::DoNotOptimize(res.rows);
-    }
+    return flops / seconds / 1e9;
 }
-BENCHMARK(BM_SadsTopK)->Arg(1)->Arg(4)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
 
-void
-BM_VanillaTopK(benchmark::State &state)
+Result
+runMatmulNT(std::size_t m, std::size_t n, std::size_t k, Rng &rng)
 {
-    auto &w = sharedWorkload();
-    for (auto _ : state) {
-        OpCounter ops;
-        auto sel = vanillaTopKRows(w.scores, 204, &ops);
-        benchmark::DoNotOptimize(sel);
-    }
+    const MatF a = randomMat(m, k, rng);
+    const MatF b = randomMat(n, k, rng);
+    MatF c_naive, c_blocked, c_threaded;
+    Result r;
+    r.kernel = "matmulNT";
+    r.m = m;
+    r.n = n;
+    r.k = k;
+    r.flops = 2.0 * static_cast<double>(m) * n * k;
+    r.naive_s = timeBest([&] { c_naive = matmulNTNaive(a, b); });
+    r.blocked_s = timeBest([&] { c_blocked = matmulNTBlocked(a, b); });
+    r.threaded_s = timeBest([&] { c_threaded = matmulNT(a, b); });
+    r.max_rel_err = relativeError(c_blocked, c_naive);
+    r.threaded_matches_blocked = (c_threaded == c_blocked);
+    return r;
 }
-BENCHMARK(BM_VanillaTopK)->Unit(benchmark::kMillisecond);
 
-void
-BM_SufaDescending(benchmark::State &state)
+Result
+runMatmul(std::size_t m, std::size_t k, std::size_t n, Rng &rng)
 {
-    auto &w = sharedWorkload();
-    auto sel = exactTopKRows(w.scores, 204);
-    for (auto _ : state) {
-        auto res = sufaAttention(w.q, w.k, w.v, sel, {});
-        benchmark::DoNotOptimize(res.output);
-    }
+    const MatF a = randomMat(m, k, rng);
+    const MatF b = randomMat(k, n, rng);
+    MatF c_naive, c_blocked, c_threaded;
+    Result r;
+    r.kernel = "matmul";
+    r.m = m;
+    r.n = n;
+    r.k = k;
+    r.flops = 2.0 * static_cast<double>(m) * n * k;
+    r.naive_s = timeBest([&] { c_naive = matmulNaive(a, b); });
+    r.blocked_s = timeBest([&] { c_blocked = matmulBlocked(a, b); });
+    r.threaded_s = timeBest([&] { c_threaded = matmul(a, b); });
+    r.max_rel_err = relativeError(c_blocked, c_naive);
+    r.threaded_matches_blocked = (c_threaded == c_blocked);
+    return r;
 }
-BENCHMARK(BM_SufaDescending)->Unit(benchmark::kMillisecond);
 
-void
-BM_SparseFa2(benchmark::State &state)
+Result
+runTranspose(std::size_t m, std::size_t n, Rng &rng)
 {
-    auto &w = sharedWorkload();
-    auto sel = exactTopKRows(w.scores, 204);
-    for (auto _ : state) {
-        auto res = sparseFlash2(w.q, w.k, w.v, sel, 16);
-        benchmark::DoNotOptimize(res.output);
-    }
+    const MatF a = randomMat(m, n, rng);
+    MatF t_naive, t_blocked;
+    Result r;
+    r.kernel = "transpose";
+    r.m = m;
+    r.n = n;
+    r.k = 0;
+    // Memory-bound: report bytes moved (read + write) instead of
+    // flops; the table column becomes GB/s.
+    r.flops = 2.0 * static_cast<double>(m) * n * sizeof(float);
+    r.naive_s = timeBest([&] { t_naive = transposeNaive(a); });
+    r.blocked_s = timeBest([&] { t_blocked = transposeBlocked(a); });
+    r.threaded_s = 0.0; // unused: no threaded transpose variant
+    r.max_rel_err = (t_blocked == t_naive) ? 0.0 : 1.0;
+    r.threaded_matches_blocked = true;
+    r.threaded = false; // transpose has no threaded variant
+    return r;
 }
-BENCHMARK(BM_SparseFa2)->Unit(benchmark::kMillisecond);
-
-void
-BM_Flash2Dense(benchmark::State &state)
-{
-    auto &w = sharedWorkload();
-    for (auto _ : state) {
-        auto res = flashAttention2(w.q, w.k, w.v,
-                                   {static_cast<int>(state.range(0))});
-        benchmark::DoNotOptimize(res.output);
-    }
-}
-BENCHMARK(BM_Flash2Dense)->Arg(4)->Arg(16)->Arg(64)
-    ->Unit(benchmark::kMillisecond);
-
-void
-BM_RassSchedule(benchmark::State &state)
-{
-    auto &w = sharedWorkload();
-    auto sel = sadsTopK(w.scores, 128, {}).selections();
-    for (auto _ : state) {
-        auto res = scheduleRass(
-            sel, static_cast<int>(state.range(0)));
-        benchmark::DoNotOptimize(res.vectorLoads);
-    }
-}
-BENCHMARK(BM_RassSchedule)->Arg(16)->Arg(64)
-    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool write_json = true;
+    std::string json_path = "BENCH_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--no-json") == 0)
+            write_json = false;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--json PATH] "
+                         "[--no-json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const int threads = ThreadPool::instance().threads();
+    std::printf("kernel benchmark: naive seed vs blocked vs "
+                "blocked+threaded (%d thread%s)\n\n",
+                threads, threads == 1 ? "" : "s");
+
+    Rng rng(0xBE7C4);
+    std::vector<Result> results;
+    std::vector<std::size_t> sizes = {256, 512};
+    if (!quick)
+        sizes.push_back(1024);
+    for (const std::size_t s : sizes)
+        results.push_back(runMatmulNT(s, s, s, rng));
+    for (const std::size_t s : sizes)
+        results.push_back(runMatmul(s, s, s, rng));
+    // Attention-shaped case: many keys, small head dim (Q x K^T).
+    results.push_back(runMatmulNT(64, 4096, 64, rng));
+    results.push_back(runTranspose(2048, 2048, rng));
+
+    Table t;
+    t.column("kernel", Align::Left)
+        .column("m")
+        .column("n")
+        .column("k")
+        .column("naive GF/s")
+        .column("blocked GF/s")
+        .column("threaded GF/s")
+        .column("x blocked")
+        .column("x threaded")
+        .column("rel.err")
+        .column("ok", Align::Left);
+    bool all_ok = true;
+    for (const auto &r : results) {
+        const bool ok =
+            r.max_rel_err < 1e-5 && r.threaded_matches_blocked;
+        all_ok = all_ok && ok;
+        t.row()
+            .cell(r.kernel)
+            .cell(static_cast<std::int64_t>(r.m))
+            .cell(static_cast<std::int64_t>(r.n))
+            .cell(static_cast<std::int64_t>(r.k))
+            .cell(gflops(r.flops, r.naive_s))
+            .cell(gflops(r.flops, r.blocked_s));
+        if (r.threaded) {
+            t.cell(gflops(r.flops, r.threaded_s))
+                .cell(r.naive_s / r.blocked_s)
+                .cell(r.naive_s / r.threaded_s);
+        } else {
+            // No threaded variant: never print a fabricated number.
+            t.cell("-")
+                .cell(r.naive_s / r.blocked_s)
+                .cell("-");
+        }
+        t.cell(r.max_rel_err, 8).cell(ok ? "yes" : "NO");
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(transpose row reports GB/s, not GFLOP/s; 'x' "
+                "columns are speedup over the naive seed kernel)\n");
+
+    if (write_json) {
+        JsonWriter j;
+        j.beginObject()
+            .key("bench").value("kernels")
+            .key("threads").value(threads)
+            .key("quick").value(quick)
+            .key("results").beginArray();
+        for (const auto &r : results) {
+            j.beginObject()
+                .key("kernel").value(r.kernel)
+                .key("m").value(static_cast<std::int64_t>(r.m))
+                .key("n").value(static_cast<std::int64_t>(r.n))
+                .key("k").value(static_cast<std::int64_t>(r.k))
+                // Rate unit travels with the artifact: transpose is
+                // memory-bound and reports GB/s, not GFLOP/s.
+                .key("unit")
+                .value(r.kernel == "transpose" ? "gbps" : "gflops")
+                .key("naive_s").value(r.naive_s)
+                .key("blocked_s").value(r.blocked_s)
+                .key("naive_gflops").value(gflops(r.flops, r.naive_s))
+                .key("blocked_gflops")
+                .value(gflops(r.flops, r.blocked_s))
+                .key("speedup_blocked").value(r.naive_s / r.blocked_s)
+                .key("threaded").value(r.threaded);
+            // Threaded datapoints only where a threaded variant
+            // actually ran, so trajectory diffs never see fabricated
+            // copies of the blocked measurement.
+            if (r.threaded) {
+                j.key("threaded_s").value(r.threaded_s)
+                    .key("threaded_gflops")
+                    .value(gflops(r.flops, r.threaded_s))
+                    .key("speedup_threaded")
+                    .value(r.naive_s / r.threaded_s)
+                    .key("threaded_matches_blocked")
+                    .value(r.threaded_matches_blocked);
+            }
+            j.key("rel_err").value(r.max_rel_err).endObject();
+        }
+        j.endArray().endObject();
+        if (!j.writeFile(json_path)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "FAIL: blocked/threaded kernels diverged from "
+                     "the naive reference\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Wall-clock micro-benchmarks of the simulator's core kernels: DLZS
+ * prediction, SADS sorting, SU-FA vs FA-2 execution, and RASS
+ * scheduling. These preserve the coverage of the pre-rewrite
+ * bench_kernels (which now benchmarks the tensor kernel layer) as a
+ * self-contained chrono harness with no Google Benchmark dependency.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "benchutil.h"
+
+#include "arch/rass.h"
+#include "attention/flash.h"
+#include "core/dlzs.h"
+#include "core/sads.h"
+#include "core/sufa.h"
+#include "model/workload.h"
+#include "sparsity/topk.h"
+
+namespace {
+
+using namespace sofa;
+
+/** Print best-of-reps latency for one case. */
+void
+report(const char *name, const std::function<void()> &fn)
+{
+    const double best = benchutil::timeBest(fn, 0.4, 10);
+    std::printf("%-28s %10.3f ms\n", name, best * 1e3);
+}
+
+AttentionWorkload &
+sharedWorkload()
+{
+    static AttentionWorkload w = [] {
+        WorkloadSpec spec;
+        spec.seq = 1024;
+        spec.queries = 32;
+        spec.headDim = 64;
+        spec.tokenDim = 64;
+        return generateWorkload(spec);
+    }();
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto &w = sharedWorkload();
+    std::printf("simulator kernel latency (seq=1024, queries=32, "
+                "d=64; best of several reps)\n\n");
+
+    report("dlzs_predict", [&] {
+        auto pred = dlzsPredict(w.tokens, w.wk, w.q);
+        (void)pred;
+    });
+
+    for (const int segments : {1, 4, 16}) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "sads_topk/segments=%d",
+                      segments);
+        SadsConfig cfg;
+        cfg.segments = segments;
+        report(name, [&] {
+            auto res = sadsTopK(w.scores, 204, cfg);
+            (void)res;
+        });
+    }
+
+    report("vanilla_topk", [&] {
+        OpCounter ops;
+        auto sel = vanillaTopKRows(w.scores, 204, &ops);
+        (void)sel;
+    });
+
+    {
+        auto sel = exactTopKRows(w.scores, 204);
+        report("sufa_descending", [&] {
+            auto res = sufaAttention(w.q, w.k, w.v, sel, {});
+            (void)res;
+        });
+        report("sparse_fa2/Bc=16", [&] {
+            auto res = sparseFlash2(w.q, w.k, w.v, sel, 16);
+            (void)res;
+        });
+    }
+
+    for (const int bc : {4, 16, 64}) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "flash2_dense/Bc=%d", bc);
+        report(name, [&] {
+            auto res = flashAttention2(w.q, w.k, w.v, {bc});
+            (void)res;
+        });
+    }
+
+    {
+        auto sel = sadsTopK(w.scores, 128, {}).selections();
+        for (const int lanes : {16, 64}) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "rass_schedule/pe=%d",
+                          lanes);
+            report(name, [&] {
+                auto res = scheduleRass(sel, lanes);
+                (void)res;
+            });
+        }
+    }
+    return 0;
+}

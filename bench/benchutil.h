@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared chrono timing harness for the self-contained bench binaries
+ * (bench_kernels, bench_sim): steady-clock stamps and a best-of-reps
+ * measurement that gives cheap kernels several samples while letting
+ * multi-second runs execute once.
+ */
+
+#ifndef SOFA_BENCH_BENCHUTIL_H
+#define SOFA_BENCH_BENCHUTIL_H
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+namespace sofa {
+namespace benchutil {
+
+inline double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-reps wall time of fn() in seconds. */
+inline double
+timeBest(const std::function<void()> &fn, double min_total = 0.6,
+         int max_reps = 12)
+{
+    const double t0 = now();
+    fn();
+    double best = now() - t0;
+    if (best >= min_total)
+        return best;
+    int reps = static_cast<int>(min_total / (best + 1e-9));
+    reps = std::min(reps, max_reps - 1);
+    for (int i = 0; i < reps; ++i) {
+        const double s = now();
+        fn();
+        best = std::min(best, now() - s);
+    }
+    return best;
+}
+
+} // namespace benchutil
+} // namespace sofa
+
+#endif // SOFA_BENCH_BENCHUTIL_H

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the kernel benchmark in a Release configuration
+# (-O3 -march=native) and run it, writing BENCH_kernels.json to the
+# repository root. Extra arguments are forwarded to bench_kernels
+# (e.g. scripts/bench.sh --quick).
+#
+# Knobs:
+#   BUILD_DIR   benchmark build tree   (default build-release)
+#   JOBS        parallel build jobs    (default nproc)
+#   MARCH       arch flag              (default -march=native; set
+#                                       empty for a portable binary)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+JOBS=${JOBS:-$(nproc)}
+MARCH=${MARCH--march=native}
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-O3 ${MARCH}" \
+    -DSOFA_BUILD_TESTS=OFF \
+    -DSOFA_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" --target bench_kernels -j "$JOBS"
+
+"$BUILD_DIR/bench/bench_kernels" --json BENCH_kernels.json "$@"

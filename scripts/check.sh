@@ -7,6 +7,8 @@
 #   scripts/check.sh                 # default build + full ctest
 #   SOFA_SANITIZE=ON scripts/check.sh   # ASan/UBSan build
 #   SOFA_WERROR=ON scripts/check.sh     # warnings as errors
+#   SOFA_BUILD_TYPE=Release SOFA_CXX_FLAGS="-O3 -march=native" \
+#       scripts/check.sh             # optimized build (CI release job)
 #   CTEST_ARGS="-L tier1" scripts/check.sh  # fast suite only
 set -euo pipefail
 
@@ -15,9 +17,18 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 
+# Every cache variable a previous run (including scripts/bench.sh,
+# which flips tests OFF and sets Release/-O3 in its tree) could have
+# left behind is re-asserted, so a shared build tree can never make
+# check.sh silently test the wrong configuration — or zero tests.
 cmake -B "$BUILD_DIR" -S . \
+    -DSOFA_BUILD_TESTS=ON \
+    -DSOFA_BUILD_BENCH=ON \
+    -DSOFA_BUILD_EXAMPLES=ON \
     -DSOFA_SANITIZE="${SOFA_SANITIZE:-OFF}" \
-    -DSOFA_WERROR="${SOFA_WERROR:-OFF}"
+    -DSOFA_WERROR="${SOFA_WERROR:-OFF}" \
+    -DCMAKE_BUILD_TYPE="${SOFA_BUILD_TYPE:-RelWithDebInfo}" \
+    -DCMAKE_CXX_FLAGS="${SOFA_CXX_FLAGS:-}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 cd "$BUILD_DIR"
 # shellcheck disable=SC2086

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
+#include "tensor/kernels.h"
 
 namespace sofa {
 
 namespace {
 
-/** Shared tile loop; fa2 selects the FA-2 deferred-normalization. */
+/**
+ * Shared tile loop; fa2 selects the FA-2 deferred-normalization.
+ * Rows are independent, so the loop is sharded across the thread
+ * pool: each shard runs the identical per-row code (bit-exact for
+ * any thread count) into disjoint output rows, tallies ops locally,
+ * and merges its tally once at the end (integer sums, so the total
+ * is deterministic too).
+ */
 AttentionResult
 flashImpl(const MatF &q, const MatF &k, const MatF &v,
           const FlashConfig &cfg, bool fa2)
@@ -27,10 +37,21 @@ flashImpl(const MatF &q, const MatF &k, const MatF &v,
 
     AttentionResult res;
     res.output = MatF(T, d, 0.0f);
-    OpCounter &ops = res.ops;
+    // Empty key sequence: every row's softmax denominator l would be
+    // 0 and 1/l would poison the output with inf/NaN. The attention
+    // over zero keys is defined here as a zero output row.
+    if (S == 0)
+        return res;
 
+    std::mutex ops_mutex;
+    const std::size_t grain =
+        grainForRowCost(2.0 * static_cast<double>(S) * d + 16.0 * S);
+
+    parallelForRows(T, grain, [&](std::size_t r0, std::size_t r1) {
+    OpCounter ops; // per-shard tally, merged below
     std::vector<double> acc(d);
-    for (std::size_t r = 0; r < T; ++r) {
+    std::vector<double> s(std::min(Bc, S));
+    for (std::size_t r = r0; r < r1; ++r) {
         const float *qr = q.rowPtr(r);
         double m = -1e30; // running max
         double l = 0.0;   // running denominator
@@ -41,18 +62,18 @@ flashImpl(const MatF &q, const MatF &k, const MatF &v,
             const std::size_t bc = je - j0;
 
             // S_i^(j) = Q_i K_j^T
-            std::vector<double> s(bc);
             double tile_max = -1e30;
             for (std::size_t j = j0; j < je; ++j) {
-                const float *kr = k.rowPtr(j);
-                double a = 0.0;
-                for (std::size_t c = 0; c < d; ++c)
-                    a += static_cast<double>(qr[c]) * kr[c];
+                const double a = dotBlock(qr, k.rowPtr(j), d);
                 s[j - j0] = a;
                 tile_max = std::max(tile_max, a);
             }
             ops.mulN(static_cast<std::int64_t>(bc * d));
-            ops.addN(static_cast<std::int64_t>(bc * (d - 1)));
+            // d == 0 has zero accumulation adds; guard the d - 1
+            // from wrapping in size_t arithmetic.
+            ops.addN(static_cast<std::int64_t>(bc) *
+                     std::max<std::int64_t>(
+                         static_cast<std::int64_t>(d) - 1, 0));
             // rowmax within tile + compare against running max.
             ops.cmpN(static_cast<std::int64_t>(bc - 1) + 1);
 
@@ -106,6 +127,9 @@ flashImpl(const MatF &q, const MatF &k, const MatF &v,
             out[c] = static_cast<float>(acc[c] * inv);
         ops.mulN(static_cast<std::int64_t>(d));
     }
+    std::lock_guard<std::mutex> lock(ops_mutex);
+    res.ops += ops;
+    });
     return res;
 }
 

@@ -1,8 +1,12 @@
 #include "attention/reference.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
+#include "tensor/kernels.h"
 
 namespace sofa {
 
@@ -11,29 +15,43 @@ softmaxRows(const MatF &scores, OpCounter *ops)
 {
     MatF p(scores.rows(), scores.cols());
     const std::size_t S = scores.cols();
-    for (std::size_t r = 0; r < scores.rows(); ++r) {
-        const float *in = scores.rowPtr(r);
-        float *out = p.rowPtr(r);
-        float m = in[0];
-        for (std::size_t c = 1; c < S; ++c)
-            m = std::max(m, in[c]);
-        double sum = 0.0;
-        for (std::size_t c = 0; c < S; ++c) {
-            out[c] = std::exp(in[c] - m);
-            sum += out[c];
-        }
-        const float inv = static_cast<float>(1.0 / sum);
-        for (std::size_t c = 0; c < S; ++c)
-            out[c] *= inv;
-        if (ops) {
-            ops->cmpN(static_cast<std::int64_t>(S) - 1);
-            ops->addN(static_cast<std::int64_t>(S)); // subtract max
-            ops->expN(static_cast<std::int64_t>(S));
-            ops->addN(static_cast<std::int64_t>(S) - 1); // sum
-            ops->divN(1); // reciprocal once per row
-            ops->mulN(static_cast<std::int64_t>(S)); // scale
-        }
-    }
+    // Zero-width rows have no max to normalize against; the softmax
+    // of an empty row is the empty row.
+    if (S == 0 || scores.rows() == 0)
+        return p;
+
+    std::mutex ops_mutex;
+    const std::size_t grain =
+        grainForRowCost(20.0 * static_cast<double>(S));
+    parallelForRows(
+        scores.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+            OpCounter local;
+            for (std::size_t r = r0; r < r1; ++r) {
+                const float *in = scores.rowPtr(r);
+                float *out = p.rowPtr(r);
+                float m = in[0];
+                for (std::size_t c = 1; c < S; ++c)
+                    m = std::max(m, in[c]);
+                double sum = 0.0;
+                for (std::size_t c = 0; c < S; ++c) {
+                    out[c] = std::exp(in[c] - m);
+                    sum += out[c];
+                }
+                const float inv = static_cast<float>(1.0 / sum);
+                for (std::size_t c = 0; c < S; ++c)
+                    out[c] *= inv;
+                local.cmpN(static_cast<std::int64_t>(S) - 1);
+                local.addN(static_cast<std::int64_t>(S)); // minus max
+                local.expN(static_cast<std::int64_t>(S));
+                local.addN(static_cast<std::int64_t>(S) - 1); // sum
+                local.divN(1); // reciprocal once per row
+                local.mulN(static_cast<std::int64_t>(S)); // scale
+            }
+            if (ops) {
+                std::lock_guard<std::mutex> lock(ops_mutex);
+                *ops += local;
+            }
+        });
     return p;
 }
 
@@ -75,50 +93,70 @@ maskedReferenceAttention(const MatF &q, const MatF &k, const MatF &v,
     const std::size_t T = q.rows();
     const std::size_t d = q.cols();
     res.output = MatF(T, d, 0.0f);
+    if (T == 0)
+        return res;
 
-    for (std::size_t r = 0; r < T; ++r) {
-        const auto &sel = selected[r];
-        if (sel.empty())
-            continue;
-        const float *qr = q.rowPtr(r);
+    // Rows have data-dependent cost (selection sizes vary); shard by
+    // the mean selection size.
+    std::size_t total_sel = 0;
+    for (const auto &sel : selected)
+        total_sel += sel.size();
+    const double mean_sel =
+        static_cast<double>(total_sel) / static_cast<double>(T);
+    const std::size_t grain =
+        grainForRowCost(2.0 * mean_sel * static_cast<double>(d));
 
-        // Scores over the kept set only.
-        std::vector<double> s(sel.size());
-        double m = -1e30;
-        for (std::size_t j = 0; j < sel.size(); ++j) {
-            const float *kr = k.rowPtr(sel[j]);
-            double acc = 0.0;
-            for (std::size_t c = 0; c < d; ++c)
-                acc += static_cast<double>(qr[c]) * kr[c];
-            s[j] = acc;
-            m = std::max(m, acc);
+    std::mutex ops_mutex;
+    parallelForRows(T, grain, [&](std::size_t r0, std::size_t r1) {
+        OpCounter ops;
+        std::vector<double> s;
+        std::vector<double> p;
+        for (std::size_t r = r0; r < r1; ++r) {
+            const auto &sel = selected[r];
+            if (sel.empty())
+                continue;
+            const float *qr = q.rowPtr(r);
+
+            // Scores over the kept set only.
+            s.resize(sel.size());
+            double m = -1e30;
+            for (std::size_t j = 0; j < sel.size(); ++j) {
+                const double acc = dotBlock(qr, k.rowPtr(sel[j]), d);
+                s[j] = acc;
+                m = std::max(m, acc);
+            }
+            const std::int64_t n =
+                static_cast<std::int64_t>(sel.size());
+            ops.mulN(n * d);
+            // d == 0 has zero accumulation adds, not -n.
+            ops.addN(n * std::max<std::int64_t>(
+                             static_cast<std::int64_t>(d) - 1, 0));
+            ops.cmpN(n - 1);
+
+            double sum = 0.0;
+            p.resize(sel.size());
+            for (std::size_t j = 0; j < sel.size(); ++j) {
+                p[j] = std::exp(s[j] - m);
+                sum += p[j];
+            }
+            ops.addN(n);
+            ops.expN(n);
+            ops.addN(n - 1);
+            ops.divN(1);
+
+            float *out = res.output.rowPtr(r);
+            for (std::size_t j = 0; j < sel.size(); ++j) {
+                const float w = static_cast<float>(p[j] / sum);
+                const float *vr = v.rowPtr(sel[j]);
+                for (std::size_t c = 0; c < d; ++c)
+                    out[c] += w * vr[c];
+            }
+            ops.mulN(n * static_cast<std::int64_t>(d) + n);
+            ops.addN(n * static_cast<std::int64_t>(d));
         }
-        const std::int64_t n = static_cast<std::int64_t>(sel.size());
-        res.ops.mulN(n * d);
-        res.ops.addN(n * (static_cast<std::int64_t>(d) - 1));
-        res.ops.cmpN(n - 1);
-
-        double sum = 0.0;
-        std::vector<double> p(sel.size());
-        for (std::size_t j = 0; j < sel.size(); ++j) {
-            p[j] = std::exp(s[j] - m);
-            sum += p[j];
-        }
-        res.ops.addN(n);
-        res.ops.expN(n);
-        res.ops.addN(n - 1);
-        res.ops.divN(1);
-
-        float *out = res.output.rowPtr(r);
-        for (std::size_t j = 0; j < sel.size(); ++j) {
-            const float w = static_cast<float>(p[j] / sum);
-            const float *vr = v.rowPtr(sel[j]);
-            for (std::size_t c = 0; c < d; ++c)
-                out[c] += w * vr[c];
-        }
-        res.ops.mulN(n * static_cast<std::int64_t>(d) + n);
-        res.ops.addN(n * static_cast<std::int64_t>(d));
-    }
+        std::lock_guard<std::mutex> lock(ops_mutex);
+        res.ops += ops;
+    });
     return res;
 }
 

@@ -1,0 +1,169 @@
+#include "common/jsonwriter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <locale>
+#include <sstream>
+
+namespace sofa {
+
+namespace {
+
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // key() already wrote "name": and its comma
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+    }
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    separate();
+    out_ += text;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    raw("{");
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (!first_.empty())
+        first_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    raw("[");
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (!first_.empty())
+        first_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    out_ += escaped(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    raw(escaped(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        raw("null");
+        return *this;
+    }
+    std::ostringstream os;
+    os.imbue(std::locale::classic()); // '.' decimal point always
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    raw(os.str());
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    raw(v ? "true" : "false");
+    return *this;
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << out_ << '\n';
+    return static_cast<bool>(f);
+}
+
+} // namespace sofa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable benchmark
+ * output (BENCH_*.json). Handles nesting, comma placement and string
+ * escaping; numbers are emitted with enough precision to round-trip,
+ * and non-finite doubles degrade to null (JSON has no NaN/inf).
+ */
+
+#ifndef SOFA_COMMON_JSONWRITER_H
+#define SOFA_COMMON_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofa {
+
+/**
+ * Forward-only JSON document builder:
+ *
+ *   JsonWriter j;
+ *   j.beginObject()
+ *       .key("bench").value("kernels")
+ *       .key("results").beginArray()
+ *           .beginObject().key("m").value(1024).endObject()
+ *       .endArray()
+ *   .endObject();
+ *   j.writeFile("BENCH_kernels.json");
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member name inside an object; must precede its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+    /** Write str() plus a trailing newline; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void separate();
+    void raw(const std::string &text);
+
+    std::string out_;
+    std::vector<bool> first_; ///< per open scope: no member emitted yet
+    bool pending_key_ = false;
+};
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_JSONWRITER_H

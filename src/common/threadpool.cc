@@ -1,0 +1,227 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace sofa {
+
+namespace {
+
+/** Depth of live ScopedSerial guards (process-wide). */
+std::atomic<int> g_serial_depth{0};
+
+/** Set while this thread is executing a shard; nested parallelFor
+ * calls from inside a shard run inline instead of re-entering the
+ * pool (which would deadlock on run_mutex_). */
+thread_local bool tl_in_parallel_region = false;
+
+/** RAII flag for tl_in_parallel_region so it is restored even when a
+ * shard body throws. */
+struct RegionGuard
+{
+    RegionGuard() { tl_in_parallel_region = true; }
+    ~RegionGuard() { tl_in_parallel_region = false; }
+};
+
+int
+envThreads()
+{
+    if (const char *e = std::getenv("SOFA_NUM_THREADS")) {
+        const int v = std::atoi(e);
+        if (v >= 1)
+            return std::min(v, 256);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** One shard must represent at least this much arithmetic before a
+ * parallel dispatch pays for itself (~fraction of a millisecond). */
+constexpr double kMinShardFlops = 1 << 20;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : nthreads_(std::max(1, threads))
+{
+    workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+    for (int w = 0; w < nthreads_ - 1; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool(envThreads());
+    return pool;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t grain,
+                        const RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t by_grain = n / grain; // shards of >= grain rows
+    const int shards = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(nthreads_),
+        std::max<std::size_t>(by_grain, 1)));
+
+    if (shards <= 1 || serialForced() || tl_in_parallel_region) {
+        fn(0, n, 0);
+        return;
+    }
+
+    std::lock_guard<std::mutex> serialize(run_mutex_);
+
+    // Partition [0, n) into near-equal contiguous shards; shard s is
+    // executed by worker s-1 (shard 0 by the caller), so every shard
+    // runs on a fixed participant and no grabbing race exists.
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        ranges_.clear();
+        const std::size_t base = n / static_cast<std::size_t>(shards);
+        const std::size_t rem = n % static_cast<std::size_t>(shards);
+        std::size_t b = 0;
+        for (int s = 0; s < shards; ++s) {
+            const std::size_t len =
+                base + (static_cast<std::size_t>(s) < rem ? 1 : 0);
+            ranges_.push_back({b, b + len});
+            b += len;
+        }
+        job_ = &fn;
+        done_ = 0;
+        active_ = shards - 1;
+        worker_error_ = nullptr;
+        ++epoch_;
+    }
+    wake_cv_.notify_all();
+
+    // Workers reference fn through job_, so even if the caller's
+    // shard throws we must block until they drain before unwinding
+    // destroys the callable (and before run_mutex_ is released).
+    struct CompletionWait
+    {
+        ThreadPool &pool;
+        ~CompletionWait()
+        {
+            std::unique_lock<std::mutex> lk(pool.m_);
+            pool.done_cv_.wait(
+                lk, [&] { return pool.done_ == pool.active_; });
+            pool.job_ = nullptr;
+        }
+    } wait_for_workers{*this};
+
+    {
+        RegionGuard region;
+        fn(ranges_[0].begin, ranges_[0].end, 0);
+    }
+
+    // Workers are drained by wait_for_workers before this scope ends;
+    // surface the first worker exception on the caller (reached only
+    // when the caller's own shard did not throw — that one wins).
+    std::exception_ptr worker_error;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        done_cv_.wait(lk, [&] { return done_ == active_; });
+        worker_error = worker_error_;
+        worker_error_ = nullptr;
+    }
+    if (worker_error)
+        std::rethrow_exception(worker_error);
+}
+
+void
+ThreadPool::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        const std::size_t shard =
+            static_cast<std::size_t>(worker) + 1;
+        if (shard >= ranges_.size())
+            continue; // not assigned this epoch
+        const Range r = ranges_[shard];
+        const RangeFn *job = job_;
+        lk.unlock();
+
+        std::exception_ptr error;
+        {
+            RegionGuard region;
+            try {
+                (*job)(r.begin, r.end, static_cast<int>(shard));
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+
+        lk.lock();
+        if (error && !worker_error_)
+            worker_error_ = error;
+        if (++done_ == active_)
+            done_cv_.notify_one();
+    }
+}
+
+ThreadPool::ScopedSerial::ScopedSerial()
+{
+    g_serial_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadPool::ScopedSerial::~ScopedSerial()
+{
+    g_serial_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool
+ThreadPool::serialForced()
+{
+    return g_serial_depth.load(std::memory_order_relaxed) > 0;
+}
+
+void
+parallelForRows(std::size_t n, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    grain = std::max<std::size_t>(grain, 1);
+    // Below two shards the pool would run serially anyway; skip
+    // instance() so small workloads never spawn worker threads.
+    if (n < 2 * grain || ThreadPool::serialForced() ||
+        tl_in_parallel_region) {
+        if (n > 0)
+            fn(0, n);
+        return;
+    }
+    ThreadPool::instance().parallelFor(
+        n, grain,
+        [&fn](std::size_t b, std::size_t e, int) { fn(b, e); });
+}
+
+std::size_t
+grainForRowCost(double flops_per_row)
+{
+    const double per_row = std::max(flops_per_row, 1.0);
+    const double rows = kMinShardFlops / per_row;
+    if (rows <= 1.0)
+        return 1;
+    return static_cast<std::size_t>(rows);
+}
+
+} // namespace sofa

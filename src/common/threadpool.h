@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reusable thread pool with a row-sharding parallelFor. Kernels and
+ * attention loops shard work by rows: each shard is a contiguous
+ * [begin, end) row range whose per-row computation is identical to the
+ * serial code, so results are bit-exact regardless of the thread count
+ * and op counting stays deterministic (per-shard tallies are summed
+ * with integer addition, which is order-independent).
+ *
+ * The pool honors SOFA_NUM_THREADS (falling back to
+ * std::thread::hardware_concurrency) and degrades to a plain serial
+ * call when the trip count is too small to amortize a dispatch, when
+ * the pool has a single thread, or inside an already-parallel region
+ * (nested parallelism runs inline rather than deadlocking).
+ */
+
+#ifndef SOFA_COMMON_THREADPOOL_H
+#define SOFA_COMMON_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sofa {
+
+class ThreadPool
+{
+  public:
+    /** Shard body: process rows [begin, end); shard is 0-based. */
+    using RangeFn =
+        std::function<void(std::size_t, std::size_t, int)>;
+
+    /** Pool with @p threads participants (callers count as one; a
+     * pool of n spawns n-1 workers). Clamped to >= 1. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Process-wide pool, created on first use. Thread count comes
+     * from SOFA_NUM_THREADS when set (>= 1), else
+     * hardware_concurrency.
+     */
+    static ThreadPool &instance();
+
+    /** Total participants (calling thread + workers). */
+    int threads() const { return nthreads_; }
+
+    /**
+     * Split [0, n) into at most threads() contiguous shards of at
+     * least @p grain rows each and run @p fn on every shard
+     * concurrently; the calling thread executes shard 0 and blocks
+     * until all shards finish. Runs serially (one fn(0, n, 0) call on
+     * the caller) when fewer than two shards fit, when serial mode is
+     * forced, or when called from inside another parallelFor.
+     *
+     * Exception-safe: a throw from any shard is surfaced on the
+     * calling thread after all shards have drained (when both the
+     * caller's shard and a worker shard throw, the caller's
+     * exception wins and the worker's is dropped). Output written by
+     * other shards before the throw is left as-is.
+     */
+    void parallelFor(std::size_t n, std::size_t grain,
+                     const RangeFn &fn);
+
+    /**
+     * RAII guard forcing every parallelFor into the serial path while
+     * alive. Used by determinism tests to compare threaded results
+     * against a bit-exact serial execution within one process.
+     */
+    class ScopedSerial
+    {
+      public:
+        ScopedSerial();
+        ~ScopedSerial();
+        ScopedSerial(const ScopedSerial &) = delete;
+        ScopedSerial &operator=(const ScopedSerial &) = delete;
+    };
+
+    /** True while any ScopedSerial guard is alive. */
+    static bool serialForced();
+
+  private:
+    struct Range
+    {
+        std::size_t begin;
+        std::size_t end;
+    };
+
+    void workerLoop(int worker);
+
+    const int nthreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex run_mutex_; ///< serializes top-level parallelFor calls
+
+    std::mutex m_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<Range> ranges_; ///< ranges_[s] belongs to shard s
+    const RangeFn *job_ = nullptr;
+    std::exception_ptr worker_error_; ///< first worker throw, if any
+    int active_ = 0; ///< worker shards outstanding this epoch
+    int done_ = 0;
+    std::uint64_t epoch_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Convenience wrapper over ThreadPool::instance(): run
+ * fn(begin, end) over [0, n) in row shards of at least @p grain.
+ * Never touches the pool (and so never spawns threads) when the range
+ * is too small for two shards.
+ */
+void parallelForRows(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &fn);
+
+/**
+ * Minimum rows per shard so one shard amortizes a dispatch, given the
+ * approximate arithmetic cost of a single row. Rows cheaper than the
+ * internal threshold yield large grains (forcing small problems down
+ * the serial path).
+ */
+std::size_t grainForRowCost(double flops_per_row);
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_THREADPOOL_H

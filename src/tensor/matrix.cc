@@ -2,34 +2,30 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace sofa {
 
 MatF
 matmulNT(const MatF &a, const MatF &b)
 {
-    SOFA_ASSERT(a.cols() == b.cols());
-    MatF c(a.rows(), b.rows());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const float *ai = a.rowPtr(i);
-        for (std::size_t j = 0; j < b.rows(); ++j) {
-            const float *bj = b.rowPtr(j);
-            float acc = 0.0f;
-            for (std::size_t n = 0; n < a.cols(); ++n)
-                acc += ai[n] * bj[n];
-            c(i, j) = acc;
-        }
-    }
-    return c;
+    return matmulNTTiled(a, b);
 }
 
 MatF
 matmul(const MatF &a, const MatF &b)
 {
+    return matmulTiled(a, b);
+}
+
+MatF
+matmulSparseLhs(const MatF &a, const MatF &b)
+{
     SOFA_ASSERT(a.cols() == b.rows());
     MatF c(a.rows(), b.cols());
     for (std::size_t i = 0; i < a.rows(); ++i) {
         for (std::size_t n = 0; n < a.cols(); ++n) {
-            float av = a(i, n);
+            const float av = a(i, n);
             if (av == 0.0f)
                 continue;
             const float *bn = b.rowPtr(n);
@@ -44,11 +40,7 @@ matmul(const MatF &a, const MatF &b)
 MatF
 transpose(const MatF &a)
 {
-    MatF t(a.cols(), a.rows());
-    for (std::size_t i = 0; i < a.rows(); ++i)
-        for (std::size_t j = 0; j < a.cols(); ++j)
-            t(j, i) = a(i, j);
-    return t;
+    return transposeBlocked(a);
 }
 
 float

@@ -97,13 +97,30 @@ using MatI16 = Matrix<std::int16_t>;
 using MatI32 = Matrix<std::int32_t>;
 using MatI64 = Matrix<std::int64_t>;
 
-/** C = A * B^T (the natural layout for Q x K^T). */
+/**
+ * C = A * B^T (the natural layout for Q x K^T). Backed by the
+ * register-tiled, cache-blocked kernels in tensor/kernels.h and
+ * sharded by output rows across the thread pool (SOFA_NUM_THREADS);
+ * small products fall back to a serial blocked loop, and per-row
+ * results are bit-exact for any thread count.
+ */
 MatF matmulNT(const MatF &a, const MatF &b);
 
-/** C = A * B. */
+/** C = A * B. Blocked + threaded like matmulNT; every accumulation
+ * order is fixed at compile time, so the result is deterministic. */
 MatF matmul(const MatF &a, const MatF &b);
 
-/** Transpose. */
+/**
+ * C = A * B where rows of A are expected to be mostly zero: skips the
+ * inner loop whenever a(i, k) == 0.0f, trading a data-dependent
+ * branch for work elision. Dense callers should use matmul, whose
+ * instruction stream does not depend on the data (the zero-skip used
+ * to hide inside matmul and made dense benchmarks data-dependent).
+ * Serial; arithmetic order matches the naive seed kernel.
+ */
+MatF matmulSparseLhs(const MatF &a, const MatF &b);
+
+/** Transpose (cache-blocked). */
 MatF transpose(const MatF &a);
 
 /** Max absolute element (0 for empty matrices). */

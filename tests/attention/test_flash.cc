@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "attention/flash.h"
 #include "attention/reference.h"
+#include "common/threadpool.h"
 #include "model/workload.h"
 #include "testutil.h"
 
@@ -96,6 +99,77 @@ TEST(AnalyticOps, Fa2GapGrowsWithSeq)
     const double gap_2k =
         static_cast<double>(fa_2k.exps() - va_2k.exps());
     EXPECT_GT(gap_2k, gap_1k * 1.8);
+}
+
+TEST(Flash, EmptyKeySequenceYieldsZerosNotNaN)
+{
+    // Regression: with S == 0 the softmax denominator l stays 0 and
+    // the final 1/l normalization used to emit inf/NaN. An empty key
+    // set now produces a zero output row.
+    MatF q(4, 8);
+    Rng rng = testutil::makeRng(21);
+    for (auto &x : q.data())
+        x = static_cast<float>(rng.gaussian());
+    const MatF k(0, 8);
+    const MatF v(0, 8);
+    for (const bool fa2 : {false, true}) {
+        auto res = fa2 ? flashAttention2(q, k, v, {16})
+                       : flashAttention1(q, k, v, {16});
+        ASSERT_EQ(res.output.rows(), 4u);
+        ASSERT_EQ(res.output.cols(), 8u);
+        for (const float x : res.output.data()) {
+            EXPECT_TRUE(std::isfinite(x));
+            EXPECT_FLOAT_EQ(x, 0.0f);
+        }
+    }
+}
+
+TEST(Flash, ZeroHeadDimKeepsOpCountsSane)
+{
+    // Regression: bc * (d - 1) used to wrap in size_t for d == 0,
+    // feeding a garbage count into the op tally.
+    const MatF q(2, 0);
+    const MatF k(3, 0);
+    const MatF v(3, 0);
+    auto res = flashAttention2(q, k, v, {2});
+    EXPECT_GE(res.ops.adds(), 0);
+    EXPECT_LT(res.ops.adds(), 1000);
+    EXPECT_GE(res.ops.muls(), 0);
+}
+
+TEST(Flash, ZeroQueriesStillWork)
+{
+    const MatF q(0, 8);
+    auto w = makeWorkload(16, 1, 8, 8);
+    auto res = flashAttention2(q, w.k, w.v, {4});
+    EXPECT_EQ(res.output.rows(), 0u);
+    EXPECT_EQ(res.output.cols(), 8u);
+}
+
+TEST(Flash2, HugeBlockColsAllocatesOnlyTheRealTileWidth)
+{
+    // The per-shard scratch is sized min(blockCols, S); a "single
+    // tile" config with a huge Bc must not attempt a gigabyte
+    // allocation.
+    auto w = makeWorkload(64, 4);
+    auto whole = flashAttention2(w.q, w.k, w.v, {1 << 30});
+    auto tiled = flashAttention2(w.q, w.k, w.v, {16});
+    EXPECT_TRUE(testutil::MatrixNear(whole.output, tiled.output, 1e-5));
+}
+
+TEST(Flash2, ThreadedMatchesForcedSerialBitExactly)
+{
+    // Row sharding must not change per-row arithmetic or op totals.
+    // 256 rows at this size clears the grain threshold, so the
+    // parallel path engages whenever >1 thread is available.
+    auto w = makeWorkload(256, 256);
+    auto threaded = flashAttention2(w.q, w.k, w.v, {16});
+    ThreadPool::ScopedSerial guard;
+    auto serial = flashAttention2(w.q, w.k, w.v, {16});
+    EXPECT_EQ(threaded.output, serial.output);
+    EXPECT_EQ(threaded.ops.total(), serial.ops.total());
+    EXPECT_EQ(threaded.ops.exps(), serial.ops.exps());
+    EXPECT_EQ(threaded.ops.muls(), serial.ops.muls());
 }
 
 /** Parameterized numerical-equivalence sweep over tile sizes. */

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "attention/reference.h"
+#include "common/threadpool.h"
 #include "model/workload.h"
 #include "testutil.h"
 #include "sparsity/topk.h"
@@ -52,6 +53,32 @@ TEST(SoftmaxRows, OpCountMatchesClosedForm)
     EXPECT_EQ(ops.exps(), 3 * 100);
     EXPECT_EQ(ops.divs(), 3);
     EXPECT_EQ(ops.muls(), 3 * 100);
+}
+
+TEST(SoftmaxRows, EmptyScoreMatrixIsANoop)
+{
+    // Zero-width rows have no max; softmax must not read past the
+    // row and simply returns the empty shape.
+    const MatF zr(4, 0);
+    const MatF p = softmaxRows(zr);
+    EXPECT_EQ(p.rows(), 4u);
+    EXPECT_EQ(p.cols(), 0u);
+    EXPECT_EQ(softmaxRows(MatF{}).size(), 0u);
+}
+
+TEST(SoftmaxRows, ThreadedMatchesForcedSerialBitExactly)
+{
+    MatF scores(512, 256);
+    Rng rng = testutil::makeRng(31);
+    for (auto &x : scores.data())
+        x = static_cast<float>(rng.gaussian());
+    OpCounter threaded_ops;
+    const MatF threaded = softmaxRows(scores, &threaded_ops);
+    ThreadPool::ScopedSerial guard;
+    OpCounter serial_ops;
+    const MatF serial = softmaxRows(scores, &serial_ops);
+    EXPECT_EQ(threaded, serial);
+    EXPECT_EQ(threaded_ops.total(), serial_ops.total());
 }
 
 TEST(ReferenceAttention, OutputShapeAndFiniteness)

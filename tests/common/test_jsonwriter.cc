@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/jsonwriter.h"
+
+namespace sofa {
+namespace {
+
+TEST(JsonWriter, FlatObject)
+{
+    JsonWriter j;
+    j.beginObject()
+        .key("name").value("kernels")
+        .key("threads").value(4)
+        .key("fast").value(true)
+        .endObject();
+    EXPECT_EQ(j.str(),
+              "{\"name\":\"kernels\",\"threads\":4,\"fast\":true}");
+}
+
+TEST(JsonWriter, NestedObjectAndArray)
+{
+    JsonWriter j;
+    j.beginObject()
+        .key("results").beginArray()
+            .beginObject().key("m").value(256).endObject()
+            .beginObject().key("m").value(512).endObject()
+        .endArray()
+        .key("ok").value(true)
+        .endObject();
+    EXPECT_EQ(j.str(),
+              "{\"results\":[{\"m\":256},{\"m\":512}],\"ok\":true}");
+}
+
+TEST(JsonWriter, ArrayOfScalars)
+{
+    JsonWriter j;
+    j.beginArray()
+        .value(1)
+        .value(2.5)
+        .value("x")
+        .value(false)
+        .endArray();
+    EXPECT_EQ(j.str(), "[1,2.5,\"x\",false]");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter j;
+    j.beginObject()
+        .key("s").value("a\"b\\c\nd\te")
+        .key("ctl").value(std::string("\x01", 1))
+        .endObject();
+    EXPECT_EQ(j.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\","
+                       "\"ctl\":\"\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter j;
+    j.beginArray()
+        .value(std::nan(""))
+        .value(HUGE_VAL)
+        .endArray();
+    EXPECT_EQ(j.str(), "[null,null]");
+}
+
+TEST(JsonWriter, DoublesRoundTripReadably)
+{
+    JsonWriter j;
+    j.beginArray().value(1.5).value(0.125).value(-3.0).endArray();
+    EXPECT_EQ(j.str(), "[1.5,0.125,-3]");
+}
+
+TEST(JsonWriter, WriteFileRoundTrips)
+{
+    JsonWriter j;
+    j.beginObject().key("k").value(1).endObject();
+    const std::string path = "test_jsonwriter_out.json";
+    ASSERT_TRUE(j.writeFile(path));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), "{\"k\":1}\n");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+
+namespace sofa {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1237;
+    std::vector<int> hits(n, 0);
+    // Shards are disjoint, so unsynchronized writes are race-free.
+    pool.parallelFor(n, 1,
+                     [&](std::size_t b, std::size_t e, int) {
+                         for (std::size_t i = b; i < e; ++i)
+                             hits[i] += 1;
+                     });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "row " << i;
+}
+
+TEST(ThreadPool, ShardsAreContiguousBalancedAndDistinctThreads)
+{
+    ThreadPool pool(4);
+    struct Seen
+    {
+        std::size_t begin, end;
+        int shard;
+        std::thread::id tid;
+    };
+    std::mutex mu;
+    std::vector<Seen> seen;
+    pool.parallelFor(400, 1,
+                     [&](std::size_t b, std::size_t e, int shard) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         seen.push_back(
+                             {b, e, shard,
+                              std::this_thread::get_id()});
+                     });
+    ASSERT_EQ(seen.size(), 4u);
+    std::sort(seen.begin(), seen.end(),
+              [](const Seen &a, const Seen &b) {
+                  return a.begin < b.begin;
+              });
+    std::size_t expect_begin = 0;
+    std::set<std::thread::id> tids;
+    for (const auto &s : seen) {
+        EXPECT_EQ(s.begin, expect_begin);
+        EXPECT_EQ(s.end - s.begin, 100u); // 400 rows over 4 shards
+        expect_begin = s.end;
+        tids.insert(s.tid);
+    }
+    EXPECT_EQ(expect_begin, 400u);
+    // Shards are pinned: shard 0 on the caller, shard s on worker
+    // s-1, so four shards means four distinct threads.
+    EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST(ThreadPool, SmallRangeRunsSerialOnCaller)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    std::thread::id tid;
+    // grain 100 over 30 rows: one shard, inline on the caller.
+    pool.parallelFor(30, 100,
+                     [&](std::size_t b, std::size_t e, int shard) {
+                         ++calls;
+                         tid = std::this_thread::get_id();
+                         EXPECT_EQ(b, 0u);
+                         EXPECT_EQ(e, 30u);
+                         EXPECT_EQ(shard, 0);
+                     });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(tid, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, GrainBoundsShardCount)
+{
+    ThreadPool pool(8);
+    std::mutex mu;
+    int calls = 0;
+    // 100 rows with grain 30 fit at most 3 shards of >= 30 rows.
+    pool.parallelFor(100, 30,
+                     [&](std::size_t, std::size_t, int) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         ++calls;
+                     });
+    EXPECT_LE(calls, 3);
+    EXPECT_GE(calls, 1);
+}
+
+TEST(ThreadPool, ScopedSerialForcesInlineExecution)
+{
+    ThreadPool pool(4);
+    ThreadPool::ScopedSerial guard;
+    EXPECT_TRUE(ThreadPool::serialForced());
+    int calls = 0;
+    pool.parallelFor(1000, 1,
+                     [&](std::size_t b, std::size_t e, int) {
+                         ++calls;
+                         EXPECT_EQ(b, 0u);
+                         EXPECT_EQ(e, 1000u);
+                     });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::vector<std::int64_t> outer_sum(4, 0);
+    pool.parallelFor(
+        4, 1, [&](std::size_t b, std::size_t e, int shard) {
+            for (std::size_t i = b; i < e; ++i) {
+                // A nested call must degrade to serial inline
+                // execution on this participant.
+                std::int64_t s = 0;
+                parallelForRows(100, 1,
+                                [&](std::size_t nb, std::size_t ne) {
+                                    for (std::size_t j = nb; j < ne;
+                                         ++j)
+                                        s += static_cast<std::int64_t>(
+                                            j);
+                                });
+                outer_sum[static_cast<std::size_t>(shard)] = s;
+            }
+        });
+    for (const auto s : outer_sum)
+        EXPECT_EQ(s, 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::int64_t> partial(
+            static_cast<std::size_t>(pool.threads()), 0);
+        pool.parallelFor(
+            301, 1, [&](std::size_t b, std::size_t e, int shard) {
+                std::int64_t s = 0;
+                for (std::size_t i = b; i < e; ++i)
+                    s += 1;
+                partial[static_cast<std::size_t>(shard)] = s;
+            });
+        std::int64_t total = 0;
+        for (const auto p : partial)
+            total += p;
+        ASSERT_EQ(total, 301);
+    }
+}
+
+TEST(ThreadPool, WorkerShardExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    struct ShardError
+    {
+    };
+    EXPECT_THROW(
+        pool.parallelFor(400, 1,
+                         [&](std::size_t b, std::size_t, int shard) {
+                             if (shard != 0)
+                                 throw ShardError{};
+                             (void)b;
+                         }),
+        ShardError);
+    // The pool stays usable after an exceptional dispatch.
+    int calls = 0;
+    std::mutex mu;
+    pool.parallelFor(400, 1, [&](std::size_t, std::size_t, int) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 4);
+}
+
+TEST(ThreadPool, CallerShardExceptionWinsAndDrainsWorkers)
+{
+    ThreadPool pool(4);
+    struct CallerError
+    {
+    };
+    std::vector<int> done(4, 0);
+    EXPECT_THROW(
+        pool.parallelFor(400, 1,
+                         [&](std::size_t, std::size_t, int shard) {
+                             if (shard == 0)
+                                 throw CallerError{};
+                             done[static_cast<std::size_t>(shard)] =
+                                 1;
+                         }),
+        CallerError);
+    // Worker shards completed before the exception surfaced.
+    EXPECT_EQ(done[1] + done[2] + done[3], 3);
+}
+
+TEST(ThreadPool, ZeroRowsIsANoop)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 1,
+                     [&](std::size_t, std::size_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelForRows(0, 1, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(GrainForRowCost, ScalesInverselyWithRowCost)
+{
+    // Expensive rows shard immediately; cheap rows need big shards.
+    EXPECT_EQ(grainForRowCost(2.0 * 1024 * 1024 * 1024), 1u);
+    const std::size_t cheap = grainForRowCost(10.0);
+    const std::size_t mid = grainForRowCost(10000.0);
+    EXPECT_GT(cheap, mid);
+    EXPECT_GE(mid, 1u);
+}
+
+} // namespace
+} // namespace sofa

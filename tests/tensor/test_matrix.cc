@@ -216,6 +216,47 @@ TEST(Transpose, OneByNAndEmpty)
     EXPECT_TRUE(e.empty());
 }
 
+TEST(MatmulSparseLhs, MatchesDenseMatmulOnSparseInput)
+{
+    // 70% structural zeros in the left operand: the zero-skip
+    // variant must agree with the dense kernel up to summation-order
+    // rounding.
+    MatF a(13, 29);
+    MatF b(29, 17);
+    unsigned state = 12345;
+    auto next = [&state] {
+        state = state * 1664525u + 1013904223u;
+        return state;
+    };
+    for (auto &x : a.data())
+        x = (next() % 10 < 7)
+                ? 0.0f
+                : static_cast<float>(next() % 100) * 0.01f - 0.5f;
+    for (auto &x : b.data())
+        x = static_cast<float>(next() % 100) * 0.02f - 1.0f;
+    const MatF dense = matmul(a, b);
+    const MatF sparse = matmulSparseLhs(a, b);
+    ASSERT_EQ(dense.rows(), sparse.rows());
+    ASSERT_EQ(dense.cols(), sparse.cols());
+    for (std::size_t i = 0; i < dense.size(); ++i)
+        EXPECT_NEAR(dense.data()[i], sparse.data()[i], 1e-4) << i;
+}
+
+TEST(MatmulSparseLhs, AllZeroLhsGivesZeroProduct)
+{
+    const MatF a(4, 6, 0.0f);
+    const MatF b(6, 5, 3.0f);
+    const MatF c = matmulSparseLhs(a, b);
+    for (const float v : c.data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MatmulSparseLhs, ShapeMismatchPanics)
+{
+    MatF a(2, 3), b(2, 2);
+    EXPECT_DEATH(matmulSparseLhs(a, b), "assertion");
+}
+
 TEST(Norms, EmptyMatricesHaveZeroError)
 {
     EXPECT_NEAR(frobenius(MatF{}), 0.0, 1e-12);

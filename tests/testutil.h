@@ -37,6 +37,17 @@ makeRng(std::uint64_t salt = 0)
     return Rng(kTestSeed + salt);
 }
 
+/** Gaussian-filled matrix from a salted deterministic stream. */
+inline MatF
+randomMat(std::size_t rows, std::size_t cols, std::uint64_t salt = 0)
+{
+    Rng rng = makeRng(salt);
+    MatF m(rows, cols);
+    for (auto &x : m.data())
+        x = static_cast<float>(rng.gaussian());
+    return m;
+}
+
 /**
  * Small, fast workload with the dimensions most seed tests used to
  * build by hand. Deterministic: WorkloadSpec's default seed is fixed.
