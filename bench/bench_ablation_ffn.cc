@@ -6,16 +6,20 @@
  * activation skew.
  */
 
+#include <algorithm>
 #include <cstdio>
 
+#include "benchmain.h"
 #include "core/ffn.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &opts, bench::Reporter &rep)
 {
-    Rng rng(0xFF7);
+    Rng rng(opts.seedOr(0xFF7));
     const int H = 64, F = 256, T = 32;
 
     MatF probe(T, H);
@@ -38,6 +42,12 @@ main()
         std::printf("%7.0f%% | %12.4f %11.1f%% %12.0f\n",
                     100.0 * keep, err, 100.0 * saved,
                     sparse.ops.normalized());
+        if (keep == 0.2) {
+            rep.metric("rel_error_keep20", err, "fraction")
+                .tol(0.01);
+            rep.metric("muls_saved_keep20", saved, "fraction")
+                .tol(0.01);
+        }
     }
 
     std::printf("\n=== layer-specific calibration "
@@ -54,5 +64,19 @@ main()
     std::printf("\nShape: deeper (more skewed) layers tolerate "
                 "smaller keeps — the layer-specific adaptation of "
                 "Fig. 6(a).\n");
+
+    // Calibration walks a discrete keep grid; allow one step.
+    rep.metric("calibrated_keep_layer0", keeps.front(), "fraction")
+        .tol(0.3);
+    rep.metric("calibrated_keep_layer5", keeps.back(), "fraction")
+        .tol(0.3);
+    rep.metric("keep_monotone_nonincreasing",
+               std::is_sorted(keeps.rbegin(), keeps.rend()) ? 1.0
+                                                            : 0.0,
+               "bool").tol(0.0);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("ablation_ffn", run)

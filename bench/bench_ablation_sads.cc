@@ -7,27 +7,31 @@
 
 #include <cstdio>
 
+#include "benchmain.h"
 #include "core/sads.h"
 #include "model/workload.h"
 #include "sparsity/metrics.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &opts, bench::Reporter &rep)
 {
     WorkloadSpec spec;
-    spec.seq = 2048;
+    spec.seq = opts.quick ? 1024 : 2048;
     spec.queries = 64;
     spec.mixture = {0.25, 0.75, 0.0};
-    spec.seed = 0x5AD5;
+    spec.seed = opts.seedOr(0x5AD5);
     auto w = generateWorkload(spec);
-    const int k = 2048 / 5;
+    const int k = spec.seq / 5;
 
     const double vanilla_cmp = static_cast<double>(
         vanillaSortComparisons(spec.queries, spec.seq));
 
-    std::printf("=== SADS segment-count sweep (S=2048, k=20%%) ===\n");
+    std::printf("=== SADS segment-count sweep (S=%d, k=20%%) ===\n",
+                spec.seq);
     std::printf("%9s | %14s %9s | %9s %9s\n", "segments",
                 "comparisons", "vs full", "recall", "mass");
     for (int n : {1, 2, 4, 8, 16, 32}) {
@@ -35,12 +39,24 @@ main()
         cfg.segments = n;
         auto res = sadsTopK(w.scores, k, cfg);
         auto exact = exactTopKRows(w.scores, k);
+        const double cmp_frac = res.ops.cmps() / vanilla_cmp;
+        const double recall = topkRecall(res.selections(), exact);
+        const double mass =
+            softmaxMassRecall(w.scores, res.selections());
         std::printf("%9d | %14lld %8.1f%% | %8.1f%% %8.1f%%\n", n,
                     static_cast<long long>(res.ops.cmps()),
-                    100.0 * res.ops.cmps() / vanilla_cmp,
-                    100.0 * topkRecall(res.selections(), exact),
-                    100.0 * softmaxMassRecall(w.scores,
-                                              res.selections()));
+                    100.0 * cmp_frac, 100.0 * recall, 100.0 * mass);
+        if (n == 4 || n == 16) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "cmp_frac_seg%d", n);
+            rep.metric(name, cmp_frac, "fraction").tol(0.01);
+            std::snprintf(name, sizeof(name), "mass_seg%d", n);
+            rep.metric(name, mass, "fraction").tol(0.02);
+            if (n == 16) {
+                rep.metric("recall_seg16", recall, "fraction")
+                    .tol(0.02);
+            }
+        }
     }
 
     std::printf("\n=== clipping-radius sweep (4 segments) ===\n");
@@ -56,13 +72,19 @@ main()
         std::int64_t clipped = 0;
         for (const auto &row : res.rows)
             clipped += row.clipped;
+        const double mass =
+            softmaxMassRecall(w.scores, res.selections());
+        const double cmp_saved =
+            1.0 -
+            static_cast<double>(res.ops.cmps()) / open.ops.cmps();
         std::printf("%9.2f | %12lld %8.1f%% %8.1f%%\n", r,
-                    static_cast<long long>(clipped),
-                    100.0 * softmaxMassRecall(w.scores,
-                                              res.selections()),
-                    100.0 * (1.0 - static_cast<double>(
-                                       res.ops.cmps()) /
-                                       open.ops.cmps()));
+                    static_cast<long long>(clipped), 100.0 * mass,
+                    100.0 * cmp_saved);
+        if (r == 0.4) {
+            rep.metric("cmp_saved_radius40", cmp_saved, "fraction")
+                .tol(0.02);
+            rep.metric("mass_radius40", mass, "fraction").tol(0.02);
+        }
     }
     std::printf("\nShape: few segments ~ exact; more segments save "
                 "comparisons with modest mass loss;\nclipping saves "
@@ -70,3 +92,7 @@ main()
                 "radius gets aggressive.\n");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("ablation_sads", run)

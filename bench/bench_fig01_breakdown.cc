@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "benchmain.h"
 #include "model/config.h"
 #include "model/flops.h"
 
@@ -14,17 +15,20 @@ using namespace sofa;
 
 namespace {
 
-void
+/** Returns the attention flops share at the longest sequence. */
+double
 report(const ModelConfig &m, const std::vector<std::int64_t> &seqs)
 {
     std::printf("\n%s — memory footprint (MB) and computation share\n",
                 m.name.c_str());
     std::printf("%8s | %8s %8s %8s | %7s %7s %7s\n", "S", "QKV(MB)",
                 "Att(MB)", "FFN(MB)", "QKV%", "Att%", "FFN%");
+    double att_share = 0.0;
     for (auto s : seqs) {
         auto p = modelProfile(m, s, s);
         const double mb = 1.0 / (1024.0 * 1024.0);
         const double tot = p.total().flops;
+        att_share = p.atten.flops / tot;
         std::printf(
             "%8lld | %8.0f %8.0f %8.0f | %6.1f%% %6.1f%% %6.1f%%\n",
             static_cast<long long>(s), p.qkv.bytes * mb,
@@ -32,17 +36,37 @@ report(const ModelConfig &m, const std::vector<std::int64_t> &seqs)
             100.0 * p.qkv.flops / tot, 100.0 * p.atten.flops / tot,
             100.0 * p.ffn.flops / tot);
     }
+    return att_share;
+}
+
+int
+run(const bench::Options &, bench::Reporter &rep)
+{
+    std::printf("=== Fig. 1: memory & computation breakdown ===\n");
+    const double llama_share =
+        report(models::llama7b(), {4096, 16384, 32768, 65536, 131072});
+    const double vit_share =
+        report(models::vitBase(), {4096, 8192, 14336, 32768, 129024});
+    std::printf("\nPaper shape: attention share of both memory and\n"
+                "computation overtakes FFN beyond ~32k tokens.\n");
+
+    // The Fig. 1 claim in one number per model: attention dominates
+    // computation at the longest evaluated sequence.
+    rep.metric("llama7b_att_flops_share_s131072", llama_share,
+               "fraction");
+    rep.metric("vitb_att_flops_share_s129024", vit_share,
+               "fraction");
+    {
+        auto p = modelProfile(models::llama7b(), 131072, 131072);
+        rep.metric("llama7b_att_mem_share_s131072",
+                   p.atten.bytes / p.total().bytes, "fraction");
+        auto p32 = modelProfile(models::llama7b(), 32768, 32768);
+        rep.metric("llama7b_att_flops_share_s32768",
+                   p32.atten.flops / p32.total().flops, "fraction");
+    }
+    return 0;
 }
 
 } // namespace
 
-int
-main()
-{
-    std::printf("=== Fig. 1: memory & computation breakdown ===\n");
-    report(models::llama7b(), {4096, 16384, 32768, 65536, 131072});
-    report(models::vitBase(), {4096, 8192, 14336, 32768, 129024});
-    std::printf("\nPaper shape: attention share of both memory and\n"
-                "computation overtakes FFN beyond ~32k tokens.\n");
-    return 0;
-}
+SOFA_BENCH_MAIN("fig01_breakdown", run)

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "arch/whole_row.h"
+#include "benchmain.h"
 #include "common/stats.h"
 #include "model/config.h"
 
@@ -27,10 +28,8 @@ makeCfg(const char *name, double gops)
     return cfg;
 }
 
-} // namespace
-
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     std::printf("=== Fig. 3: MAT share vs token parallelism "
                 "(2MB SRAM) ===\n");
@@ -38,15 +37,19 @@ main()
     struct Workload
     {
         const char *label;
+        const char *slug;
         ModelConfig model;
         int seq;
         std::vector<std::int64_t> parallels;
     };
     std::vector<Workload> loads = {
-        {"BERT-Large (512)", models::bertLarge(), 512, {1, 512}},
-        {"GPT-2 (1k)", models::gpt2(), 1024, {1, 256}},
-        {"Bloom-3B (2k)", models::bloom3b(), 2048, {1, 128}},
-        {"Llama-13B (4k)", models::llama13b(), 4096, {1, 8}},
+        {"BERT-Large (512)", "bert_large", models::bertLarge(), 512,
+         {1, 512}},
+        {"GPT-2 (1k)", "gpt2", models::gpt2(), 1024, {1, 256}},
+        {"Bloom-3B (2k)", "bloom3b", models::bloom3b(), 2048,
+         {1, 128}},
+        {"Llama-13B (4k)", "llama13b", models::llama13b(), 4096,
+         {1, 8}},
     };
     std::vector<WholeRowConfig> accs = {makeCfg("FACT", 928.0),
                                         makeCfg("Energon", 1153.0)};
@@ -66,13 +69,23 @@ main()
                             static_cast<long long>(t),
                             r.computeNs / 1e3, r.memoryNs / 1e3,
                             100.0 * r.matRatio());
-                if (t == wl.parallels.back())
+                if (t == wl.parallels.back()) {
                     peak_ratios.push_back(r.matRatio());
+                    rep.metric(std::string("mat_share_") +
+                                   acc.name.c_str() + "_" + wl.slug,
+                               r.matRatio(), "fraction");
+                }
             }
         }
     }
     std::printf("\nAverage MAT share at max parallelism: %.1f%% "
                 "(paper: ~72%%)\n",
                 100.0 * mean(peak_ratios));
+    rep.metric("mat_share_mean", mean(peak_ratios), "fraction")
+        .paper(0.72);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig03_mat", run)

@@ -7,13 +7,16 @@
 
 #include <cstdio>
 
+#include "benchmain.h"
 #include "model/config.h"
 #include "model/flops.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     std::printf("=== Fig. 4(b): normalized operational intensity ===\n");
     std::printf("%-10s | %8s %8s %8s (normalized to FFN)\n", "Model",
@@ -27,6 +30,11 @@ main()
                     m.name.c_str(),
                     100.0 * p.qkv.intensity() / ffn,
                     100.0 * p.atten.intensity() / ffn, 100.0);
+        if (m.name == models::bloom3b().name) {
+            rep.metric("bloom3b_mha_oi_norm",
+                       p.atten.intensity() / ffn, "fraction")
+                .paper(0.15);
+        }
     }
 
     std::printf("\n=== Fig. 4(c): MHA OI vs token parallelism ===\n");
@@ -38,5 +46,25 @@ main()
     }
     std::printf("\nPaper shape: MHA OI ~15%% of FFN; OI rises with "
                 "parallelism and saturates.\n");
+
+    rep.metric("bloom3b_mha_oi_t1",
+               attentionIntensity(models::bloom3b(), 2048, 1),
+               "flops_per_byte");
+    rep.metric("bloom3b_mha_oi_t128",
+               attentionIntensity(models::bloom3b(), 2048, 128),
+               "flops_per_byte");
+    rep.metric("gpt2_mha_oi_t128",
+               attentionIntensity(models::gpt2(), 1024, 128),
+               "flops_per_byte");
+    // The saturation claim: 128-way parallelism lifts OI by well
+    // over an order of magnitude relative to T=1.
+    rep.metric("bloom3b_oi_gain_t128",
+               attentionIntensity(models::bloom3b(), 2048, 128) /
+                   attentionIntensity(models::bloom3b(), 2048, 1),
+               "ratio");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig04_oi", run)

@@ -9,11 +9,14 @@
 #include <cstdio>
 
 #include "attention/flash.h"
+#include "benchmain.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     const int d = 64;
     std::printf("=== Fig. 5(b): FA-2 extra ops vs vanilla (Bc=16) "
@@ -26,6 +29,15 @@ main()
                     static_cast<long long>(s),
                     static_cast<long long>(fa.exps() - va.exps()),
                     static_cast<long long>(fa.cmps() - va.cmps()));
+        if (s == 2048) {
+            // "At S=2048/Bc=16 the gap is millions of exps."
+            rep.metric("extra_exps_s2048_bc16",
+                       static_cast<double>(fa.exps() - va.exps()),
+                       "ops").tol(0.0);
+            rep.metric("extra_cmps_s2048_bc16",
+                       static_cast<double>(fa.cmps() - va.cmps()),
+                       "ops").tol(0.0);
+        }
     }
 
     std::printf("\n=== Fig. 5(c): normalized complexity ratio "
@@ -39,6 +51,12 @@ main()
             const double fa =
                 fa2AnalyticOps(s, s, bc, d).normalized();
             std::printf(" %8.3f", fa / va);
+            if (s == 2048 && (bc == 4 || bc == 16)) {
+                char name[64];
+                std::snprintf(name, sizeof(name),
+                              "complexity_ratio_s2048_bc%d", bc);
+                rep.metric(name, fa / va, "ratio");
+            }
         }
         std::printf("\n");
     }
@@ -47,3 +65,7 @@ main()
                 "millions of exps.\n");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig05_fa2", run)

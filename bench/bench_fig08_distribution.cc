@@ -6,26 +6,31 @@
  * and the >95% Type-I + Type-II coverage (the DCE justification).
  */
 
+#include <algorithm>
 #include <cstdio>
 
+#include "benchmain.h"
 #include "model/config.h"
 #include "model/workload.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &opts, bench::Reporter &rep)
 {
     std::printf("=== Fig. 8(b): distribution type proportions ===\n");
     std::printf("%-12s | %8s %8s %8s | %s\n", "Model", "Type-I",
                 "Type-II", "Type-III", "I+II");
     double worst_cover = 1.0;
+    const int rows = opts.quick ? 256 : 512;
     for (const auto &m : {models::vitBase(), models::bertBase(),
                           models::gpt2(), models::llama7b()}) {
-        Rng rng(0xF16'8000 + m.layers);
+        Rng rng(opts.seedOr(0xF16'8000 + m.layers));
         ScoreRowParams p;
         p.seq = 1024;
-        MatF scores = generateScoreMatrix(rng, m.mixture, 512, p);
+        MatF scores = generateScoreMatrix(rng, m.mixture, rows, p);
         auto tally = classifyScoreMatrix(scores);
         const double cover = tally.frac1() + tally.frac2();
         worst_cover = std::min(worst_cover, cover);
@@ -33,9 +38,22 @@ main()
                     m.name.c_str(), 100.0 * tally.frac1(),
                     100.0 * tally.frac2(), 100.0 * tally.frac3(),
                     100.0 * cover);
+        if (m.name == models::llama7b().name) {
+            // Row classification is discrete; allow a few rows of
+            // jitter across toolchains.
+            rep.metric("llama7b_type2_frac", tally.frac2(),
+                       "fraction").tol(0.02);
+            rep.metric("llama7b_cover", cover, "fraction").tol(0.02);
+        }
     }
     std::printf("\nWorst-case Type-I+II coverage: %.1f%% "
                 "(paper: >95%% on average, Type-II >76%%)\n",
                 100.0 * worst_cover);
+    rep.metric("worst_type12_cover", worst_cover, "fraction")
+        .paper(0.95).tol(0.02);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig08_distribution", run)

@@ -10,13 +10,16 @@
 
 #include <cstdio>
 
+#include "benchmain.h"
 #include "model/config.h"
 #include "model/flops.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     std::printf("=== Fig. 16(a): attention latency breakdown "
                 "(GPU model, Llama-7B) ===\n");
@@ -44,6 +47,11 @@ main()
     std::printf("QKV/output share of memory traffic  : %5.1f%%\n",
                 100.0 * io_bytes / p.atten.bytes);
 
+    rep.metric("matmul_flops_share", matmul_flops / total_flops,
+               "fraction").paper(0.268);
+    rep.metric("score_mem_share", score_bytes / p.atten.bytes,
+               "fraction").paper(0.5);
+
     std::printf("\n=== Fig. 16(b): overall latency breakdown ===\n");
     std::printf("%-22s %5s | %6s %6s %6s | %9s\n", "Model", "B",
                 "QKV%", "Att%", "FFN%", "Att-mem%");
@@ -66,6 +74,13 @@ main()
                         100.0 * lp.ffn.flops / tot,
                         100.0 * lp.atten.bytes /
                             lp.total().bytes);
+            if (seq == 4096 && batch == 1) {
+                rep.metric("llama7b_att_flops_share",
+                           lp.atten.flops / tot, "fraction");
+                rep.metric("llama7b_att_mem_share",
+                           lp.atten.bytes / lp.total().bytes,
+                           "fraction");
+            }
         }
     }
 
@@ -77,3 +92,7 @@ main()
                 "dynamic-sparsity inference (core/pipeline).\n");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig16_profile", run)

@@ -10,14 +10,17 @@
 
 #include "arch/accelerator.h"
 #include "baselines/gpu.h"
+#include "benchmain.h"
 #include "common/stats.h"
 #include "core/pipeline.h"
 #include "model/suite.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &opts, bench::Reporter &rep)
 {
     std::printf("=== Fig. 20(a): relative DRAM traffic ===\n");
     std::printf("%-24s | %8s %8s %8s\n", "Benchmark", "LP",
@@ -55,13 +58,20 @@ main()
                 "(paper: 100/77/21)\n",
                 "GeoMean", 100.0, 100.0 * geomean(rass_rel),
                 100.0 * geomean(full_rel));
+    rep.metric("rass_rel_traffic", geomean(rass_rel), "fraction")
+        .paper(0.77).tol(0.01);
+    rep.metric("full_rel_traffic", geomean(full_rel), "fraction")
+        .paper(0.21).tol(0.01);
 
     std::printf("\n=== Fig. 20(b): energy-efficiency gain over A100 "
                 "===\n");
     GpuModel gpu;
+    // Quick tier: 6-benchmark subset (golden-gated CI); full run:
+    // the paper's 20-benchmark suite.
+    const auto suite = opts.quick ? suiteSmall() : suite20();
     std::vector<double> eff[3];
     const double losses[3] = {0.25, 1.0, 2.0};
-    for (const auto &b : suite20()) {
+    for (const auto &b : suite) {
         AttentionShape shape;
         shape.queries = 512;
         shape.seq = b.seq;
@@ -82,5 +92,15 @@ main()
     std::printf("GeoMean efficiency gain: %.1fx / %.1fx / %.1fx at "
                 "0/1/2%% loss (paper: 49.8/57.6/71.5)\n",
                 geomean(eff[0]), geomean(eff[1]), geomean(eff[2]));
+    rep.metric("eff_gain_loss0", geomean(eff[0]), "ratio")
+        .paper(49.8).tol(0.05);
+    rep.metric("eff_gain_loss1", geomean(eff[1]), "ratio")
+        .paper(57.6).tol(0.05);
+    rep.metric("eff_gain_loss2", geomean(eff[2]), "ratio")
+        .paper(71.5).tol(0.05);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig20_memaccess", run)

@@ -12,6 +12,7 @@
 #include "arch/accelerator.h"
 #include "baselines/gpu.h"
 #include "baselines/tpu.h"
+#include "benchmain.h"
 #include "common/stats.h"
 #include "model/suite.h"
 
@@ -34,10 +35,8 @@ variant(bool dlzs, bool sads, bool sufa, bool rass)
     return cfg;
 }
 
-} // namespace
-
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     std::vector<AttentionShape> shapes;
     for (const auto &b : suiteSmall()) {
@@ -68,24 +67,30 @@ main()
     std::printf("%-18s | GPU %5.2fx  TPU %5.2fx  "
                 "(paper 3.16x / 2.9x)\n",
                 "SOFA software", geomean(g_soft), geomean(t_soft));
+    rep.metric("software_gain_gpu", geomean(g_soft), "ratio")
+        .paper(3.16);
+    rep.metric("software_gain_tpu", geomean(t_soft), "ratio")
+        .paper(2.9);
 
     // Engine steps measured on the accelerator ablations, as the
     // incremental time ratio when each engine turns on.
     struct Step
     {
         const char *label;
+        const char *slug;
         SofaConfig before, after;
         const char *paper;
+        double paperTime;
     };
     std::vector<Step> steps = {
-        {"+DLZS engine", variant(false, false, false, false),
-         variant(true, false, false, false), "1.65x / 1.82x"},
-        {"+SADS engine", variant(true, false, false, false),
-         variant(true, true, false, false), "1.28x / 1.52x"},
-        {"+SU-FA engine", variant(true, true, false, false),
-         variant(true, true, true, false), "1.26x / 1.1x"},
-        {"+RASS unit", variant(true, true, true, false),
-         variant(true, true, true, true), "1.14x / 1.3x"},
+        {"+DLZS engine", "dlzs", variant(false, false, false, false),
+         variant(true, false, false, false), "1.65x / 1.82x", 1.65},
+        {"+SADS engine", "sads", variant(true, false, false, false),
+         variant(true, true, false, false), "1.28x / 1.52x", 1.28},
+        {"+SU-FA engine", "sufa", variant(true, true, false, false),
+         variant(true, true, true, false), "1.26x / 1.1x", 1.26},
+        {"+RASS unit", "rass", variant(true, true, true, false),
+         variant(true, true, true, true), "1.14x / 1.3x", 1.14},
     };
     for (const auto &st : steps) {
         std::vector<double> time_gain, energy_gain;
@@ -102,6 +107,10 @@ main()
                     "(paper %s)\n",
                     st.label, geomean(time_gain),
                     geomean(energy_gain), st.paper);
+        rep.metric(std::string("time_gain_") + st.slug,
+                   geomean(time_gain), "ratio").paper(st.paperTime);
+        rep.metric(std::string("energy_gain_") + st.slug,
+                   geomean(energy_gain), "ratio");
     }
 
     std::printf("\n=== Fig. 21(b): cumulative energy efficiency vs "
@@ -115,5 +124,10 @@ main()
     }
     std::printf("Full SOFA vs dense GPU: %.1fx energy efficiency\n",
                 geomean(cum));
+    rep.metric("full_energy_eff_gain", geomean(cum), "ratio");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("fig21_breakdown", run)

@@ -4,21 +4,18 @@
  * cache-blocked kernels vs blocked + threaded, for matmulNT, matmul
  * and transpose. Reports GFLOP/s (GB/s for transpose) and speedups,
  * cross-checks blocked results against the naive reference, and
- * writes a machine-readable BENCH_kernels.json so later PRs can diff
- * the performance trajectory.
- *
- * Usage: bench_kernels [--quick] [--json PATH] [--no-json]
- *   --quick    drop the 1024^3 cases (CI smoke)
- *   --json     output path (default BENCH_kernels.json)
+ * writes BENCH_kernels.json through the shared bench::Reporter so
+ * later PRs can diff the performance trajectory. Timing metrics are
+ * machine-dependent and therefore nocheck(); the correctness
+ * cross-checks (rel_err, threaded == blocked) are golden-gated.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "benchmain.h"
 #include "benchutil.h"
-#include "common/jsonwriter.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/threadpool.h"
@@ -118,39 +115,18 @@ runTranspose(std::size_t m, std::size_t n, Rng &rng)
     return r;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(const bench::Options &opts, bench::Reporter &rep)
 {
-    bool quick = false;
-    bool write_json = true;
-    std::string json_path = "BENCH_kernels.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
-            quick = true;
-        else if (std::strcmp(argv[i], "--no-json") == 0)
-            write_json = false;
-        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-            json_path = argv[++i];
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--json PATH] "
-                         "[--no-json]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-
     const int threads = ThreadPool::instance().threads();
     std::printf("kernel benchmark: naive seed vs blocked vs "
                 "blocked+threaded (%d thread%s)\n\n",
                 threads, threads == 1 ? "" : "s");
 
-    Rng rng(0xBE7C4);
+    Rng rng(opts.seedOr(0xBE7C4));
     std::vector<Result> results;
     std::vector<std::size_t> sizes = {256, 512};
-    if (!quick)
+    if (!opts.quick)
         sizes.push_back(1024);
     for (const std::size_t s : sizes)
         results.push_back(runMatmulNT(s, s, s, rng));
@@ -195,57 +171,40 @@ main(int argc, char **argv)
                 .cell("-");
         }
         t.cell(r.max_rel_err, 8).cell(ok ? "yes" : "NO");
+
+        // Case tag, e.g. "matmulNT_512x512x512".
+        char tag[96];
+        std::snprintf(tag, sizeof(tag), "%s_%zux%zux%zu",
+                      r.kernel.c_str(), r.m, r.n, r.k);
+        const std::string prefix(tag);
+        const char *rate = r.kernel == "transpose" ? "gbps"
+                                                   : "gflops";
+        rep.metric(prefix + "_naive", gflops(r.flops, r.naive_s),
+                   rate).nocheck();
+        rep.metric(prefix + "_blocked",
+                   gflops(r.flops, r.blocked_s), rate).nocheck();
+        rep.metric(prefix + "_speedup_blocked",
+                   r.naive_s / r.blocked_s, "ratio").nocheck();
+        if (r.threaded) {
+            rep.metric(prefix + "_threaded",
+                       gflops(r.flops, r.threaded_s), rate)
+                .nocheck();
+            rep.metric(prefix + "_speedup_threaded",
+                       r.naive_s / r.threaded_s, "ratio").nocheck();
+            rep.metric(prefix + "_threaded_matches_blocked",
+                       r.threaded_matches_blocked ? 1.0 : 0.0,
+                       "bool").tol(0.0);
+        }
+        // Numerical agreement with the seed kernels IS golden-gated
+        // (it only moves when the kernel math changes).
+        rep.metric(prefix + "_rel_err", r.max_rel_err, "fraction")
+            .tol(0.0).atol(1e-5);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("(transpose row reports GB/s, not GFLOP/s; 'x' "
                 "columns are speedup over the naive seed kernel)\n");
-
-    if (write_json) {
-        JsonWriter j;
-        j.beginObject()
-            .key("bench").value("kernels")
-            .key("threads").value(threads)
-            .key("quick").value(quick)
-            .key("results").beginArray();
-        for (const auto &r : results) {
-            j.beginObject()
-                .key("kernel").value(r.kernel)
-                .key("m").value(static_cast<std::int64_t>(r.m))
-                .key("n").value(static_cast<std::int64_t>(r.n))
-                .key("k").value(static_cast<std::int64_t>(r.k))
-                // Rate unit travels with the artifact: transpose is
-                // memory-bound and reports GB/s, not GFLOP/s.
-                .key("unit")
-                .value(r.kernel == "transpose" ? "gbps" : "gflops")
-                .key("naive_s").value(r.naive_s)
-                .key("blocked_s").value(r.blocked_s)
-                .key("naive_gflops").value(gflops(r.flops, r.naive_s))
-                .key("blocked_gflops")
-                .value(gflops(r.flops, r.blocked_s))
-                .key("speedup_blocked").value(r.naive_s / r.blocked_s)
-                .key("threaded").value(r.threaded);
-            // Threaded datapoints only where a threaded variant
-            // actually ran, so trajectory diffs never see fabricated
-            // copies of the blocked measurement.
-            if (r.threaded) {
-                j.key("threaded_s").value(r.threaded_s)
-                    .key("threaded_gflops")
-                    .value(gflops(r.flops, r.threaded_s))
-                    .key("speedup_threaded")
-                    .value(r.naive_s / r.threaded_s)
-                    .key("threaded_matches_blocked")
-                    .value(r.threaded_matches_blocked);
-            }
-            j.key("rel_err").value(r.max_rel_err).endObject();
-        }
-        j.endArray().endObject();
-        if (!j.writeFile(json_path)) {
-            std::fprintf(stderr, "failed to write %s\n",
-                         json_path.c_str());
-            return 1;
-        }
-        std::printf("\nwrote %s\n", json_path.c_str());
-    }
+    rep.metric("threads", threads, "count").nocheck();
+    rep.metric("all_ok", all_ok ? 1.0 : 0.0, "bool").tol(0.0);
 
     if (!all_ok) {
         std::fprintf(stderr,
@@ -255,3 +214,7 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("kernels", run)

@@ -7,11 +7,14 @@
 #include <cstdio>
 
 #include "baselines/sota.h"
+#include "benchmain.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     struct Row
     {
@@ -37,13 +40,30 @@ main()
     std::printf("%-10s | %9s %9s | %9s %9s | %s\n", "Accel",
                 "QKV-comp", "Att-comp", "QKV-mem", "Att-mem",
                 "Cross-stage");
+    int cross_stage = 0, full_coverage = 0;
     for (const auto &r : rows) {
         std::printf("%-10s | %9s %9s | %9s %9s | %s\n", r.name,
                     r.qkv_c ? "yes" : "x", r.att_c ? "yes" : "x",
                     r.qkv_m ? "yes" : "x", r.att_m,
                     r.cross ? "yes" : "x");
+        cross_stage += r.cross ? 1 : 0;
+        if (r.qkv_c && r.att_c && r.qkv_m && r.cross)
+            ++full_coverage;
     }
     std::printf("\nOnly SOFA covers compute + memory across stages "
                 "(the paper's Table I claim).\n");
+
+    rep.metric("accelerators", sizeof(rows) / sizeof(rows[0]),
+               "count").tol(0.0);
+    // The Table I claim: exactly one design (SOFA) covers compute +
+    // memory across both stages.
+    rep.metric("cross_stage_designs", cross_stage, "count")
+        .paper(1).tol(0.0);
+    rep.metric("full_coverage_designs", full_coverage, "count")
+        .paper(1).tol(0.0);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("tab01_summary", run)

@@ -10,12 +10,15 @@
 #include <vector>
 
 #include "baselines/sota.h"
+#include "benchmain.h"
 #include "common/stats.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     const double llama_attention_gops = 137.0;
 
@@ -65,5 +68,24 @@ main()
                 "area efficiency: %.0f GOPS/mm2 (paper 4292)\n",
                 sofa_acc.scaledDeviceEfficiency(),
                 sofa_acc.scaledAreaEfficiency());
+
+    rep.metric("core_eff_gain_geomean", geomean(core_gains),
+               "ratio");
+    rep.metric("device_eff_gain_geomean", geomean(dev_gains),
+               "ratio").paper(15.8);
+    rep.metric("area_eff_gain_geomean", geomean(area_gains),
+               "ratio").paper(10.3);
+    rep.metric("latency_gain_geomean", geomean(lat_gains), "ratio")
+        .paper(9.3);
+    rep.metric("sofa_device_eff", sofa_acc.scaledDeviceEfficiency(),
+               "gops_per_w").paper(7183.0);
+    rep.metric("sofa_area_eff", sofa_acc.scaledAreaEfficiency(),
+               "gops_per_mm2").paper(4292.0);
+    rep.metric("sofa_latency_ms",
+               sofa_acc.latencyMs(llama_attention_gops), "ms");
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("tab02_sota", run)

@@ -6,12 +6,15 @@
 
 #include <cstdio>
 
+#include "benchmain.h"
 #include "energy/area_model.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     SofaAreaModel m;
     std::printf("=== Table III: SOFA core area/power breakdown ===\n");
@@ -29,5 +32,18 @@ main()
                 "(paper: ~18%% / ~15%%)\n",
                 100.0 * m.lpAreaFraction(),
                 100.0 * m.lpPowerFraction());
+
+    rep.metric("total_area_mm2", m.totalAreaMm2(), "mm2");
+    rep.metric("total_power_mw", m.totalPowerMw(), "mw");
+    rep.metric("lp_area_fraction", m.lpAreaFraction(), "fraction")
+        .paper(0.18);
+    rep.metric("lp_power_fraction", m.lpPowerFraction(), "fraction")
+        .paper(0.15);
+    rep.metric("modules", static_cast<double>(m.modules().size()),
+               "count").tol(0.0);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("tab03_area_power", run)

@@ -8,12 +8,15 @@
 #include <cstdio>
 
 #include "arch/accelerator.h"
+#include "benchmain.h"
 #include "energy/area_model.h"
 
 using namespace sofa;
 
+namespace {
+
 int
-main()
+run(const bench::Options &, bench::Reporter &rep)
 {
     std::printf("=== Table IV: SOFA power breakdown ===\n");
     DevicePower p;
@@ -42,8 +45,22 @@ main()
     shape.headDim = 128;
     shape.heads = 32;
     auto r = acc.run(shape);
+    const double demand_gbps = r.dramBytes / r.timeNs;
     std::printf("\nSimulated DRAM demand on Llama-7B slice: "
                 "%.1f GB/s (paper anchors Table IV at 59.8)\n",
-                r.dramBytes / r.timeNs);
+                demand_gbps);
+
+    rep.metric("core_w", p.coreW, "w");
+    rep.metric("interface_w", p.interfaceW, "w");
+    rep.metric("dram_w", p.dramW, "w");
+    rep.metric("total_w", p.totalW(), "w");
+    rep.metric("total_w_at_119_6", DevicePower::atBandwidth(119.6)
+               .totalW(), "w");
+    rep.metric("sim_dram_demand_gbps", demand_gbps, "gbps")
+        .paper(59.8).tol(0.01);
     return 0;
 }
+
+} // namespace
+
+SOFA_BENCH_MAIN("tab04_power", run)

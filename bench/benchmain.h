@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Common main() for the bench_* binaries. A binary defines one run
+ * function and declares itself with the macro:
+ *
+ *   static int run(const bench::Options &opts, bench::Reporter &r)
+ *   {
+ *       // print the human table, fill r with metrics
+ *       return 0;
+ *   }
+ *   SOFA_BENCH_MAIN("fig05_fa2", run)
+ *
+ * which standardizes the CLI (--quick, --json-out PATH, --no-json,
+ * --seed N) and writes BENCH_<name>.json through bench::Reporter so
+ * scripts/golden_diff.py can gate the run against bench/goldens/.
+ */
+
+#ifndef SOFA_BENCH_BENCHMAIN_H
+#define SOFA_BENCH_BENCHMAIN_H
+
+#include "common/reporter.h"
+
+#define SOFA_BENCH_MAIN(name, fn)                                    \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        return sofa::bench::benchMain(name, fn, argc, argv);         \
+    }
+
+#endif // SOFA_BENCH_BENCHMAIN_H

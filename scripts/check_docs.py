@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Docs/tree sync check (run from the repository root).
+
+Fails when the documentation drifts from the actual source tree:
+  * every src/<group>/<module> must be mentioned (as "group/module")
+    in docs/ARCHITECTURE.md, and every mentioned module must exist;
+  * every bench/bench_<name>.cc must be mentioned in
+    docs/BENCHMARKS.md;
+  * every bench binary must have a golden
+    (bench/goldens/BENCH_<name>.json) and every golden a binary.
+
+Run by CI's docs job and registered as the docs_sync CTest.
+"""
+
+import glob
+import os
+import re
+import sys
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def main():
+    errors = []
+
+    # --- src modules <-> docs/ARCHITECTURE.md -------------------
+    arch_doc = read("docs/ARCHITECTURE.md")
+    modules = set()
+    for path in glob.glob("src/*/*.h") + glob.glob("src/*/*.cc"):
+        group = os.path.basename(os.path.dirname(path))
+        stem = os.path.splitext(os.path.basename(path))[0]
+        modules.add(f"{group}/{stem}")
+    for mod in sorted(modules):
+        if mod not in arch_doc:
+            errors.append(
+                f"docs/ARCHITECTURE.md: src module {mod} not listed")
+    # Stale mentions: every "group/stem" the doc names must exist.
+    groups = {m.split("/")[0] for m in modules}
+    pattern = re.compile(
+        r"\b(" + "|".join(sorted(groups)) + r")/([a-z0-9_]+)\b")
+    for g, stem in set(pattern.findall(arch_doc)):
+        if f"{g}/{stem}" not in modules:
+            errors.append(f"docs/ARCHITECTURE.md: {g}/{stem} "
+                          "mentioned but not in src/")
+
+    # --- bench binaries <-> docs/BENCHMARKS.md ------------------
+    bench_doc = read("docs/BENCHMARKS.md")
+    benches = sorted(
+        os.path.splitext(os.path.basename(p))[0]
+        for p in glob.glob("bench/bench_*.cc"))
+    for b in benches:
+        if b not in bench_doc:
+            errors.append(f"docs/BENCHMARKS.md: {b} not documented")
+    for b in set(re.findall(r"\bbench_[a-z0-9_]+\b", bench_doc)):
+        if b not in benches:
+            errors.append(f"docs/BENCHMARKS.md: {b} documented but "
+                          f"bench/{b}.cc does not exist")
+
+    # --- bench binaries <-> goldens -----------------------------
+    goldens = sorted(
+        os.path.basename(p)[len("BENCH_"):-len(".json")]
+        for p in glob.glob("bench/goldens/BENCH_*.json"))
+    names = [b[len("bench_"):] for b in benches]
+    for n in names:
+        if n not in goldens:
+            errors.append(f"bench/goldens/BENCH_{n}.json missing "
+                          "(scripts/bench.sh --quick "
+                          "--update-goldens --only " + n + ")")
+    for g in goldens:
+        if g not in names:
+            errors.append(f"bench/goldens/BENCH_{g}.json is stale: "
+                          f"no bench_{g}.cc")
+
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}")
+        print(f"check_docs: {len(errors)} problem(s)")
+        return 1
+    print(f"check_docs: {len(modules)} src modules, {len(benches)} "
+          "bench binaries, goldens all in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

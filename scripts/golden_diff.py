@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Tolerance-aware diff of BENCH_*.json artifacts against goldens.
+
+Every bench binary emits BENCH_<name>.json through bench::Reporter
+(src/common/reporter.h); bench/goldens/ holds the checked-in golden
+captured from the quick tier.  This script compares a results
+directory against the goldens and fails on drift:
+
+  scripts/golden_diff.py --results bench-results [name ...]
+
+Rules, per golden file:
+  * schema / bench / quick / seed fields must match (a quick golden
+    can only gate a --quick run: different sweeps, different numbers);
+  * the metric *sets* must match by name: a metric missing from the
+    results or present only in the results is an error (new metrics
+    require refreshing the golden: scripts/bench.sh --update-goldens);
+  * a metric's unit must match;
+  * metrics with "check": false (machine-dependent timings) are
+    compared for presence only;
+  * checked metrics pass when
+        |value - golden| <= max(rel_tol * |golden|, abs_tol, 1e-12)
+    where rel_tol/abs_tol come from the *golden* file ("tol"/"atol"),
+    i.e. the checked-in contract, chosen per metric by the bench
+    (tight for analytic models, looser for discrete selections).
+
+Exit status: 0 all pass, 1 drift/shape mismatch, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REL_FLOOR = 1e-12
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt(v):
+    return f"{v:.10g}"
+
+
+def diff_metric(golden, result):
+    """Returns an error string, or None when the metric passes."""
+    name = golden["name"]
+    if golden.get("unit") != result.get("unit"):
+        return (f"{name}: unit changed "
+                f"{golden.get('unit')!r} -> {result.get('unit')!r}")
+    if not golden.get("check", True):
+        return None
+    gv, rv = golden["value"], result["value"]
+    if gv is None or rv is None:  # JSON null: NaN/inf leaked out
+        # A null golden means the metric was already broken at
+        # capture time; never let it gate as green.
+        return f"{name}: non-finite value (golden {gv}, result {rv})"
+    bound = max(golden.get("tol", 0.0) * abs(gv),
+                golden.get("atol", 0.0), REL_FLOOR)
+    if abs(rv - gv) <= bound:
+        return None
+    return (f"{name}: {fmt(gv)} -> {fmt(rv)} "
+            f"(|diff| {fmt(abs(rv - gv))} > bound {fmt(bound)})")
+
+
+def diff_bench(golden_path, result_path):
+    """Returns a list of error strings for one bench artifact."""
+    golden = load(golden_path)
+    result = load(result_path)
+    errors = []
+    for field in ("schema", "bench", "quick", "seed"):
+        if golden.get(field) != result.get(field):
+            errors.append(
+                f"{field} mismatch: golden {golden.get(field)!r}, "
+                f"result {result.get(field)!r}" +
+                (" (golden is the --quick tier; run the bench with "
+                 "--quick)" if field == "quick" else ""))
+    if errors:
+        return errors
+
+    gm = {m["name"]: m for m in golden["metrics"]}
+    rm = {m["name"]: m for m in result["metrics"]}
+    for name in gm:
+        if name not in rm:
+            errors.append(f"{name}: missing from results")
+    for name in rm:
+        if name not in gm:
+            errors.append(f"{name}: not in golden (refresh with "
+                          "scripts/bench.sh --update-goldens)")
+    for name, g in gm.items():
+        if name in rm:
+            err = diff_metric(g, rm[name])
+            if err:
+                errors.append(err)
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff BENCH_*.json results against goldens.")
+    ap.add_argument("--goldens", default="bench/goldens",
+                    help="golden directory (default bench/goldens)")
+    ap.add_argument("--results", required=True,
+                    help="directory holding the fresh BENCH_*.json")
+    ap.add_argument("names", nargs="*",
+                    help="bench names (default: every golden)")
+    args = ap.parse_args()
+
+    if args.names:
+        names = args.names
+    else:
+        names = sorted(
+            f[len("BENCH_"):-len(".json")]
+            for f in os.listdir(args.goldens)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"golden_diff: no goldens found in {args.goldens}",
+              file=sys.stderr)
+        return 2
+
+    failed = 0
+    io_errors = 0
+    for name in names:
+        fname = f"BENCH_{name}.json"
+        golden_path = os.path.join(args.goldens, fname)
+        result_path = os.path.join(args.results, fname)
+        for path in (golden_path, result_path):
+            if not os.path.exists(path):
+                print(f"FAIL  {name}: {path} does not exist")
+                io_errors += 1
+                break
+        else:
+            try:
+                errors = diff_bench(golden_path, result_path)
+            except (OSError, ValueError, KeyError, TypeError) as ex:
+                # Truncated/malformed artifact (killed bench, bad
+                # hand edit): an IO-class problem, not metric drift.
+                print(f"FAIL  {name}: unreadable artifact "
+                      f"({ex.__class__.__name__}: {ex})")
+                io_errors += 1
+                continue
+            if errors:
+                failed += 1
+                print(f"FAIL  {name}")
+                for e in errors:
+                    print(f"      {e}")
+            else:
+                print(f"ok    {name}")
+
+    total = len(names)
+    if failed or io_errors:
+        print(f"\ngolden_diff: {failed} drifted, {io_errors} "
+              f"missing/unreadable of {total} bench artifacts")
+        return 2 if io_errors else 1
+    print(f"\ngolden_diff: {total} bench artifacts match goldens")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

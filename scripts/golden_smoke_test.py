@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CTest smoke test for the golden-number bench gating.
+
+Runs one quick bench binary, golden-diffs its artifact against
+bench/goldens/ (must pass), then deliberately perturbs a checked
+metric beyond its tolerance and verifies the diff fails — proving the
+gate actually gates.
+
+  golden_smoke_test.py --bench build/bench/bench_fig05_fa2 \
+      --name fig05_fa2 --goldens bench/goldens --workdir out
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_diff(script, goldens, results, name):
+    proc = subprocess.run(
+        [sys.executable, script, "--goldens", goldens,
+         "--results", results, name],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench binary")
+    ap.add_argument("--name", required=True,
+                    help="bench name (BENCH_<name>.json)")
+    ap.add_argument("--goldens", required=True)
+    ap.add_argument("--workdir", required=True)
+    args = ap.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    artifact = os.path.join(args.workdir, f"BENCH_{args.name}.json")
+    subprocess.run([args.bench, "--quick", "--json-out", artifact],
+                   check=True, stdout=subprocess.DEVNULL)
+
+    diff_script = os.path.join(os.path.dirname(
+        os.path.abspath(__file__)), "golden_diff.py")
+
+    rc, out = run_diff(diff_script, args.goldens, args.workdir,
+                       args.name)
+    if rc != 0:
+        print(out)
+        print("FAIL: fresh quick run does not match the golden")
+        return 1
+    print(f"ok: fresh {args.name} run matches the golden")
+
+    # Perturb the first checked, finite metric well beyond any
+    # tolerance.
+    with open(artifact, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    target = next((m for m in doc["metrics"]
+                   if m.get("check", True) and
+                   isinstance(m["value"], (int, float))), None)
+    if target is None:
+        print("FAIL: artifact has no checked finite metric to "
+              "perturb")
+        return 1
+    perturbed = target["value"] * 1.5 + 1.0
+    if perturbed == target["value"]:  # fixed point (value == -2.0)
+        perturbed = target["value"] + 1.0
+    target["value"] = perturbed
+    with open(artifact, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+    rc, out = run_diff(diff_script, args.goldens, args.workdir,
+                       args.name)
+    if rc == 0:
+        print(out)
+        print(f"FAIL: perturbed metric {target['name']!r} passed "
+              "the golden diff — the gate is not gating")
+        return 1
+    print(f"ok: perturbed metric {target['name']!r} fails the "
+          "golden diff as intended")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

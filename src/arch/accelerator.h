@@ -10,6 +10,10 @@
  * tiling). The simulator produces cycles, per-module energy, and DRAM
  * traffic; feature flags let each mechanism be ablated to reproduce
  * the Fig. 19-21 breakdowns.
+ *
+ * Units: cycles at 1 GHz (so timeNs == cycles), energy in pJ
+ * (core+SRAM vs DRAM split), DRAM traffic in bytes, throughput in
+ * GOPS and efficiency in GOPS/W.
  */
 
 #ifndef SOFA_ARCH_ACCELERATOR_H

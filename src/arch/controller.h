@@ -10,6 +10,10 @@
  * The closed-form model in accelerator.cc (max-stage + amortized
  * fill) is the steady-state limit of this schedule; the integration
  * tests cross-validate the two.
+ *
+ * Units: abstract per-tile stage cycles (StageCosts.perTile), the
+ * same scale the closed-form accelerator model uses; utilizations
+ * are fractions of the makespan.
  */
 
 #ifndef SOFA_ARCH_CONTROLLER_H

@@ -4,6 +4,9 @@
  * access energy. Two presets cover the paper's settings — DDR4
  * (25.6 GB/s, the Section II-D comparison) and HBM2 with 16 channels
  * at 2 GHz (the SOFA configuration of Table III).
+ *
+ * Units: traffic in bytes, time in ns (latency + bytes/bandwidth),
+ * energy in pJ per bit. Bandwidth presets are aggregate GB/s.
  */
 
 #ifndef SOFA_ARCH_DRAM_H

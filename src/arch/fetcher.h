@@ -10,6 +10,10 @@
  * banks so a tile of B rows streams conflict-free when B <= banks.
  * Gather requests (the masked KV fetch of step 5) hit banks
  * irregularly; conflicts serialize within a cycle.
+ *
+ * Units: cycles (bank conflicts serialize within a cycle);
+ * addresses and tile operands in bytes. Assumes row-interleaved
+ * banking and double buffering against DRAM.
  */
 
 #ifndef SOFA_ARCH_FETCHER_H

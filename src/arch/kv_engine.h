@@ -4,6 +4,10 @@
  * (Table III row "KV generation": 128x4 16-bit PEs). Only the token
  * rows the top-k mask requires are projected (K_i = x_i W_k,
  * V_i = x_i W_v); trivial rows are never computed (Section III-A).
+ *
+ * Units: cycles per invocation at 1 GHz and energy in pJ. Assumes
+ * 128x4 16-bit PEs (Table III); work scales with the *selected* key
+ * rows only.
  */
 
 #ifndef SOFA_ARCH_KV_ENGINE_H

@@ -15,6 +15,10 @@
  * first, then fill with keys exclusive to still-unserved queries; a
  * bitmask-indexed ID buffer plus FSM dispatches the phases (paper
  * example: 33% traffic reduction).
+ *
+ * Units: K+V vector loads (rows fetched) and buffer-refill phases;
+ * savings are fractions vs the naive schedule. Assumes SU-FA's
+ * max-ensuring circuit makes out-of-order execution safe.
  */
 
 #ifndef SOFA_ARCH_RASS_H

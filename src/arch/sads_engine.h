@@ -6,6 +6,10 @@
  * per pass) with an adaptive clipping unit (threshold-updating module)
  * that blocks values outside the search radius before they toggle the
  * sorter.
+ *
+ * Units: cycles per invocation at 1 GHz and energy in pJ; sorter
+ * toggle counts come from core/sads. Assumes the 128-lane, 16-to-4
+ * bitonic geometry of Table III.
  */
 
 #ifndef SOFA_ARCH_SADS_ENGINE_H

@@ -5,6 +5,10 @@
  * instantiates three buffers (Token 192KB, Weight 96KB, Temp 28KB,
  * Fig. 11); baseline accelerators instantiate a single buffer whose
  * capacity shortfall forces DRAM spills (the Fig. 3 experiment).
+ *
+ * Units: capacity and traffic in bytes, access time in cycles via
+ * the bytes-per-cycle port width, energy in pJ per byte (read/write
+ * asymmetric).
  */
 
 #ifndef SOFA_ARCH_SRAM_H

@@ -5,6 +5,10 @@
  * auxiliary-process (max-ensuring) module with 128 EXP units, and the
  * O-updating module with 128 DIV units. Table III prices the module
  * at 128x4 16-bit PEs + 128 EXP + 128 DIV.
+ *
+ * Units: cycles per invocation at 1 GHz and energy in pJ. Assumes
+ * 128x4 16-bit PEs plus 128 EXP / 128 DIV units (Table III); exp and
+ * reciprocal latencies come from arch/funcunit.
  */
 
 #ifndef SOFA_ARCH_SUFA_ENGINE_H

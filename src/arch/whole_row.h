@@ -8,6 +8,10 @@
  * T x S exceeds on-chip SRAM at scale. This is the behaviour the
  * paper attributes to prior dynamic-sparsity accelerators (FACT,
  * Energon, ...) when scaled to large token parallelism (Fig. 3).
+ *
+ * Units: compute/memory time in ns, traffic in bytes (spill vs
+ * mandatory split), datapath throughput in GOPS, MAT share a
+ * fraction of total time.
  */
 
 #ifndef SOFA_ARCH_WHOLE_ROW_H

@@ -144,6 +144,13 @@ JsonWriter::value(std::int64_t v)
 }
 
 JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(int v)
 {
     return value(static_cast<std::int64_t>(v));

@@ -42,6 +42,7 @@ class JsonWriter
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
     JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
     JsonWriter &value(int v);
     JsonWriter &value(bool v);
 

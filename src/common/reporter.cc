@@ -1,0 +1,199 @@
+#include "common/reporter.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/jsonwriter.h"
+
+namespace sofa {
+namespace bench {
+
+std::uint64_t
+Options::seedOr(std::uint64_t dflt) const
+{
+    if (seed == 0)
+        return dflt;
+    // splitmix64-style mix keeps distinct built-in seeds distinct
+    // under a single CLI override.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull + dflt;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+bool
+parseArgs(int argc, char **argv, Options *opts, std::string *error)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--quick") == 0) {
+            opts->quick = true;
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            opts->writeJson = false;
+        } else if (std::strcmp(arg, "--json-out") == 0 ||
+                   std::strcmp(arg, "--json") == 0) {
+            if (i + 1 >= argc) {
+                *error = std::string(arg) + " requires a path";
+                return false;
+            }
+            opts->jsonPath = argv[++i];
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (i + 1 >= argc) {
+                *error = "--seed requires a value";
+                return false;
+            }
+            char *end = nullptr;
+            errno = 0;
+            opts->seed = std::strtoull(argv[++i], &end, 0);
+            // strtoull silently wraps negatives ("-1" -> 2^64-1).
+            if (argv[i][0] == '-' || end == argv[i] ||
+                *end != '\0' || errno == ERANGE) {
+                *error = std::string("bad --seed value: ") + argv[i];
+                return false;
+            }
+        } else {
+            *error = std::string("unknown argument: ") + arg;
+            return false;
+        }
+    }
+    return true;
+}
+
+Metric &
+Metric::paper(double v)
+{
+    paperValue = v;
+    hasPaper = true;
+    return *this;
+}
+
+Metric &
+Metric::tol(double rel)
+{
+    relTol = rel;
+    return *this;
+}
+
+Metric &
+Metric::atol(double abs)
+{
+    absTol = abs;
+    return *this;
+}
+
+Metric &
+Metric::nocheck()
+{
+    checked = false;
+    return *this;
+}
+
+Reporter::Reporter(std::string name, const Options &opts)
+    : name_(std::move(name)), quick_(opts.quick), seed_(opts.seed)
+{
+}
+
+Metric &
+Reporter::metric(const std::string &name, double value,
+                 const std::string &unit)
+{
+    if (find(name) != nullptr)
+        throw std::logic_error("duplicate bench metric: " + name);
+    Metric m;
+    m.name = name;
+    m.value = value;
+    m.unit = unit;
+    metrics_.push_back(std::move(m));
+    return metrics_.back();
+}
+
+const Metric *
+Reporter::find(const std::string &name) const
+{
+    for (const auto &m : metrics_)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::string
+Reporter::defaultPath() const
+{
+    return "BENCH_" + name_ + ".json";
+}
+
+std::string
+Reporter::json() const
+{
+    JsonWriter j;
+    j.beginObject()
+        .key("schema").value(1)
+        .key("bench").value(name_)
+        .key("quick").value(quick_)
+        .key("seed").value(seed_)
+        .key("metrics").beginArray();
+    for (const auto &m : metrics_) {
+        j.beginObject()
+            .key("name").value(m.name)
+            .key("value").value(m.value)
+            .key("unit").value(m.unit);
+        if (m.hasPaper)
+            j.key("paper").value(m.paperValue);
+        j.key("tol").value(m.relTol);
+        if (m.absTol != 0.0)
+            j.key("atol").value(m.absTol);
+        j.key("check").value(m.checked).endObject();
+    }
+    j.endArray().endObject();
+    return j.str();
+}
+
+bool
+Reporter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string doc = json();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+        std::fputc('\n', f) != EOF;
+    return (std::fclose(f) == 0) && ok;
+}
+
+int
+benchMain(const char *name, RunFn fn, int argc, char **argv)
+{
+    Options opts;
+    std::string error;
+    if (!parseArgs(argc, argv, &opts, &error)) {
+        std::fprintf(stderr,
+                     "%s: %s\n"
+                     "usage: %s [--quick] [--json-out PATH] "
+                     "[--no-json] [--seed N]\n",
+                     argv[0], error.c_str(), argv[0]);
+        return 2;
+    }
+    Reporter reporter(name, opts);
+    const int rc = fn(opts, reporter);
+    if (opts.writeJson) {
+        const std::string path =
+            opts.jsonPath.empty() ? reporter.defaultPath()
+                                  : opts.jsonPath;
+        if (!reporter.writeFile(path)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         path.c_str());
+            return rc != 0 ? rc : 1;
+        }
+        std::printf("\nwrote %s (%zu metrics)\n", path.c_str(),
+                    reporter.count());
+    }
+    return rc;
+}
+
+} // namespace bench
+} // namespace sofa

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unified bench reporting: every bench_* binary funnels its headline
+ * numbers through bench::Reporter, which emits a machine-readable
+ * BENCH_<name>.json (metric name, value, unit, paper-reference value
+ * where the paper states one, and the tolerance the golden-number
+ * diff may apply). scripts/golden_diff.py compares these artifacts
+ * against the checked-in bench/goldens/ set, so reproduction drift
+ * against the paper's figures/tables fails CI instead of rotting
+ * silently. bench/benchmain.h wraps this into a common main() with
+ * standardized CLI flags (--quick, --json-out, --no-json, --seed).
+ */
+
+#ifndef SOFA_COMMON_REPORTER_H
+#define SOFA_COMMON_REPORTER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace sofa {
+namespace bench {
+
+/** CLI options shared by every bench binary (see parseArgs). */
+struct Options
+{
+    bool quick = false;     ///< reduced sweep for CI golden gating
+    bool writeJson = true;  ///< emit BENCH_<name>.json
+    std::string jsonPath;   ///< empty: BENCH_<name>.json in the cwd
+    std::uint64_t seed = 0; ///< 0: keep the bench's built-in seeds
+
+    /**
+     * The seed a bench should feed its Rng: the bench's built-in
+     * default when --seed was not given, otherwise a mix of the two
+     * so one CLI seed re-randomizes every independent workload in
+     * the binary without collapsing them onto the same stream.
+     */
+    std::uint64_t seedOr(std::uint64_t dflt) const;
+};
+
+/**
+ * Parse the standardized bench flags:
+ *   --quick          reduced problem sizes (the golden-gated tier)
+ *   --json-out PATH  JSON artifact path (--json is an alias)
+ *   --no-json        suppress the JSON artifact
+ *   --seed N         override the bench's built-in workload seeds
+ * Returns false and fills *error on an unknown flag or missing
+ * argument.
+ */
+bool parseArgs(int argc, char **argv, Options *opts,
+               std::string *error);
+
+/**
+ * One reported datapoint. The tolerance fields travel with the
+ * artifact so scripts/golden_diff.py applies per-metric bounds: the
+ * default relTol suits deterministic analytic models; metrics
+ * derived from discrete selections (top-k recalls, calibrated keep
+ * grids) set a looser tol(); wall-clock timings are nocheck().
+ */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+    double paperValue = 0.0; ///< valid only when hasPaper
+    bool hasPaper = false;
+    double relTol = 1e-4;
+    double absTol = 0.0; ///< extra absolute slack (zero-valued goldens)
+    bool checked = true; ///< false: recorded for trajectory only
+
+    /** Reference value the paper states for this datapoint. */
+    Metric &paper(double v);
+    /** Relative tolerance for the golden diff. */
+    Metric &tol(double rel);
+    /** Absolute tolerance floor (for golden values at/near zero). */
+    Metric &atol(double abs);
+    /** Record but never gate (machine-dependent timings). */
+    Metric &nocheck();
+};
+
+/**
+ * Collects a bench binary's metrics and serializes them:
+ *
+ *   Reporter r("fig05_fa2", opts);
+ *   r.metric("extra_exps_s2048", exps, "ops").paper(4.2e6);
+ *   r.writeFile(r.defaultPath());
+ *
+ * Metric names must be unique within a report (the golden diff keys
+ * on them); a duplicate throws std::logic_error.
+ */
+class Reporter
+{
+  public:
+    Reporter(std::string name, const Options &opts);
+
+    /** Add a metric; returns it for fluent paper()/tol()/nocheck(). */
+    Metric &metric(const std::string &name, double value,
+                   const std::string &unit);
+
+    const std::string &name() const { return name_; }
+    std::size_t count() const { return metrics_.size(); }
+    /** Lookup by name; nullptr when absent. */
+    const Metric *find(const std::string &name) const;
+
+    /** "BENCH_<name>.json". */
+    std::string defaultPath() const;
+    /** The full JSON document. */
+    std::string json() const;
+    /** Serialize to path; false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::string name_;
+    bool quick_;
+    std::uint64_t seed_;
+    std::deque<Metric> metrics_; // deque: fluent refs stay stable
+};
+
+/** A bench binary's body: fill the reporter, return an exit code. */
+using RunFn = int (*)(const Options &, Reporter &);
+
+/**
+ * Shared main(): parse flags (exit 2 + usage on bad ones), run fn,
+ * then write the JSON artifact (even when fn failed, so a diverged
+ * run still leaves evidence). Returns fn's code, or 1 when only the
+ * artifact write failed. Used via SOFA_BENCH_MAIN in benchmain.h.
+ */
+int benchMain(const char *name, RunFn fn, int argc, char **argv);
+
+} // namespace bench
+} // namespace sofa
+
+#endif // SOFA_COMMON_REPORTER_H

@@ -22,6 +22,10 @@
  *  1.2 A-prediction: Q is converted by the runtime LZE (16-bit mode),
  *      K-hat is shifted -> A-hat, the estimated attention used by the
  *      top-k stage.
+ *
+ * Units: integer ops (shifts/adds — zero runtime multiplies)
+ * counted via OpCounter; predicted-weight DRAM traffic in bits.
+ * Assumes int8/int16 operands viewed through a W-bit LZ window.
  */
 
 #ifndef SOFA_CORE_DLZS_H

@@ -15,6 +15,10 @@
  * expected-improvement acquisition maximized over random candidates;
  * grid and random searches are provided as baselines to demonstrate
  * the >= 10^15-point space is intractable exhaustively.
+ *
+ * Units: dimensionless loss terms (Eq. 2 weights alpha/beta);
+ * space sizes are configuration counts. Assumes the paper's grids:
+ * Tc in 2..32 step 2 per layer, top-k 5%..50% step 5%.
  */
 
 #ifndef SOFA_CORE_DSE_H

@@ -11,6 +11,10 @@
  * its MACs. The keep fraction is *layer specific* — calibrated per
  * layer so the output error stays within a budget, mirroring the
  * per-layer tiling the DSE chooses for attention.
+ *
+ * Units: W2 MACs counted via OpCounter (muls); errors are relative
+ * output error, keep fractions in (0,1]. Assumes post-activation
+ * magnitude skew concentrated on a hot neuron subset.
  */
 
 #ifndef SOFA_CORE_FFN_H

@@ -5,6 +5,10 @@
  * executed tile by tile per Fig. 6. This module is the *algorithmic*
  * pipeline (values, selections, op counts, quality metrics); the
  * cycle/energy behaviour lives in src/arch.
+ *
+ * Units: per-stage OpCounter ops (prediction / sort / KV / formal);
+ * recalls, kept fractions and accuracy loss are fractions. Cycles,
+ * energy and bytes live in src/arch, not here.
  */
 
 #ifndef SOFA_CORE_PIPELINE_H

@@ -17,6 +17,11 @@
  * element), the bitonic core (one 16-to-4 pass per 12 surviving
  * inputs), and the refinement loop, so the reduction vs a full-row
  * bitonic sort (the vanilla top-k stage) is measurable.
+ *
+ * Units: comparisons counted via OpCounter (cmps); quality is
+ * top-k recall and covered softmax mass, both fractions in [0,1].
+ * Assumes score rows follow the Fig. 8 Type-I/II mixture (the DCE);
+ * Type-III rows degrade recall, not correctness.
  */
 
 #ifndef SOFA_CORE_SADS_H

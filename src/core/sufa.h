@@ -18,6 +18,11 @@
  * computed score against the cached max and, on violation, performs a
  * mode-1 rescale exactly like FA-2 would. Correctness therefore never
  * depends on prediction quality, only the op count does.
+ *
+ * Units: OpCounter exps/muls/adds per *executed* kernel (skipped
+ * keys cost nothing); selections are key indices per query row.
+ * Assumes selections arrive roughly in descending predicted-score
+ * order — violations are counted and repaired, results stay exact.
  */
 
 #ifndef SOFA_CORE_SUFA_H

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/reporter.h"
+
+namespace sofa {
+namespace bench {
+namespace {
+
+Options
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench_test");
+    Options opts;
+    std::string error;
+    const bool ok =
+        parseArgs(static_cast<int>(args.size()),
+                  const_cast<char **>(args.data()), &opts, &error);
+    EXPECT_TRUE(ok) << error;
+    return opts;
+}
+
+TEST(BenchOptions, Defaults)
+{
+    const Options opts = parse({});
+    EXPECT_FALSE(opts.quick);
+    EXPECT_TRUE(opts.writeJson);
+    EXPECT_EQ(opts.jsonPath, "");
+    EXPECT_EQ(opts.seed, 0u);
+}
+
+TEST(BenchOptions, AllFlags)
+{
+    const Options opts = parse(
+        {"--quick", "--json-out", "out.json", "--seed", "42"});
+    EXPECT_TRUE(opts.quick);
+    EXPECT_EQ(opts.jsonPath, "out.json");
+    EXPECT_EQ(opts.seed, 42u);
+}
+
+TEST(BenchOptions, JsonAliasAndNoJson)
+{
+    Options opts = parse({"--json", "alias.json"});
+    EXPECT_EQ(opts.jsonPath, "alias.json");
+    opts = parse({"--no-json"});
+    EXPECT_FALSE(opts.writeJson);
+}
+
+TEST(BenchOptions, HexSeed)
+{
+    const Options opts = parse({"--seed", "0xBEEF"});
+    EXPECT_EQ(opts.seed, 0xBEEFu);
+}
+
+TEST(BenchOptions, RejectsUnknownFlagAndBadSeed)
+{
+    Options opts;
+    std::string error;
+    {
+        const char *argv[] = {"bench_test", "--frobnicate"};
+        EXPECT_FALSE(parseArgs(2, const_cast<char **>(argv), &opts,
+                               &error));
+        EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"bench_test", "--seed", "12abc"};
+        EXPECT_FALSE(parseArgs(3, const_cast<char **>(argv), &opts,
+                               &error));
+    }
+    {
+        const char *argv[] = {"bench_test", "--seed", ""};
+        EXPECT_FALSE(parseArgs(3, const_cast<char **>(argv), &opts,
+                               &error));
+    }
+    {
+        // Out of range for uint64: must error, not saturate.
+        const char *argv[] = {"bench_test", "--seed",
+                              "99999999999999999999999"};
+        EXPECT_FALSE(parseArgs(3, const_cast<char **>(argv), &opts,
+                               &error));
+    }
+    {
+        // strtoull would wrap "-1" to 2^64-1; must error instead.
+        const char *argv[] = {"bench_test", "--seed", "-1"};
+        EXPECT_FALSE(parseArgs(3, const_cast<char **>(argv), &opts,
+                               &error));
+    }
+    {
+        const char *argv[] = {"bench_test", "--json-out"};
+        EXPECT_FALSE(parseArgs(2, const_cast<char **>(argv), &opts,
+                               &error));
+    }
+}
+
+TEST(BenchOptions, SeedOrKeepsBenchDefaultWithoutOverride)
+{
+    Options opts;
+    EXPECT_EQ(opts.seedOr(0xBE7C4u), 0xBE7C4u);
+}
+
+TEST(BenchOptions, SeedOrMixesDistinctDefaultsDistinctly)
+{
+    Options opts;
+    opts.seed = 7;
+    const std::uint64_t a = opts.seedOr(1);
+    const std::uint64_t b = opts.seedOr(2);
+    EXPECT_NE(a, 1u); // override actually changes the stream
+    EXPECT_NE(a, b);  // independent workloads stay independent
+    EXPECT_EQ(a, opts.seedOr(1)); // and it is deterministic
+}
+
+TEST(Reporter, SeedAbove2e63SerializesUnsigned)
+{
+    Options opts;
+    opts.seed = 0xFFFFFFFFFFFFFFFFull;
+    Reporter r("unsigned", opts);
+    EXPECT_NE(r.json().find("\"seed\":18446744073709551615"),
+              std::string::npos);
+    EXPECT_EQ(r.json().find("\"seed\":-1"), std::string::npos);
+}
+
+TEST(Reporter, JsonShape)
+{
+    Options opts;
+    opts.quick = true;
+    Reporter r("unit", opts);
+    // Binary-exact values: JsonWriter prints doubles at round-trip
+    // precision, so 0.72 would serialize as 0.71999999999999997.
+    r.metric("share", 0.5, "fraction").paper(0.75);
+    r.metric("elapsed", 1.25, "ms").nocheck();
+    EXPECT_EQ(r.json(),
+              "{\"schema\":1,\"bench\":\"unit\",\"quick\":true,"
+              "\"seed\":0,\"metrics\":["
+              "{\"name\":\"share\",\"value\":0.5,\"unit\":"
+              "\"fraction\",\"paper\":0.75,\"tol\":0.0001,"
+              "\"check\":true},"
+              "{\"name\":\"elapsed\",\"value\":1.25,\"unit\":\"ms\","
+              "\"tol\":0.0001,\"check\":false}]}");
+}
+
+TEST(Reporter, FluentToleranceFields)
+{
+    Reporter r("unit", Options{});
+    r.metric("loads", 24.0, "count").tol(0.0).atol(0.5);
+    const Metric *m = r.find("loads");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->relTol, 0.0);
+    EXPECT_EQ(m->absTol, 0.5);
+    EXPECT_TRUE(m->checked);
+    EXPECT_FALSE(m->hasPaper);
+    EXPECT_NE(r.json().find("\"atol\":0.5"), std::string::npos);
+}
+
+TEST(Reporter, DuplicateMetricNameThrows)
+{
+    Reporter r("unit", Options{});
+    r.metric("x", 1.0, "count");
+    EXPECT_THROW(r.metric("x", 2.0, "count"), std::logic_error);
+}
+
+TEST(Reporter, DeterministicAcrossRuns)
+{
+    const auto build = [] {
+        Options opts;
+        opts.seed = 99;
+        Reporter r("det", opts);
+        r.metric("a", 1.0 / 3.0, "ratio");
+        r.metric("b", 2.5e-7, "fraction").paper(3e-7).tol(0.01);
+        return r.json();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(Reporter, FindAndCount)
+{
+    Reporter r("unit", Options{});
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.find("missing"), nullptr);
+    r.metric("a", 1.0, "count");
+    EXPECT_EQ(r.count(), 1u);
+    EXPECT_EQ(r.defaultPath(), "BENCH_unit.json");
+}
+
+TEST(Reporter, WriteFileRoundTrip)
+{
+    Reporter r("roundtrip", Options{});
+    r.metric("value", 42.0, "count");
+    const std::string path =
+        ::testing::TempDir() + "/BENCH_roundtrip.json";
+    ASSERT_TRUE(r.writeFile(path));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), r.json() + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(Reporter, WriteFileFailsOnBadPath)
+{
+    Reporter r("bad", Options{});
+    EXPECT_FALSE(r.writeFile("/nonexistent-dir/BENCH_bad.json"));
+}
+
+} // namespace
+} // namespace bench
+} // namespace sofa
