@@ -12,7 +12,7 @@
 #include "arch/accelerator.h"
 #include "baselines/gpu.h"
 #include "baselines/tpu.h"
-#include "core/pipeline.h"
+#include "core/engine.h"
 #include "model/config.h"
 #include "model/workload.h"
 
@@ -40,9 +40,30 @@ main()
     const double keep =
         std::max(0.05, minimalKeepFraction(w, pcfg, 2.0));
 
+    // Cross-check the operating point on a batched multi-head slice
+    // through the stage engine: the calibrated keep fraction must
+    // hold per head, not just on the calibration head.
+    ModelWorkloadSpec mspec;
+    mspec.batch = 1;
+    mspec.heads = 4;
+    mspec.seq = 512;
+    mspec.queries = 64;
+    mspec.headDim = shape.headDim;
+    mspec.mixture = llama.mixture;
+    EngineConfig ecfg;
+    ecfg.pipeline = pcfg;
+    ecfg.pipeline.topkFrac = keep;
+    const EngineResult er =
+        runEngine(generateModelWorkload(mspec), ecfg);
+
     std::printf("Long-context prefill: Llama-7B attention, S=4096, "
                 "T=512, %d heads, keep=%.0f%% (2%% loss)\n",
                 shape.heads, 100.0 * keep);
+    std::printf("engine check (%d heads, S=%d): mean loss %.2f%%, "
+                "mass recall %.3f, %lld keys on demand\n\n",
+                mspec.heads, mspec.seq, er.meanAccuracyLossPct,
+                er.meanMassRecall,
+                static_cast<long long>(er.keysGenerated));
     std::printf("%-22s | %12s %12s %12s\n", "Platform", "latency(us)",
                 "GOPS", "GOPS/W");
 

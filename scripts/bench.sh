@@ -14,6 +14,11 @@
 #                                     # diff with a justification)
 #   scripts/bench.sh --only kernels --only fig19_throughput ...
 #                                     # restrict to named benches
+#   scripts/bench.sh --trajectory     # append timing metrics to
+#                                     # bench-results/trajectory.jsonl
+#                                     # and print deltas vs last run
+#   scripts/bench.sh --threads 4      # pin the thread pool (passed
+#                                     # through to every binary)
 #
 # Goldens are captured from the --quick tier with a portable build
 # (MARCH= scripts/bench.sh --quick --update-goldens) so CI machines
@@ -37,12 +42,18 @@ MARCH=${MARCH--march=native}
 QUICK=""
 GOLDEN_DIFF=0
 UPDATE_GOLDENS=0
+TRAJECTORY=0
+THREADS=()
 ONLY=()
 while [ $# -gt 0 ]; do
     case "$1" in
     --quick) QUICK="--quick" ;;
     --golden-diff) GOLDEN_DIFF=1 ;;
     --update-goldens) UPDATE_GOLDENS=1 ;;
+    --trajectory) TRAJECTORY=1 ;;
+    --threads)
+        [ $# -ge 2 ] || { echo "--threads requires a count" >&2; exit 2; }
+        THREADS=(--threads "$2"); shift ;;
     --only)
         [ $# -ge 2 ] || { echo "--only requires a bench name" >&2; exit 2; }
         ONLY+=("$2"); shift ;;
@@ -78,9 +89,14 @@ for name in "${BENCHES[@]}"; do
     [ -x "$bin" ] || { echo "no such bench binary: $bin" >&2; exit 2; }
     echo "=== bench_$name $QUICK ==="
     # shellcheck disable=SC2086
-    "$bin" $QUICK --json-out "$OUT_DIR/BENCH_$name.json"
+    "$bin" $QUICK ${THREADS[@]+"${THREADS[@]}"} \
+        --json-out "$OUT_DIR/BENCH_$name.json"
     echo
 done
+
+if [ "$TRAJECTORY" = 1 ]; then
+    python3 scripts/trajectory_diff.py --results "$OUT_DIR" --append
+fi
 
 if [ "$UPDATE_GOLDENS" = 1 ]; then
     mkdir -p bench/goldens

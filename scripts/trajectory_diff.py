@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Cross-PR performance trajectory for the BENCH_*.json timings.
+
+Golden gating (scripts/golden_diff.py) covers the deterministic
+metrics; wall-clock timings are `check: false` and would otherwise
+rot unobserved.  This script closes that gap:
+
+  scripts/trajectory_diff.py --results bench-results [--append]
+                             [--file bench-results/trajectory.jsonl]
+
+With --append (what `scripts/bench.sh --trajectory` passes), one
+JSON line is appended to the trajectory file:
+
+  {"ts": "...", "rev": "abc1234", "threads": {"kernels": 8, ...},
+   "metrics": {"kernels/matmul_512x512x512_blocked": 123.4, ...}}
+
+collecting every nocheck metric (timings, rates, speedups) of every
+BENCH_*.json in the results directory, keyed "bench/metric".  Then —
+append or not — the last entry is diffed against the previous one
+and per-metric deltas are printed.  Exit status: 0 on success (the
+diff is informational, never a gate), 2 on usage/IO errors.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+
+def collect(results_dir):
+    """All nocheck metrics of every artifact, keyed bench/metric."""
+    metrics = {}
+    threads = {}
+    names = sorted(
+        f for f in os.listdir(results_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    for fname in names:
+        with open(os.path.join(results_dir, fname), "r",
+                  encoding="utf-8") as f:
+            doc = json.load(f)
+        bench = doc.get("bench", fname[len("BENCH_"):-len(".json")])
+        if "threads" in doc:
+            threads[bench] = doc["threads"]
+        for m in doc.get("metrics", []):
+            if m.get("check", True):
+                continue  # gated elsewhere; trajectory is for timings
+            if m.get("value") is None:
+                continue  # non-finite leak; never poison the log
+            metrics[f"{bench}/{m['name']}"] = m["value"]
+    return metrics, threads
+
+
+def git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_entries(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def print_diff(prev, last):
+    """Per-metric deltas of the last entry vs the previous one."""
+    pm, lm = prev["metrics"], last["metrics"]
+    print(f"trajectory: {prev.get('rev', '?')} ({prev.get('ts', '?')})"
+          f" -> {last.get('rev', '?')} ({last.get('ts', '?')})")
+    width = max((len(k) for k in lm), default=0)
+    regressions = 0
+    for key in sorted(lm):
+        if key not in pm:
+            print(f"  {key:<{width}}  (new) {lm[key]:.6g}")
+            continue
+        old, new = pm[key], lm[key]
+        if old == 0:
+            delta = "n/a"
+        else:
+            pct = 100.0 * (new - old) / abs(old)
+            delta = f"{pct:+.1f}%"
+            # Purely informational: flag big slowdowns of time-like
+            # metrics (seconds) so they stand out in CI logs.
+            if key.endswith(("_s", "_seconds")) and pct > 25.0:
+                delta += "  <-- slower"
+                regressions += 1
+        print(f"  {key:<{width}}  {old:.6g} -> {new:.6g}  ({delta})")
+    for key in sorted(set(pm) - set(lm)):
+        print(f"  {key:<{width}}  (dropped)")
+    if regressions:
+        print(f"trajectory: {regressions} metric(s) slowed >25% "
+              "(informational, not gating)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Append/diff the bench timing trajectory.")
+    ap.add_argument("--results", default="bench-results",
+                    help="directory holding fresh BENCH_*.json")
+    ap.add_argument("--file", default=None,
+                    help="trajectory file "
+                         "(default <results>/trajectory.jsonl)")
+    ap.add_argument("--append", action="store_true",
+                    help="append a new entry before diffing")
+    args = ap.parse_args()
+
+    path = args.file or os.path.join(args.results,
+                                     "trajectory.jsonl")
+    if args.append:
+        if not os.path.isdir(args.results):
+            print(f"trajectory_diff: no results dir {args.results}",
+                  file=sys.stderr)
+            return 2
+        metrics, threads = collect(args.results)
+        if not metrics:
+            print("trajectory_diff: no nocheck metrics found in "
+                  f"{args.results}", file=sys.stderr)
+            return 2
+        entry = {
+            "ts": datetime.datetime.now(datetime.timezone.utc)
+                      .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "rev": git_rev(),
+            "threads": threads,
+            "metrics": metrics,
+        }
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"trajectory_diff: appended {len(metrics)} metrics "
+              f"to {path}")
+
+    entries = load_entries(path)
+    if not entries:
+        print(f"trajectory_diff: {path} is empty; nothing to diff")
+        return 0
+    if len(entries) == 1:
+        print("trajectory_diff: first entry recorded; deltas start "
+              "with the next run")
+        return 0
+    print_diff(entries[-2], entries[-1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/jsonwriter.h"
+#include "common/threadpool.h"
 
 namespace sofa {
 namespace bench {
@@ -55,6 +56,22 @@ parseArgs(int argc, char **argv, Options *opts, std::string *error)
                 *error = std::string("bad --seed value: ") + argv[i];
                 return false;
             }
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc) {
+                *error = "--threads requires a value";
+                return false;
+            }
+            char *end = nullptr;
+            errno = 0;
+            const long v = std::strtol(argv[++i], &end, 0);
+            if (end == argv[i] || *end != '\0' || errno == ERANGE ||
+                v < 1 || v > 256) {
+                *error =
+                    std::string("bad --threads value (want 1..256): ") +
+                    argv[i];
+                return false;
+            }
+            opts->threads = static_cast<int>(v);
         } else {
             *error = std::string("unknown argument: ") + arg;
             return false;
@@ -93,7 +110,9 @@ Metric::nocheck()
 }
 
 Reporter::Reporter(std::string name, const Options &opts)
-    : name_(std::move(name)), quick_(opts.quick), seed_(opts.seed)
+    : name_(std::move(name)), quick_(opts.quick), seed_(opts.seed),
+      threads_(opts.threads > 0 ? opts.threads
+                                : ThreadPool::instance().threads())
 {
 }
 
@@ -135,6 +154,7 @@ Reporter::json() const
         .key("bench").value(name_)
         .key("quick").value(quick_)
         .key("seed").value(seed_)
+        .key("threads").value(threads_)
         .key("metrics").beginArray();
     for (const auto &m : metrics_) {
         j.beginObject()
@@ -174,10 +194,22 @@ benchMain(const char *name, RunFn fn, int argc, char **argv)
         std::fprintf(stderr,
                      "%s: %s\n"
                      "usage: %s [--quick] [--json-out PATH] "
-                     "[--no-json] [--seed N]\n",
+                     "[--no-json] [--seed N] [--threads N]\n",
                      argv[0], error.c_str(), argv[0]);
         return 2;
     }
+    // Apply --threads before any pool use; once the process-wide
+    // pool exists the override cannot take effect.
+    if (opts.threads > 0 &&
+        !ThreadPool::setDefaultThreads(opts.threads)) {
+        std::fprintf(stderr,
+                     "%s: --threads %d ignored (pool already "
+                     "created)\n",
+                     argv[0], opts.threads);
+    }
+    // Record the pool size the run actually gets, so the artifact
+    // documents it and the bench body can read it off opts.
+    opts.threads = ThreadPool::instance().threads();
     Reporter reporter(name, opts);
     const int rc = fn(opts, reporter);
     if (opts.writeJson) {

@@ -28,6 +28,14 @@ struct Options
     bool writeJson = true;  ///< emit BENCH_<name>.json
     std::string jsonPath;   ///< empty: BENCH_<name>.json in the cwd
     std::uint64_t seed = 0; ///< 0: keep the bench's built-in seeds
+    /**
+     * Thread-pool size for the run (overrides SOFA_NUM_THREADS, so
+     * golden runs are reproducible regardless of the host's core
+     * count). 0 = not specified; benchMain resolves it to the actual
+     * pool size before the bench body runs, and the count is
+     * recorded in the BENCH_*.json artifact.
+     */
+    int threads = 0;
 
     /**
      * The seed a bench should feed its Rng: the bench's built-in
@@ -44,6 +52,7 @@ struct Options
  *   --json-out PATH  JSON artifact path (--json is an alias)
  *   --no-json        suppress the JSON artifact
  *   --seed N         override the bench's built-in workload seeds
+ *   --threads N      thread-pool size (overrides SOFA_NUM_THREADS)
  * Returns false and fills *error on an unknown flag or missing
  * argument.
  */
@@ -113,6 +122,7 @@ class Reporter
     std::string name_;
     bool quick_;
     std::uint64_t seed_;
+    int threads_; ///< resolved pool size recorded in the artifact
     std::deque<Metric> metrics_; // deque: fluent refs stay stable
 };
 

@@ -11,6 +11,12 @@ namespace {
 /** Depth of live ScopedSerial guards (process-wide). */
 std::atomic<int> g_serial_depth{0};
 
+/** setDefaultThreads override; 0 = unset. */
+std::atomic<int> g_default_threads{0};
+
+/** Set once instance() has constructed the process-wide pool. */
+std::atomic<bool> g_instance_created{false};
+
 /** Set while this thread is executing a shard; nested parallelFor
  * calls from inside a shard run inline instead of re-entering the
  * pool (which would deadlock on run_mutex_). */
@@ -27,6 +33,9 @@ struct RegionGuard
 int
 envThreads()
 {
+    const int forced = g_default_threads.load();
+    if (forced >= 1)
+        return std::min(forced, 256);
     if (const char *e = std::getenv("SOFA_NUM_THREADS")) {
         const int v = std::atoi(e);
         if (v >= 1)
@@ -65,7 +74,17 @@ ThreadPool &
 ThreadPool::instance()
 {
     static ThreadPool pool(envThreads());
+    g_instance_created.store(true);
     return pool;
+}
+
+bool
+ThreadPool::setDefaultThreads(int threads)
+{
+    if (threads < 1 || g_instance_created.load())
+        return false;
+    g_default_threads.store(threads);
+    return true;
 }
 
 void

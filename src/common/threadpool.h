@@ -45,10 +45,19 @@ class ThreadPool
 
     /**
      * Process-wide pool, created on first use. Thread count comes
-     * from SOFA_NUM_THREADS when set (>= 1), else
-     * hardware_concurrency.
+     * from setDefaultThreads when called (>= 1), else
+     * SOFA_NUM_THREADS when set (>= 1), else hardware_concurrency.
      */
     static ThreadPool &instance();
+
+    /**
+     * Override the process-wide pool's thread count (wins over
+     * SOFA_NUM_THREADS; clamped to [1, 256]). Must run before the
+     * first instance() use — the bench CLI's --threads flag calls it
+     * at startup. Returns false (and changes nothing) once the pool
+     * exists.
+     */
+    static bool setDefaultThreads(int threads);
 
     /** Total participants (calling thread + workers). */
     int threads() const { return nthreads_; }

@@ -1,0 +1,309 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+#include "core/dlzs.h"
+#include "core/sads.h"
+#include "core/sufa.h"
+#include "sparsity/mask.h"
+
+namespace sofa {
+
+OpCounter
+EngineResult::totalOps() const
+{
+    OpCounter t;
+    t += predictionOps;
+    t += sortOps;
+    t += formalOps;
+    return t;
+}
+
+/** Per-run scratch: the task list plus per-head intermediates. */
+struct EngineState
+{
+    const EngineConfig &cfg;
+    ThreadPool &pool;
+    const std::vector<HeadTask> &tasks;
+
+    std::vector<int> keep;              ///< per-head k
+    std::vector<DlzsPrediction> preds;  ///< DLZS stage output
+    std::vector<SadsResult> sads;       ///< SADS stage output
+    std::vector<HeadResult> heads;      ///< results being assembled
+};
+
+namespace {
+
+/** A (head, query-row range) work item for the row-tiled stages. */
+struct RowUnit
+{
+    std::size_t head;
+    std::size_t begin;
+    std::size_t end;
+};
+
+/** Shard [0, n) units across the pool, one call per unit. Grain is
+ * 1: units are whole heads or row tiles, both heavyweight. */
+template <typename Fn>
+void
+forEachUnit(ThreadPool &pool, std::size_t n, const Fn &fn)
+{
+    if (n == 0)
+        return;
+    pool.parallelFor(n, 1,
+                     [&fn](std::size_t b, std::size_t e, int) {
+                         for (std::size_t u = b; u < e; ++u)
+                             fn(u);
+                     });
+}
+
+/** Row tiles of every head, in (head, row) order. */
+std::vector<RowUnit>
+rowUnits(const EngineState &st)
+{
+    const std::size_t tile = static_cast<std::size_t>(
+        std::max(1, st.cfg.rowTile));
+    std::vector<RowUnit> units;
+    for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+        const std::size_t rows = st.tasks[i].workload->q.rows();
+        for (std::size_t b = 0; b < rows; b += tile)
+            units.push_back({i, b, std::min(rows, b + tile)});
+    }
+    return units;
+}
+
+/** Stage 1: DLZS prediction (K-hat then A-hat), one unit per head. */
+class DlzsStage : public Stage
+{
+  public:
+    const char *name() const override { return "dlzs_predict"; }
+
+    void
+    run(EngineState &st) const override
+    {
+        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
+            const AttentionWorkload &w = *st.tasks[i].workload;
+            st.preds[i] = dlzsPredict(w.tokens, w.wk, w.q);
+            st.heads[i].result.predictionOps = st.preds[i].ops;
+        });
+    }
+};
+
+/** Stage 2: SADS distributed top-k, sharded over row tiles. */
+class SadsStage : public Stage
+{
+  public:
+    const char *name() const override { return "sads_topk"; }
+
+    void
+    run(EngineState &st) const override
+    {
+        const std::vector<RowUnit> units = rowUnits(st);
+        std::vector<OpCounter> unit_ops(units.size());
+        forEachUnit(st.pool, units.size(), [&](std::size_t u) {
+            const RowUnit &ru = units[u];
+            sadsTopKRows(st.preds[ru.head].scoresHat,
+                         st.keep[ru.head],
+                         st.cfg.pipeline.sads, ru.begin, ru.end,
+                         &st.sads[ru.head].rows, &unit_ops[u]);
+        });
+        // Per-shard tallies merge with integer addition in unit
+        // order — order-independent, so equal to a serial run.
+        for (std::size_t u = 0; u < units.size(); ++u)
+            st.sads[units[u].head].ops += unit_ops[u];
+        for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+            st.heads[i].result.sortOps = st.sads[i].ops;
+            st.heads[i].result.selections = st.sads[i].selections();
+        }
+    }
+};
+
+/** Stage 3a: on-demand KV generation against the cache state. */
+class KvStage : public Stage
+{
+  public:
+    const char *name() const override { return "kv_generate"; }
+
+    void
+    run(EngineState &st) const override
+    {
+        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
+            const HeadTask &task = st.tasks[i];
+            const AttentionWorkload &w = *task.workload;
+            HeadResult &hr = st.heads[i];
+            TopkMask mask = TopkMask::fromSelections(
+                hr.result.selections, w.spec.seq);
+            const std::vector<int> required = mask.requiredKeys();
+            // Keys below pastLen are KV-cache hits; only the rest
+            // are projected from tokens.
+            std::int64_t cached = 0;
+            for (int key : required)
+                cached += key < task.pastLen ? 1 : 0;
+            hr.keysCached = cached;
+            hr.result.keysGenerated =
+                static_cast<std::int64_t>(required.size()) - cached;
+            hr.result.formalOps += kvGenerationOps(
+                hr.result.keysGenerated, w.spec.tokenDim,
+                w.spec.headDim);
+        });
+    }
+};
+
+/** Stage 3b: SU-FA formal compute, sharded over row tiles. */
+class SufaStage : public Stage
+{
+  public:
+    const char *name() const override { return "sufa_attention"; }
+
+    void
+    run(EngineState &st) const override
+    {
+        for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+            const AttentionWorkload &w = *st.tasks[i].workload;
+            st.heads[i].result.output =
+                MatF(w.q.rows(), w.q.cols(), 0.0f);
+        }
+        const std::vector<RowUnit> units = rowUnits(st);
+        std::vector<OpCounter> unit_ops(units.size());
+        std::vector<std::int64_t> unit_viol(units.size(), 0);
+        std::vector<std::int64_t> unit_tiles(units.size(), 0);
+        forEachUnit(st.pool, units.size(), [&](std::size_t u) {
+            const RowUnit &ru = units[u];
+            const AttentionWorkload &w = *st.tasks[ru.head].workload;
+            sufaAttentionRows(w.q, w.k, w.v,
+                              st.heads[ru.head].result.selections,
+                              st.cfg.pipeline.sufa, ru.begin, ru.end,
+                              &st.heads[ru.head].result.output,
+                              &unit_ops[u], &unit_viol[u],
+                              &unit_tiles[u]);
+        });
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            HeadResult &hr = st.heads[units[u].head];
+            hr.result.formalOps += unit_ops[u];
+            hr.result.maxViolations += unit_viol[u];
+            hr.sufaTiles += unit_tiles[u];
+        }
+    }
+};
+
+/** Stage 4: quality metrics vs the dense reference, per head. */
+class QualityStage : public Stage
+{
+  public:
+    const char *name() const override { return "quality"; }
+
+    void
+    run(EngineState &st) const override
+    {
+        if (!st.cfg.computeQuality)
+            return;
+        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
+            fillPipelineQuality(*st.tasks[i].workload, st.keep[i],
+                                st.heads[i].result);
+        });
+    }
+};
+
+} // namespace
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg)
+{
+    SOFA_ASSERT(cfg_.pipeline.topkFrac > 0.0 &&
+                cfg_.pipeline.topkFrac <= 1.0);
+    SOFA_ASSERT(cfg_.rowTile >= 1);
+    stages_.push_back(std::make_unique<DlzsStage>());
+    stages_.push_back(std::make_unique<SadsStage>());
+    stages_.push_back(std::make_unique<KvStage>());
+    stages_.push_back(std::make_unique<SufaStage>());
+    stages_.push_back(std::make_unique<QualityStage>());
+}
+
+Engine::~Engine() = default;
+
+std::vector<std::string>
+Engine::stageNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(stages_.size());
+    for (const auto &s : stages_)
+        names.push_back(s->name());
+    return names;
+}
+
+EngineResult
+Engine::run(const ModelWorkload &mw) const
+{
+    std::vector<HeadTask> tasks;
+    tasks.reserve(mw.size());
+    for (int b = 0; b < mw.batch(); ++b) {
+        for (int h = 0; h < mw.heads(); ++h) {
+            HeadTask t;
+            t.workload = &mw.head(b, h);
+            t.batch = b;
+            t.head = h;
+            t.pastLen = mw.spec.isDecode() ? mw.spec.pastLen : 0;
+            tasks.push_back(t);
+        }
+    }
+    return run(tasks);
+}
+
+EngineResult
+Engine::run(const std::vector<HeadTask> &tasks) const
+{
+    ThreadPool &pool =
+        cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::instance();
+    EngineState st{cfg_, pool, tasks, {}, {}, {}, {}};
+    st.keep.resize(tasks.size());
+    st.preds.resize(tasks.size());
+    st.sads.resize(tasks.size());
+    st.heads.resize(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const HeadTask &t = tasks[i];
+        SOFA_ASSERT(t.workload != nullptr);
+        SOFA_ASSERT(t.pastLen >= 0 &&
+                    t.pastLen <= t.workload->spec.seq);
+        st.keep[i] = pipelineKeepCount(cfg_.pipeline.topkFrac,
+                                       t.workload->spec.seq);
+        st.sads[i].rows.resize(t.workload->q.rows());
+        st.heads[i].batch = t.batch;
+        st.heads[i].head = t.head;
+    }
+
+    for (const auto &stage : stages_)
+        stage->run(st);
+
+    EngineResult res;
+    res.heads = std::move(st.heads);
+    double mass = 0.0, recall = 0.0, loss = 0.0;
+    for (const HeadResult &hr : res.heads) {
+        res.predictionOps += hr.result.predictionOps;
+        res.sortOps += hr.result.sortOps;
+        res.formalOps += hr.result.formalOps;
+        res.keysGenerated += hr.result.keysGenerated;
+        res.keysCached += hr.keysCached;
+        res.maxViolations += hr.result.maxViolations;
+        mass += hr.result.massRecall;
+        recall += hr.result.topkRecall;
+        loss += hr.result.accuracyLossPct;
+        res.maxOutputRelError =
+            std::max(res.maxOutputRelError, hr.result.outputRelError);
+    }
+    if (!res.heads.empty()) {
+        const double n = static_cast<double>(res.heads.size());
+        res.meanMassRecall = mass / n;
+        res.meanTopkRecall = recall / n;
+        res.meanAccuracyLossPct = loss / n;
+    }
+    return res;
+}
+
+EngineResult
+runEngine(const ModelWorkload &mw, const EngineConfig &cfg)
+{
+    return Engine(cfg).run(mw);
+}
+
+} // namespace sofa

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Stage-structured batched multi-head execution engine. The paper's
+ * cross-stage pipeline (DLZS prediction -> SADS top-k -> on-demand
+ * KV generation -> SU-FA formal compute, Fig. 6) is expressed as
+ * explicit Stage objects run in order over a ModelWorkload's
+ * (batch, head) grid. Each stage shards its work items — whole
+ * heads for prediction/KV, (head, query-row tile) pairs for SADS
+ * and SU-FA — across the common/threadpool `parallelFor`, with
+ * per-shard OpCounter tallies merged by integer addition, so every
+ * result and count is bit-exact for any thread count and identical
+ * to a per-head `runSofaPipeline` loop.
+ *
+ * KV-cache decode: a HeadTask's `pastLen` marks keys [0, pastLen)
+ * as already resident in the KV cache; the KV stage only charges
+ * generation for required keys at index >= pastLen and reports the
+ * cache hits in `keysCached`, which is what makes decode steps
+ * dramatically cheaper than prefill on the formal-op axis.
+ *
+ * Units: per-stage OpCounter ops, key counts; quality metrics are
+ * fractions (see core/pipeline.h). Cycles/energy live in src/arch.
+ */
+
+#ifndef SOFA_CORE_ENGINE_H
+#define SOFA_CORE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "model/model_workload.h"
+
+namespace sofa {
+
+class ThreadPool;
+
+/** Engine configuration on top of the pipeline hyperparameters. */
+struct EngineConfig
+{
+    PipelineConfig pipeline;
+    /** Query rows per SADS/SU-FA work item (tile); smaller tiles
+     * expose more parallelism, results never depend on it. */
+    int rowTile = 64;
+    /** Compute the reference-attention quality metrics (skippable:
+     * the dense reference costs more than the sparse pipeline). */
+    bool computeQuality = true;
+    /** Pool to shard over; nullptr = the process-wide instance. */
+    ThreadPool *pool = nullptr;
+};
+
+/** One unit of the engine's (batch, head) grid. */
+struct HeadTask
+{
+    const AttentionWorkload *workload = nullptr;
+    int batch = 0;
+    int head = 0;
+    /** Keys [0, pastLen) are already resident in the KV cache. */
+    int pastLen = 0;
+};
+
+/** Per-head outcome: the single-head pipeline result + identity. */
+struct HeadResult
+{
+    int batch = 0;
+    int head = 0;
+    PipelineResult result;
+    /** Required keys served from the KV cache (decode mode). */
+    std::int64_t keysCached = 0;
+    /** SU-FA tiles processed (SufaResult.tiles, summed over rows). */
+    std::int64_t sufaTiles = 0;
+};
+
+/** Aggregate outcome over the whole grid. */
+struct EngineResult
+{
+    std::vector<HeadResult> heads;
+
+    OpCounter predictionOps; ///< DLZS, summed over heads
+    OpCounter sortOps;       ///< SADS, summed over heads
+    OpCounter formalOps;     ///< KV generation + SU-FA, summed
+    OpCounter totalOps() const;
+
+    std::int64_t keysGenerated = 0; ///< on-demand KV rows computed
+    std::int64_t keysCached = 0;    ///< required rows found in cache
+    std::int64_t maxViolations = 0; ///< SU-FA max-ensure fallbacks
+
+    double meanMassRecall = 0.0;      ///< mean over heads
+    double meanTopkRecall = 0.0;      ///< mean over heads
+    double meanAccuracyLossPct = 0.0; ///< mean over heads
+    double maxOutputRelError = 0.0;   ///< worst head
+};
+
+struct EngineState; // per-run scratch shared by the stages
+
+/** One pipeline stage, sharded over the grid by the engine. */
+class Stage
+{
+  public:
+    virtual ~Stage() = default;
+    virtual const char *name() const = 0;
+    virtual void run(EngineState &state) const = 0;
+};
+
+/** The stage-structured engine. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig cfg = {});
+    ~Engine();
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** Stage names in execution order (for reporting). */
+    std::vector<std::string> stageNames() const;
+
+    /** Run the grid of a generated ModelWorkload. */
+    EngineResult run(const ModelWorkload &mw) const;
+
+    /** Run an explicit (possibly ragged) task list: heads may have
+     * different shapes and cache depths. */
+    EngineResult run(const std::vector<HeadTask> &tasks) const;
+
+  private:
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+/** Convenience wrapper: one-shot engine run. */
+EngineResult runEngine(const ModelWorkload &mw,
+                       const EngineConfig &cfg = {});
+
+} // namespace sofa
+
+#endif // SOFA_CORE_ENGINE_H

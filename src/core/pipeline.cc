@@ -6,6 +6,7 @@
 
 #include "attention/reference.h"
 #include "common/logging.h"
+#include "core/engine.h"
 #include "sparsity/mask.h"
 
 namespace sofa {
@@ -20,21 +21,27 @@ PipelineResult::totalOps() const
     return t;
 }
 
-namespace {
-
-/** Charge the MAC cost of projecting @p keys token rows to K and V. */
-void
-chargeKvGeneration(std::int64_t keys, std::int64_t token_dim,
-                   std::int64_t head_dim, OpCounter &ops)
+int
+pipelineKeepCount(double topk_frac, int seq)
 {
-    // K and V: each key row costs token_dim * head_dim MACs.
-    ops.mulN(2 * keys * token_dim * head_dim);
-    ops.addN(2 * keys * token_dim * (head_dim - 1));
+    return std::max(1, static_cast<int>(
+        std::lround(topk_frac * seq)));
 }
 
-/** Fill the shared quality metrics of a pipeline result. */
+OpCounter
+kvGenerationOps(std::int64_t keys, std::int64_t token_dim,
+                std::int64_t head_dim)
+{
+    // K and V: each key row costs token_dim * head_dim MACs.
+    OpCounter ops;
+    ops.mulN(2 * keys * token_dim * head_dim);
+    ops.addN(2 * keys * token_dim * (head_dim - 1));
+    return ops;
+}
+
 void
-fillQuality(const AttentionWorkload &w, int k, PipelineResult &res)
+fillPipelineQuality(const AttentionWorkload &w, int k,
+                    PipelineResult &res)
 {
     SelectionList exact = exactTopKRows(w.scores, k);
     res.topkRecall = topkRecall(res.selections, exact);
@@ -45,43 +52,16 @@ fillQuality(const AttentionWorkload &w, int k, PipelineResult &res)
     res.outputRelError = outputError(res.output, dense.output);
 }
 
-} // namespace
-
 PipelineResult
 runSofaPipeline(const AttentionWorkload &w, const PipelineConfig &cfg)
 {
-    SOFA_ASSERT(cfg.topkFrac > 0.0 && cfg.topkFrac <= 1.0);
-    PipelineResult res;
-    const int S = w.spec.seq;
-    const int k = std::max(1, static_cast<int>(
-        std::lround(cfg.topkFrac * S)));
-
-    // Stage 1: DLZS prediction (K-hat then A-hat).
-    DlzsPrediction pred = dlzsPredict(w.tokens, w.wk, w.q);
-    res.predictionOps = pred.ops;
-
-    // Stage 2: SADS distributed top-k on the predicted scores.
-    SadsResult sads = sadsTopK(pred.scoresHat, k, cfg.sads);
-    res.sortOps = sads.ops;
-    res.selections = sads.selections();
-
-    // Stage 3a: on-demand KV generation — only keys some query needs.
-    TopkMask mask = TopkMask::fromSelections(res.selections, S);
-    std::vector<int> required = mask.requiredKeys();
-    res.keysGenerated = static_cast<std::int64_t>(required.size());
-    chargeKvGeneration(res.keysGenerated, w.spec.tokenDim,
-                       w.spec.headDim, res.formalOps);
-
-    // Stage 3b: SU-FA formal compute with the exact K/V values (the
-    // formal stage always recomputes at high precision).
-    SufaResult sufa = sufaAttention(w.q, w.k, w.v, res.selections,
-                                    cfg.sufa);
-    res.formalOps += sufa.ops;
-    res.maxViolations = sufa.maxViolations;
-    res.output = std::move(sufa.output);
-
-    fillQuality(w, k, res);
-    return res;
+    // Single-head wrapper: one HeadTask through the stage engine.
+    EngineConfig ecfg;
+    ecfg.pipeline = cfg;
+    HeadTask task;
+    task.workload = &w;
+    EngineResult er = Engine(ecfg).run(std::vector<HeadTask>{task});
+    return std::move(er.heads[0].result);
 }
 
 PipelineResult
@@ -91,8 +71,7 @@ runBaselinePipeline(const AttentionWorkload &w, double topk_frac,
     SOFA_ASSERT(topk_frac > 0.0 && topk_frac <= 1.0);
     PipelineResult res;
     const int S = w.spec.seq;
-    const int k = std::max(1, static_cast<int>(
-        std::lround(topk_frac * S)));
+    const int k = pipelineKeepCount(topk_frac, S);
 
     // Pre-compute with 4-bit multiplications: K-hat = X Wk and
     // A-hat = Q K-hat^T, both as real (narrow) multiplies. Charged at
@@ -115,14 +94,14 @@ runBaselinePipeline(const AttentionWorkload &w, double topk_frac,
 
     // Full KV generation: all S keys are produced regardless of need.
     res.keysGenerated = S;
-    chargeKvGeneration(S, n, d, res.formalOps);
+    res.formalOps += kvGenerationOps(S, n, d);
 
     // Formal compute: sparse FA-2 without sorting information.
     SufaResult fa2 = sparseFlash2(w.q, w.k, w.v, sel, block_cols);
     res.formalOps += fa2.ops;
     res.output = std::move(fa2.output);
 
-    fillQuality(w, k, res);
+    fillPipelineQuality(w, k, res);
     return res;
 }
 

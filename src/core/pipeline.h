@@ -60,9 +60,28 @@ struct PipelineResult
  * are projected from tokens (K = x W_k, V = x W_v); their MAC cost is
  * charged to formalOps and `keysGenerated` records the saving vs
  * generating all S rows.
+ *
+ * This is a thin single-head wrapper over the stage-structured
+ * engine (core/engine.h), which is where batching, multi-head
+ * sharding and KV-cache decode live.
  */
 PipelineResult runSofaPipeline(const AttentionWorkload &w,
                                const PipelineConfig &cfg);
+
+/** Per-row keep count for a fraction of S (k = max(1, round(f*S))). */
+int pipelineKeepCount(double topk_frac, int seq);
+
+/** MAC cost of projecting @p keys token rows to both K and V. */
+OpCounter kvGenerationOps(std::int64_t keys, std::int64_t token_dim,
+                          std::int64_t head_dim);
+
+/**
+ * Fill the selection/output quality metrics of a result whose
+ * selections and output are already set (shared by the engine's
+ * quality stage and the baseline pipeline).
+ */
+void fillPipelineQuality(const AttentionWorkload &w, int k,
+                         PipelineResult &res);
 
 /**
  * Baseline "vanilla dynamic sparsity" pipeline of the ablation in

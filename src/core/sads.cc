@@ -7,6 +7,8 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
+#include "tensor/kernels.h"
 
 namespace sofa {
 
@@ -119,30 +121,30 @@ segmentTopM(const float *row, int lo, int hi, int m,
 
 } // namespace
 
-SadsResult
-sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
+void
+sadsTopKRows(const MatF &scores, int k, const SadsConfig &cfg,
+             std::size_t row_begin, std::size_t row_end,
+             std::vector<SadsRow> *rows, OpCounter *ops)
 {
     SOFA_ASSERT(cfg.segments >= 1);
     SOFA_ASSERT(cfg.sorterInputs >= 1);
+    SOFA_ASSERT(rows->size() == scores.rows());
+    SOFA_ASSERT(row_end <= scores.rows());
     const int S = static_cast<int>(scores.cols());
     const int n = std::min(cfg.segments, std::max(1, S));
     const int keep = std::min(k, S);
     const int per_seg = static_cast<int>(ceilDiv(keep, n));
 
-    SadsResult result;
-    result.rows.resize(scores.rows());
-
-    for (std::size_t r = 0; r < scores.rows(); ++r) {
+    OpCounter &result_ops = *ops;
+    for (std::size_t r = row_begin; r < row_end; ++r) {
         const float *row = scores.rowPtr(r);
-        SadsRow &out = result.rows[r];
+        SadsRow &out = (*rows)[r];
 
         // Row span estimate for the clip radius (hardware tracks this
-        // in the TU unit from the running max/min).
-        float mn = row[0], mx = row[0];
-        for (int i = 1; i < S; ++i) {
-            mn = std::min(mn, row[i]);
-            mx = std::max(mx, row[i]);
-        }
+        // in the TU unit from the running max/min). min/max are
+        // order-independent, so the blocked scan is bit-exact.
+        float mn, mx;
+        minmaxBlock(row, static_cast<std::size_t>(S), &mn, &mx);
         const float span = std::max(mx - mn, 1e-6f);
 
         // Distributed per-segment selection.
@@ -154,7 +156,7 @@ sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
             const int hi = static_cast<int>(
                 static_cast<std::int64_t>(seg + 1) * S / n);
             SegmentResult sr = segmentTopM(row, lo, hi, per_seg, cfg,
-                                           span, result.ops);
+                                           span, result_ops);
             out.clipped += sr.clipped;
             selected.insert(selected.end(), sr.selected.begin(),
                             sr.selected.end());
@@ -179,7 +181,7 @@ sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
         std::size_t ex_head = 0;
         while (iter < cfg.refineIters && !selected.empty() &&
                ex_head < excluded.size()) {
-            result.ops.cmpN(1 + n); // min-vs-max + per-segment reports
+            result_ops.cmpN(1 + n); // min-vs-max + per-segment reports
             if (excluded[ex_head].value <= selected.back().value)
                 break;
             std::swap(selected.back(), excluded[ex_head]);
@@ -195,6 +197,32 @@ sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
         out.top1 = selected.empty() ? -1 : selected[0].index;
         out.top2 = selected.size() > 1 ? selected[1].index : -1;
     }
+}
+
+SadsResult
+sadsTopK(const MatF &scores, int k, const SadsConfig &cfg)
+{
+    SadsResult result;
+    result.rows.resize(scores.rows());
+    if (scores.rows() == 0)
+        return result;
+
+    // Shard rows across the pool; per-shard counters are merged with
+    // integer addition (order-independent), so totals match a serial
+    // run exactly. Per-row cost ~ S compares plus the sort passes.
+    ThreadPool &pool = ThreadPool::instance();
+    std::vector<OpCounter> shard_ops(
+        static_cast<std::size_t>(pool.threads()));
+    const std::size_t grain =
+        grainForRowCost(8.0 * static_cast<double>(scores.cols()));
+    pool.parallelFor(
+        scores.rows(), grain,
+        [&](std::size_t begin, std::size_t end, int shard) {
+            sadsTopKRows(scores, k, cfg, begin, end, &result.rows,
+                         &shard_ops[static_cast<std::size_t>(shard)]);
+        });
+    for (const OpCounter &ops : shard_ops)
+        result.ops += ops;
     return result;
 }
 

@@ -73,13 +73,26 @@ struct SadsResult
 };
 
 /**
- * Run SADS top-k over every row of @p scores.
+ * Run SADS top-k over every row of @p scores. Rows are independent
+ * and are sharded across the thread pool; per-shard op tallies are
+ * merged with integer addition, so results and counts are bit-exact
+ * for any thread count.
  *
  * @param scores predicted scores (A-hat from DLZS) [T x S]
  * @param k      values to keep per row
  */
 SadsResult sadsTopK(const MatF &scores, int k,
                     const SadsConfig &cfg = {});
+
+/**
+ * SADS over the row range [row_begin, row_end) only — the work-item
+ * granularity the stage engine shards over (batch, head, row-tile).
+ * Writes rows into *rows (pre-sized to scores.rows()) and tallies
+ * into *ops. Per-row behaviour is identical to sadsTopK.
+ */
+void sadsTopKRows(const MatF &scores, int k, const SadsConfig &cfg,
+                  std::size_t row_begin, std::size_t row_end,
+                  std::vector<SadsRow> *rows, OpCounter *ops);
 
 /**
  * Comparison count of the vanilla whole-row top-k (full bitonic sort)

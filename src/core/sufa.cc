@@ -5,14 +5,16 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
+#include "tensor/kernels.h"
 
 namespace sofa {
 
 namespace {
 
-/** Dot product of query row and key row. */
+/** Single-accumulator dot product (the pre-port scalar baseline). */
 double
-score(const float *qr, const float *kr, std::size_t d)
+scoreScalar(const float *qr, const float *kr, std::size_t d)
 {
     double acc = 0.0;
     for (std::size_t c = 0; c < d; ++c)
@@ -20,25 +22,37 @@ score(const float *qr, const float *kr, std::size_t d)
     return acc;
 }
 
+/** Q.K inner product per cfg: blocked kernel or scalar baseline. */
+double
+score(const float *qr, const float *kr, std::size_t d,
+      const SufaConfig &cfg)
+{
+    return cfg.blockedDot ? dotBlock(qr, kr, d)
+                          : scoreScalar(qr, kr, d);
+}
+
 } // namespace
 
-SufaResult
-sufaAttention(const MatF &q, const MatF &k, const MatF &v,
-              const SelectionList &selected, const SufaConfig &cfg)
+void
+sufaAttentionRows(const MatF &q, const MatF &k, const MatF &v,
+                  const SelectionList &selected, const SufaConfig &cfg,
+                  std::size_t row_begin, std::size_t row_end,
+                  MatF *output, OpCounter *ops_out,
+                  std::int64_t *violations, std::int64_t *tiles)
 {
     SOFA_ASSERT(q.cols() == k.cols());
     SOFA_ASSERT(k.rows() == v.rows());
     SOFA_ASSERT(selected.size() == q.rows());
     SOFA_ASSERT(cfg.blockCols > 0);
+    SOFA_ASSERT(output->rows() == q.rows());
+    SOFA_ASSERT(output->cols() == q.cols());
+    SOFA_ASSERT(row_end <= q.rows());
 
-    const std::size_t T = q.rows();
     const std::size_t d = q.cols();
-    SufaResult res;
-    res.output = MatF(T, d, 0.0f);
-    OpCounter &ops = res.ops;
+    OpCounter &ops = *ops_out;
 
     std::vector<double> acc(d);
-    for (std::size_t r = 0; r < T; ++r) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
         Selection order = selected[r];
         if (order.empty())
             continue;
@@ -55,10 +69,10 @@ sufaAttention(const MatF &q, const MatF &k, const MatF &v,
         const std::size_t Bc = static_cast<std::size_t>(cfg.blockCols);
         for (std::size_t t0 = 0; t0 < n; t0 += Bc) {
             const std::size_t te = std::min(n, t0 + Bc);
-            ++res.tiles;
+            ++*tiles;
             for (std::size_t t = t0; t < te; ++t) {
                 const int key = order[t];
-                const double s = score(qr, k.rowPtr(key), d);
+                const double s = score(qr, k.rowPtr(key), d, cfg);
                 ops.mulN(static_cast<std::int64_t>(d));
                 ops.addN(static_cast<std::int64_t>(d) - 1);
 
@@ -82,7 +96,7 @@ sufaAttention(const MatF &q, const MatF &k, const MatF &v,
                     ops.cmpN(1);
                     if (s > m) {
                         // Misprediction: rescale like FA-2 would.
-                        ++res.maxViolations;
+                        ++*violations;
                         const double f = std::exp(m - s);
                         l *= f;
                         for (std::size_t c = 0; c < d; ++c)
@@ -116,7 +130,7 @@ sufaAttention(const MatF &q, const MatF &k, const MatF &v,
                     double m_new = std::max(m, s);
                     const double f = std::exp(m - m_new);
                     if (s < m)
-                        ++res.maxViolations; // out-of-order predict
+                        ++*violations; // out-of-order predict
                     const double p = std::exp(s - m_new);
                     l = l * f + p; // p == 1 under correct ordering
                     ops.expN(1);
@@ -138,10 +152,49 @@ sufaAttention(const MatF &q, const MatF &k, const MatF &v,
 
         const double inv = 1.0 / l;
         ops.divN(1);
-        float *out = res.output.rowPtr(r);
+        float *out = output->rowPtr(r);
         for (std::size_t c = 0; c < d; ++c)
             out[c] = static_cast<float>(acc[c] * inv);
         ops.mulN(static_cast<std::int64_t>(d));
+    }
+}
+
+SufaResult
+sufaAttention(const MatF &q, const MatF &k, const MatF &v,
+              const SelectionList &selected, const SufaConfig &cfg)
+{
+    SOFA_ASSERT(selected.size() == q.rows());
+    const std::size_t T = q.rows();
+    const std::size_t d = q.cols();
+    SufaResult res;
+    res.output = MatF(T, d, 0.0f);
+    if (T == 0)
+        return res;
+
+    // Shard query rows across the pool; counters merge with integer
+    // addition, so totals are bit-exact for any thread count. Per-row
+    // cost ~ kept * d MACs (estimate kept from the first row).
+    ThreadPool &pool = ThreadPool::instance();
+    const std::size_t nshards =
+        static_cast<std::size_t>(pool.threads());
+    std::vector<OpCounter> shard_ops(nshards);
+    std::vector<std::int64_t> shard_viol(nshards, 0);
+    std::vector<std::int64_t> shard_tiles(nshards, 0);
+    const double row_cost =
+        2.0 * static_cast<double>(selected[0].size()) *
+        static_cast<double>(d);
+    pool.parallelFor(
+        T, grainForRowCost(row_cost),
+        [&](std::size_t begin, std::size_t end, int shard) {
+            const std::size_t s = static_cast<std::size_t>(shard);
+            sufaAttentionRows(q, k, v, selected, cfg, begin, end,
+                              &res.output, &shard_ops[s],
+                              &shard_viol[s], &shard_tiles[s]);
+        });
+    for (std::size_t s = 0; s < nshards; ++s) {
+        res.ops += shard_ops[s];
+        res.maxViolations += shard_viol[s];
+        res.tiles += shard_tiles[s];
     }
     return res;
 }
@@ -184,7 +237,7 @@ sparseFlash2(const MatF &q, const MatF &k, const MatF &v,
             std::vector<double> s(bc);
             double tile_max = -1e30;
             for (std::size_t t = t0; t < te; ++t) {
-                s[t - t0] = score(qr, k.rowPtr(order[t]), d);
+                s[t - t0] = dotBlock(qr, k.rowPtr(order[t]), d);
                 tile_max = std::max(tile_max, s[t - t0]);
             }
             ops.mulN(static_cast<std::int64_t>(bc * d));

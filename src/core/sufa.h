@@ -46,6 +46,14 @@ struct SufaConfig
 {
     SufaOrder order = SufaOrder::Descending;
     int blockCols = 16; ///< Bc: selected keys processed per tile
+    /**
+     * Compute the per-key Q.K inner products with the register-tiled
+     * dotBlock kernel (tensor/kernels) instead of a single-
+     * accumulator scalar loop. Same op counts; values differ only by
+     * float summation order. The scalar path is kept as the measured
+     * baseline for the kernel-port speedup in bench_engine.
+     */
+    bool blockedDot = true;
 };
 
 /** SU-FA execution result. */
@@ -59,7 +67,9 @@ struct SufaResult
 
 /**
  * Compute sparse attention over the per-row selections with the SU-FA
- * recurrence.
+ * recurrence. Rows are independent and sharded across the thread
+ * pool; per-shard op tallies merge with integer addition, so outputs
+ * and counts are bit-exact for any thread count.
  *
  * @param q        queries [T x d]
  * @param k        keys    [S x d]
@@ -70,6 +80,20 @@ struct SufaResult
 SufaResult sufaAttention(const MatF &q, const MatF &k, const MatF &v,
                          const SelectionList &selected,
                          const SufaConfig &cfg = {});
+
+/**
+ * SU-FA over the query-row range [row_begin, row_end) only — the
+ * work-item granularity the stage engine shards over (batch, head,
+ * row-tile). Writes rows of *output (pre-sized [T x d], zeroed) and
+ * accumulates into *ops / *violations / *tiles. Per-row behaviour is
+ * identical to sufaAttention.
+ */
+void sufaAttentionRows(const MatF &q, const MatF &k, const MatF &v,
+                       const SelectionList &selected,
+                       const SufaConfig &cfg, std::size_t row_begin,
+                       std::size_t row_end, MatF *output,
+                       OpCounter *ops, std::int64_t *violations,
+                       std::int64_t *tiles);
 
 /**
  * Sparse FA-2 baseline: same selections, but processed in key order

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Batched multi-head workloads for the stage-structured execution
+ * engine (core/engine). A ModelWorkload is a batch x heads grid of
+ * AttentionWorkload slices: every head of one batch item shares the
+ * item's token matrix (the columnar structure real attention
+ * exhibits) but owns its projections Wk/Wv and queries Q, which is
+ * the LTPP regime the paper's Section I serving scenarios produce.
+ *
+ * Two execution modes:
+ *  - prefill: every item processes `queries` parallel query rows
+ *    over a context of `seq` tokens (T = queries, S = seq);
+ *  - KV-cache decode: `pastLen` context tokens already have K/V
+ *    resident in the cache and only `newTokens` fresh tokens arrive
+ *    (speculative-decode gamma or plain decode's 1), so T =
+ *    newTokens, S = pastLen + newTokens and only keys at index >=
+ *    pastLen ever need on-demand generation.
+ *
+ * Units: shapes (batch, heads, tokens); per-head seeds are derived
+ * deterministically from (seed, batch, head) with a splitmix64 mix,
+ * so any sub-grid regenerates bit-identically on its own.
+ */
+
+#ifndef SOFA_MODEL_MODEL_WORKLOAD_H
+#define SOFA_MODEL_MODEL_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/workload.h"
+
+namespace sofa {
+
+/** Specification of a batched multi-head workload. */
+struct ModelWorkloadSpec
+{
+    int batch = 1;    ///< B: concurrent requests
+    int heads = 4;    ///< H: attention heads per request
+    int seq = 512;    ///< S: context length (prefill mode)
+    int queries = 64; ///< T per head (prefill mode)
+    int headDim = 64;
+    int tokenDim = 128;
+
+    /**
+     * KV-cache decode mode: set newTokens > 0 to model a decode step
+     * where `pastLen` keys are cached and `newTokens` query tokens
+     * arrive (gamma for speculative decode, 1 for plain decode).
+     * seq/queries above are ignored in this mode.
+     */
+    int pastLen = 0;
+    int newTokens = 0;
+
+    DistMixture mixture;       ///< per-row score mixture (all heads)
+    double dominantGain = 3.0; ///< see WorkloadSpec
+    std::uint64_t seed = 0x50FA0002ull;
+
+    bool isDecode() const { return newTokens > 0; }
+    /** Context length each query attends to. */
+    int contextLen() const
+    {
+        return isDecode() ? pastLen + newTokens : seq;
+    }
+    /** Query rows processed per head. */
+    int queryRows() const { return isDecode() ? newTokens : queries; }
+
+    /** Per-head WorkloadSpec (shapes + the derived head seed). */
+    WorkloadSpec headSpec(int batch_idx, int head_idx) const;
+};
+
+/**
+ * Deterministic per-(batch, head) seed: a splitmix64-style mix of the
+ * grid seed with the coordinates, so distinct heads get decorrelated
+ * streams and any head regenerates independently of the others.
+ */
+std::uint64_t headSeed(std::uint64_t seed, int batch_idx, int head_idx);
+
+/** A generated batch x heads grid of attention workloads. */
+struct ModelWorkload
+{
+    ModelWorkloadSpec spec;
+    /** Per-head slices, row-major: index = batch * spec.heads + head.
+     * Heads of one batch item share the item's token matrix. */
+    std::vector<AttentionWorkload> grid;
+
+    int batch() const { return spec.batch; }
+    int heads() const { return spec.heads; }
+    std::size_t size() const { return grid.size(); }
+
+    const AttentionWorkload &head(int batch_idx, int head_idx) const
+    {
+        return grid[static_cast<std::size_t>(batch_idx) * spec.heads +
+                    head_idx];
+    }
+};
+
+/**
+ * Generate the full grid: one shared TokenField per batch item, one
+ * AttentionWorkload per head on top of it. Decode mode generates the
+ * full (pastLen + newTokens)-token context so exact K/V ground truth
+ * exists; the engine's KV stage decides what the cache already holds.
+ */
+ModelWorkload generateModelWorkload(const ModelWorkloadSpec &spec);
+
+} // namespace sofa
+
+#endif // SOFA_MODEL_MODEL_WORKLOAD_H

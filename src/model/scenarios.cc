@@ -102,4 +102,59 @@ servingSuite(const ModelConfig &model)
     return v;
 }
 
+std::vector<ServingScenario>
+representativeScenarios(const ModelConfig &model)
+{
+    // First suite entry of each mode, in mode declaration order.
+    std::vector<ServingScenario> picks;
+    for (const ServingMode mode :
+         {ServingMode::Prefill, ServingMode::DisaggregatedPrefill,
+          ServingMode::SpeculativeDecode,
+          ServingMode::AutoregressiveDecode}) {
+        for (const auto &s : servingSuite(model)) {
+            if (s.mode == mode) {
+                picks.push_back(s);
+                break;
+            }
+        }
+    }
+    return picks;
+}
+
+ModelWorkloadSpec
+scenarioWorkloadSpec(const ServingScenario &s, int max_context,
+                     int max_batch, int max_heads)
+{
+    SOFA_ASSERT(max_context > 16);
+    SOFA_ASSERT(max_batch >= 1 && max_heads >= 1);
+    ModelWorkloadSpec spec;
+    spec.heads = std::min(s.model.heads, max_heads);
+    spec.headDim = std::min(s.model.headDim(), 64);
+    spec.mixture = s.model.mixture;
+    const int ctx = std::min(s.promptLen, max_context);
+    switch (s.mode) {
+      case ServingMode::Prefill:
+        spec.batch = 1;
+        spec.seq = ctx;
+        spec.queries = ctx; // T = S: the whole prompt at once
+        break;
+      case ServingMode::DisaggregatedPrefill:
+        spec.batch = std::min(s.batch, max_batch);
+        spec.seq = ctx;
+        spec.queries = ctx;
+        break;
+      case ServingMode::SpeculativeDecode:
+        spec.batch = std::min(s.batch, max_batch);
+        spec.newTokens = std::max(1, s.speculationGamma);
+        spec.pastLen = std::max(16, ctx - spec.newTokens);
+        break;
+      case ServingMode::AutoregressiveDecode:
+        spec.batch = std::min(s.batch, max_batch);
+        spec.newTokens = 1;
+        spec.pastLen = std::max(16, ctx - 1);
+        break;
+    }
+    return spec;
+}
+
 } // namespace sofa

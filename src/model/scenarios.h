@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "model/config.h"
+#include "model/model_workload.h"
 
 namespace sofa {
 
@@ -64,6 +65,28 @@ struct ServingScenario
 
 /** The scenario suite used by the serving example/bench. */
 std::vector<ServingScenario> servingSuite(const ModelConfig &model);
+
+/**
+ * One representative scenario per serving mode (in enum order), for
+ * consumers that want the four regimes rather than the whole suite
+ * (bench_engine, the serving example's engine table).
+ */
+std::vector<ServingScenario>
+representativeScenarios(const ModelConfig &model);
+
+/**
+ * Functional-scale batched multi-head workload spec for a scenario,
+ * for the value-level engine (core/engine). Shapes are capped —
+ * context at @p max_context, batch at @p max_batch, heads at
+ * @p max_heads — because the engine executes real values, O(T*S*d)
+ * per head, while the arch models stay analytic at full scale.
+ * Decode-family scenarios become KV-cache decode specs (pastLen +
+ * newTokens); prefill keeps T = S.
+ */
+ModelWorkloadSpec scenarioWorkloadSpec(const ServingScenario &s,
+                                       int max_context = 512,
+                                       int max_batch = 4,
+                                       int max_heads = 4);
 
 } // namespace sofa
 

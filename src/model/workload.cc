@@ -215,34 +215,35 @@ classifyScoreMatrix(const MatF &scores)
     return tally;
 }
 
-AttentionWorkload
-generateWorkload(const WorkloadSpec &spec)
+namespace {
+
+/** Raw token matrix X [S x n] at unit magnitude (pre-background). */
+MatF
+drawTokens(const WorkloadSpec &spec, Rng &rng)
 {
-    SOFA_ASSERT(spec.seq > 8 && spec.queries > 0);
-    SOFA_ASSERT(spec.headDim > 0 && spec.tokenDim > 0);
-
-    Rng rng(spec.seed);
-    AttentionWorkload w;
-    w.spec = spec;
-
-    // Raw tokens and projection weights; modest magnitudes so the
-    // int8 quantization used by the prediction phase is representative.
-    w.tokens = MatF(spec.seq, spec.tokenDim);
-    for (auto &x : w.tokens.data())
+    MatF tokens(spec.seq, spec.tokenDim);
+    for (auto &x : tokens.data())
         x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return tokens;
+}
 
-    w.wk = MatF(spec.tokenDim, spec.headDim);
-    w.wv = MatF(spec.tokenDim, spec.headDim);
+/** Per-head projection weights at 1/sqrt(n) magnitude. */
+void
+drawProjections(const WorkloadSpec &spec, Rng &rng, MatF *wk, MatF *wv)
+{
+    *wk = MatF(spec.tokenDim, spec.headDim);
+    *wv = MatF(spec.tokenDim, spec.headDim);
     const double wstd = 1.0 / std::sqrt(spec.tokenDim);
-    for (auto &x : w.wk.data())
+    for (auto &x : wk->data())
         x = static_cast<float>(rng.gaussian(0.0, wstd));
-    for (auto &x : w.wv.data())
+    for (auto &x : wv->data())
         x = static_cast<float>(rng.gaussian(0.0, wstd));
+}
 
-    // Shared background ranking: add a rank-1 component c_j * u to
-    // the tokens so every key carries a shared "importance"
-    // coefficient c_j along direction u; queries are later aligned
-    // to u, which correlates the tails of all rows' rankings.
+/** Unit background direction u in token space. */
+std::vector<float>
+drawDirection(const WorkloadSpec &spec, Rng &rng)
+{
     std::vector<float> u_x(spec.tokenDim);
     double u_norm = 0.0;
     for (auto &x : u_x) {
@@ -252,16 +253,40 @@ generateWorkload(const WorkloadSpec &spec)
     u_norm = std::sqrt(std::max(u_norm, 1e-12));
     for (auto &x : u_x)
         x = static_cast<float>(x / u_norm);
-    std::vector<float> col_coef(spec.seq);
-    if (spec.backgroundGain > 0.0) {
-        for (int j = 0; j < spec.seq; ++j) {
-            col_coef[j] = static_cast<float>(rng.gaussian(0.0, 1.0));
-            float *xj = w.tokens.rowPtr(j);
-            for (int c = 0; c < spec.tokenDim; ++c)
-                xj[c] += col_coef[j] * u_x[c];
-        }
-    }
+    return u_x;
+}
 
+/**
+ * Shared background ranking: add a rank-1 component c_j * u to the
+ * tokens so every key carries a shared "importance" coefficient c_j
+ * along direction u; queries are later aligned to u, which
+ * correlates the tails of all rows' rankings.
+ */
+void
+bakeBackground(const WorkloadSpec &spec, Rng &rng, MatF *tokens,
+               const std::vector<float> &u_x)
+{
+    if (spec.backgroundGain <= 0.0)
+        return;
+    for (int j = 0; j < spec.seq; ++j) {
+        const float coef = static_cast<float>(rng.gaussian(0.0, 1.0));
+        float *xj = tokens->rowPtr(j);
+        for (int c = 0; c < spec.tokenDim; ++c)
+            xj[c] += coef * u_x[c];
+    }
+}
+
+/**
+ * Project tokens through the head's weights and construct Q with the
+ * requested distribution mixture. Consumes @p rng for the global
+ * token pool and the per-row dominant structure; tokens/wk/wv must
+ * already be set on @p w.
+ */
+void
+finishHeadWorkload(AttentionWorkload &w, const std::vector<float> &u_x,
+                   Rng &rng)
+{
+    const WorkloadSpec &spec = w.spec;
     w.k = matmul(w.tokens, w.wk);
     w.v = matmul(w.tokens, w.wv);
 
@@ -371,6 +396,55 @@ generateWorkload(const WorkloadSpec &spec)
     }
 
     w.scores = matmulNT(w.q, w.k);
+}
+
+} // namespace
+
+AttentionWorkload
+generateWorkload(const WorkloadSpec &spec)
+{
+    SOFA_ASSERT(spec.seq > 8 && spec.queries > 0);
+    SOFA_ASSERT(spec.headDim > 0 && spec.tokenDim > 0);
+
+    // Single-stream generation: the draw order below (tokens,
+    // weights, direction, background, pool, rows) is the seed
+    // behaviour every golden number depends on — keep it.
+    Rng rng(spec.seed);
+    AttentionWorkload w;
+    w.spec = spec;
+    w.tokens = drawTokens(spec, rng);
+    drawProjections(spec, rng, &w.wk, &w.wv);
+    const std::vector<float> u_x = drawDirection(spec, rng);
+    bakeBackground(spec, rng, &w.tokens, u_x);
+    finishHeadWorkload(w, u_x, rng);
+    return w;
+}
+
+TokenField
+generateTokenField(const WorkloadSpec &spec, Rng &rng)
+{
+    SOFA_ASSERT(spec.seq > 8);
+    SOFA_ASSERT(spec.tokenDim > 0);
+    TokenField field;
+    field.tokens = drawTokens(spec, rng);
+    field.direction = drawDirection(spec, rng);
+    bakeBackground(spec, rng, &field.tokens, field.direction);
+    return field;
+}
+
+AttentionWorkload
+generateHeadWorkload(const WorkloadSpec &spec, const TokenField &field,
+                     Rng &head_rng)
+{
+    SOFA_ASSERT(spec.queries > 0 && spec.headDim > 0);
+    SOFA_ASSERT(static_cast<int>(field.tokens.rows()) == spec.seq);
+    SOFA_ASSERT(static_cast<int>(field.tokens.cols()) ==
+                spec.tokenDim);
+    AttentionWorkload w;
+    w.spec = spec;
+    w.tokens = field.tokens;
+    drawProjections(spec, head_rng, &w.wk, &w.wv);
+    finishHeadWorkload(w, field.direction, head_rng);
     return w;
 }
 

@@ -125,6 +125,34 @@ struct AttentionWorkload
 /** Generate a full workload per @p spec. */
 AttentionWorkload generateWorkload(const WorkloadSpec &spec);
 
+/**
+ * The per-batch-item token state shared by every head of a
+ * multi-head workload: the token matrix X (with the rank-1 shared
+ * background component already baked in) plus the unit background
+ * direction u the queries align to. Heads project the *same* tokens
+ * through their own Wk/Wv, which is what makes cross-head KV reuse
+ * and batched on-demand generation meaningful.
+ */
+struct TokenField
+{
+    MatF tokens;                  ///< X [S x n], background included
+    std::vector<float> direction; ///< u, unit vector in token space
+};
+
+/** Generate one batch item's shared token field from @p rng. */
+TokenField generateTokenField(const WorkloadSpec &spec, Rng &rng);
+
+/**
+ * Generate one head's workload on a shared token field: fresh
+ * Wk/Wv/Q (and dominant structure) from @p head_rng, tokens taken
+ * from @p field. The result is a complete AttentionWorkload, so
+ * every single-head consumer (runSofaPipeline, metrics) works on it
+ * unchanged.
+ */
+AttentionWorkload generateHeadWorkload(const WorkloadSpec &spec,
+                                       const TokenField &field,
+                                       Rng &head_rng);
+
 } // namespace sofa
 
 #endif // SOFA_MODEL_WORKLOAD_H

@@ -114,6 +114,36 @@ dotBlock(const float *a, const float *b, std::size_t n)
     return tot;
 }
 
+void
+minmaxBlock(const float *a, std::size_t n, float *min_out,
+            float *max_out)
+{
+    SOFA_ASSERT(n >= 1);
+    float mn[8], mx[8];
+    for (int l = 0; l < 8; ++l) {
+        mn[l] = a[0];
+        mx[l] = a[0];
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (int l = 0; l < 8; ++l) {
+            mn[l] = a[i + l] < mn[l] ? a[i + l] : mn[l];
+            mx[l] = a[i + l] > mx[l] ? a[i + l] : mx[l];
+        }
+    }
+    float tmn = mn[0], tmx = mx[0];
+    for (int l = 1; l < 8; ++l) {
+        tmn = mn[l] < tmn ? mn[l] : tmn;
+        tmx = mx[l] > tmx ? mx[l] : tmx;
+    }
+    for (; i < n; ++i) {
+        tmn = a[i] < tmn ? a[i] : tmn;
+        tmx = a[i] > tmx ? a[i] : tmx;
+    }
+    *min_out = tmn;
+    *max_out = tmx;
+}
+
 MatF
 matmulNTNaive(const MatF &a, const MatF &b)
 {

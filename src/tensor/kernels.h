@@ -64,6 +64,15 @@ panelRows(std::size_t row_floats)
  */
 double dotBlock(const float *a, const float *b, std::size_t n);
 
+/**
+ * Blocked min/max scan over @p n floats in eight independent lanes
+ * (the SIMD-friendly shape of the SADS threshold-updating scan).
+ * min/max are order-independent, so the result is bit-identical to a
+ * sequential scan for any n >= 1.
+ */
+void minmaxBlock(const float *a, std::size_t n, float *min_out,
+                 float *max_out);
+
 /** @name Naive seed kernels (dense; baseline for benches and tests).
  * Triple loops with single-accumulator dot products, exactly the
  * arithmetic order of the original seed implementation. @{ */

@@ -36,11 +36,36 @@ TEST(BenchOptions, Defaults)
 
 TEST(BenchOptions, AllFlags)
 {
-    const Options opts = parse(
-        {"--quick", "--json-out", "out.json", "--seed", "42"});
+    const Options opts =
+        parse({"--quick", "--json-out", "out.json", "--seed", "42",
+               "--threads", "3"});
     EXPECT_TRUE(opts.quick);
     EXPECT_EQ(opts.jsonPath, "out.json");
     EXPECT_EQ(opts.seed, 42u);
+    EXPECT_EQ(opts.threads, 3);
+}
+
+TEST(BenchOptions, ThreadsDefaultsToUnset)
+{
+    const Options opts = parse({});
+    EXPECT_EQ(opts.threads, 0);
+}
+
+TEST(BenchOptions, RejectsBadThreads)
+{
+    Options opts;
+    std::string error;
+    for (const char *bad : {"0", "-2", "abc", "257", ""}) {
+        const char *argv[] = {"bench_test", "--threads", bad};
+        EXPECT_FALSE(parseArgs(3, const_cast<char **>(argv), &opts,
+                               &error))
+            << bad;
+    }
+    {
+        const char *argv[] = {"bench_test", "--threads"};
+        EXPECT_FALSE(parseArgs(2, const_cast<char **>(argv), &opts,
+                               &error));
+    }
 }
 
 TEST(BenchOptions, JsonAliasAndNoJson)
@@ -128,6 +153,7 @@ TEST(Reporter, JsonShape)
 {
     Options opts;
     opts.quick = true;
+    opts.threads = 2; // pin: the artifact records the pool size
     Reporter r("unit", opts);
     // Binary-exact values: JsonWriter prints doubles at round-trip
     // precision, so 0.72 would serialize as 0.71999999999999997.
@@ -135,12 +161,19 @@ TEST(Reporter, JsonShape)
     r.metric("elapsed", 1.25, "ms").nocheck();
     EXPECT_EQ(r.json(),
               "{\"schema\":1,\"bench\":\"unit\",\"quick\":true,"
-              "\"seed\":0,\"metrics\":["
+              "\"seed\":0,\"threads\":2,\"metrics\":["
               "{\"name\":\"share\",\"value\":0.5,\"unit\":"
               "\"fraction\",\"paper\":0.75,\"tol\":0.0001,"
               "\"check\":true},"
               "{\"name\":\"elapsed\",\"value\":1.25,\"unit\":\"ms\","
               "\"tol\":0.0001,\"check\":false}]}");
+}
+
+TEST(Reporter, ThreadsResolvedFromPoolWhenUnset)
+{
+    Reporter r("unit", Options{});
+    // Unset --threads records the actual process pool size.
+    EXPECT_NE(r.json().find("\"threads\":"), std::string::npos);
 }
 
 TEST(Reporter, FluentToleranceFields)

@@ -2,9 +2,11 @@
 
 #include <set>
 
+#include "common/threadpool.h"
 #include "core/sads.h"
 #include "model/workload.h"
 #include "sparsity/metrics.h"
+#include "testutil.h"
 
 namespace sofa {
 namespace {
@@ -182,6 +184,39 @@ TEST_P(SadsSegments, MassRecallNearOracle)
 
 INSTANTIATE_TEST_SUITE_P(Segments, SadsSegments,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(Sads, RangeApiComposesToFullResult)
+{
+    // Disjoint row ranges into one result must reproduce the
+    // whole-matrix entry point exactly (the engine's sharding).
+    auto w = testutil::makeWorkload(256, 10);
+    const SadsResult full = sadsTopK(w.scores, 32, {});
+    std::vector<SadsRow> rows(w.scores.rows());
+    OpCounter ops;
+    sadsTopKRows(w.scores, 32, {}, 0, 4, &rows, &ops);
+    sadsTopKRows(w.scores, 32, {}, 4, w.scores.rows(), &rows, &ops);
+    ASSERT_EQ(rows.size(), full.rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        EXPECT_EQ(rows[r].selected, full.rows[r].selected) << r;
+        EXPECT_EQ(rows[r].clipped, full.rows[r].clipped) << r;
+        EXPECT_EQ(rows[r].top1, full.rows[r].top1) << r;
+    }
+    EXPECT_EQ(ops.total(), full.ops.total());
+    EXPECT_EQ(ops.cmps(), full.ops.cmps());
+}
+
+TEST(Sads, ThreadCountInvariance)
+{
+    auto w = testutil::makeWorkload(384, 24);
+    SadsResult serial_res;
+    {
+        ThreadPool::ScopedSerial serial;
+        serial_res = sadsTopK(w.scores, 64, {});
+    }
+    const SadsResult threaded = sadsTopK(w.scores, 64, {});
+    EXPECT_EQ(threaded.selections(), serial_res.selections());
+    EXPECT_EQ(threaded.ops.total(), serial_res.ops.total());
+}
 
 } // namespace
 } // namespace sofa

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "attention/reference.h"
+#include "common/threadpool.h"
 #include "core/sads.h"
 #include "core/sufa.h"
 #include "model/workload.h"
@@ -174,6 +175,63 @@ TEST_P(SufaBlockSweep, NumericalEquivalence)
 
 INSTANTIATE_TEST_SUITE_P(Blocks, SufaBlockSweep,
                          ::testing::Values(1, 2, 7, 16, 48, 100));
+
+TEST(Sufa, ScalarDotPathAgreesWithBlocked)
+{
+    // The dotBlock port changes only float summation order: the
+    // scalar baseline must produce the same op counts and a result
+    // within rounding of the blocked path.
+    auto s = makeTopkSetup();
+    SufaConfig blocked, scalar;
+    blocked.blockedDot = true;
+    scalar.blockedDot = false;
+    auto rb = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections,
+                            blocked);
+    auto rs = sufaAttention(s.w.q, s.w.k, s.w.v, s.selections,
+                            scalar);
+    EXPECT_EQ(rb.ops.total(), rs.ops.total());
+    EXPECT_EQ(rb.ops.exps(), rs.ops.exps());
+    EXPECT_EQ(rb.tiles, rs.tiles);
+    EXPECT_TRUE(testutil::MatrixNear(rb.output, rs.output, 1e-5));
+}
+
+TEST(Sufa, RangeApiComposesToFullResult)
+{
+    // Running disjoint row ranges into one output must reproduce the
+    // whole-matrix entry point exactly (the engine's sharding).
+    auto s = makeTopkSetup(128, 10, 32);
+    const auto full =
+        sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    MatF out(s.w.q.rows(), s.w.q.cols(), 0.0f);
+    OpCounter ops;
+    std::int64_t viol = 0, tiles = 0;
+    sufaAttentionRows(s.w.q, s.w.k, s.w.v, s.selections, {}, 0, 3,
+                      &out, &ops, &viol, &tiles);
+    sufaAttentionRows(s.w.q, s.w.k, s.w.v, s.selections, {}, 3, 7,
+                      &out, &ops, &viol, &tiles);
+    sufaAttentionRows(s.w.q, s.w.k, s.w.v, s.selections, {}, 7,
+                      s.w.q.rows(), &out, &ops, &viol, &tiles);
+    EXPECT_EQ(out, full.output);
+    EXPECT_EQ(ops.total(), full.ops.total());
+    EXPECT_EQ(viol, full.maxViolations);
+    EXPECT_EQ(tiles, full.tiles);
+}
+
+TEST(Sufa, ThreadCountInvariance)
+{
+    auto s = makeTopkSetup();
+    SufaResult serial_res;
+    {
+        ThreadPool::ScopedSerial serial;
+        serial_res =
+            sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    }
+    auto threaded =
+        sufaAttention(s.w.q, s.w.k, s.w.v, s.selections, {});
+    EXPECT_EQ(threaded.output, serial_res.output);
+    EXPECT_EQ(threaded.ops.total(), serial_res.ops.total());
+    EXPECT_EQ(threaded.maxViolations, serial_res.maxViolations);
+}
 
 } // namespace
 } // namespace sofa

@@ -40,6 +40,18 @@ TEST(EndToEnd, FunctionalAndArchAgreeOnSparsity)
 
     EXPECT_GT(sim.timeNs, 0.0);
     EXPECT_GT(func.massRecall, 0.85);
+    // Exact agreements (tightened with the engine refactor): the
+    // sim's kept-key count and useful-op accounting are closed-form
+    // over the same shape the functional run executed.
+    EXPECT_DOUBLE_EQ(
+        sim.stats.get("kept_keys"),
+        static_cast<double>(pipelineKeepCount(0.2, spec.seq)));
+    EXPECT_DOUBLE_EQ(sim.usefulOps,
+                     4.0 * spec.queries * spec.seq * spec.headDim);
+    // Functional selections honor the same k exactly.
+    for (const auto &sel : func.selections)
+        EXPECT_EQ(static_cast<int>(sel.size()),
+                  pipelineKeepCount(0.2, spec.seq));
 }
 
 TEST(EndToEnd, SofaBeatsGpuModelAtScale)

@@ -145,5 +145,41 @@ TEST(DotBlock, MatchesSerialDotProduct)
     }
 }
 
+TEST(MinmaxBlock, MatchesSerialScanExactly)
+{
+    // min/max are order-independent: the blocked scan must be
+    // bit-identical to a sequential one at every lane boundary.
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{2}, std::size_t{7},
+          std::size_t{8}, std::size_t{9}, std::size_t{64},
+          std::size_t{1001}}) {
+        const MatF a = randomMat(1, n, 21);
+        float ref_mn = a(0, 0), ref_mx = a(0, 0);
+        for (std::size_t i = 1; i < n; ++i) {
+            ref_mn = std::min(ref_mn, a(0, i));
+            ref_mx = std::max(ref_mx, a(0, i));
+        }
+        float mn = 0.0f, mx = 0.0f;
+        minmaxBlock(a.rowPtr(0), n, &mn, &mx);
+        EXPECT_EQ(mn, ref_mn) << n;
+        EXPECT_EQ(mx, ref_mx) << n;
+    }
+}
+
+TEST(MinmaxBlock, ConstantAndExtremeRows)
+{
+    const MatF flat(1, 37, 2.5f);
+    float mn = 0.0f, mx = 0.0f;
+    minmaxBlock(flat.rowPtr(0), 37, &mn, &mx);
+    EXPECT_EQ(mn, 2.5f);
+    EXPECT_EQ(mx, 2.5f);
+
+    MatF spiked(1, 37, 0.0f);
+    spiked(0, 36) = -7.0f; // extremes in the scalar tail
+    minmaxBlock(spiked.rowPtr(0), 37, &mn, &mx);
+    EXPECT_EQ(mn, -7.0f);
+    EXPECT_EQ(mx, 0.0f);
+}
+
 } // namespace
 } // namespace sofa
