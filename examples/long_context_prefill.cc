@@ -12,6 +12,7 @@
 #include "arch/accelerator.h"
 #include "baselines/gpu.h"
 #include "baselines/tpu.h"
+#include "common/threadpool.h"
 #include "core/engine.h"
 #include "model/config.h"
 #include "model/workload.h"
@@ -59,6 +60,10 @@ main()
     std::printf("Long-context prefill: Llama-7B attention, S=4096, "
                 "T=512, %d heads, keep=%.0f%% (2%% loss)\n",
                 shape.heads, 100.0 * keep);
+    // The actual pool size (not a hard-coded count): matches the
+    // top-level "threads" field of the BENCH_*.json artifacts.
+    std::printf("thread pool: %d thread(s) (SOFA_NUM_THREADS to "
+                "override)\n", ThreadPool::instance().threads());
     std::printf("engine check (%d heads, S=%d): mean loss %.2f%%, "
                 "mass recall %.3f, %lld keys on demand\n\n",
                 mspec.heads, mspec.seq, er.meanAccuracyLossPct,

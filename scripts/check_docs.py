@@ -7,7 +7,13 @@ Fails when the documentation drifts from the actual source tree:
   * every bench/bench_<name>.cc must be mentioned in
     docs/BENCHMARKS.md;
   * every bench binary must have a golden
-    (bench/goldens/BENCH_<name>.json) and every golden a binary.
+    (bench/goldens/BENCH_<name>.json) and every golden a binary;
+  * docs/SERVING.md must cover every src/serve module, every
+    serve::SchedulerConfig knob, and bench_serve (and must not
+    mention modules that no longer exist);
+  * every src/serve header, plus src/core/engine.h and
+    src/model/model_workload.h, must carry the Units/assumptions
+    header-comment line (the PR-3 documentation convention).
 
 Run by CI's docs job and registered as the docs_sync CTest.
 """
@@ -46,6 +52,51 @@ def main():
             errors.append(f"docs/ARCHITECTURE.md: {g}/{stem} "
                           "mentioned but not in src/")
 
+    # --- serving docs <-> src/serve -----------------------------
+    serving_doc = read("docs/SERVING.md")
+    for mod in sorted(m for m in modules if m.startswith("serve/")):
+        if mod not in serving_doc:
+            errors.append(
+                f"docs/SERVING.md: serve module {mod} not documented")
+    for g, stem in set(pattern.findall(serving_doc)):
+        if f"{g}/{stem}" not in modules:
+            errors.append(f"docs/SERVING.md: {g}/{stem} mentioned "
+                          "but not in src/")
+    if "bench_serve" not in serving_doc:
+        errors.append("docs/SERVING.md: bench_serve not documented")
+    # Every scheduler tuning knob must be documented: parse the
+    # SchedulerConfig field names (with or without a default
+    # initializer) straight from the header so renames or additions
+    # can't silently drift.
+    sched_header = read("src/serve/scheduler.h")
+    cfg_match = re.search(
+        r"struct SchedulerConfig\s*\{(.*?)\n\};", sched_header,
+        re.DOTALL)
+    if not cfg_match:
+        errors.append("src/serve/scheduler.h: SchedulerConfig "
+                      "struct not found (check_docs parses it)")
+    else:
+        knobs = re.findall(
+            r"^\s*[A-Za-z_][\w:<>]*\s+(\w+)\s*(?:=[^;]*)?;",
+            cfg_match.group(1), re.MULTILINE)
+        if not knobs:
+            errors.append("src/serve/scheduler.h: no SchedulerConfig "
+                          "knobs parsed (check_docs regex stale?)")
+        for knob in knobs:
+            if f"`{knob}`" not in serving_doc:
+                errors.append(f"docs/SERVING.md: SchedulerConfig "
+                              f"knob `{knob}` not documented")
+
+    # --- Units/assumptions header-comment convention ------------
+    units_files = sorted(glob.glob("src/serve/*.h")) + [
+        "src/core/engine.h",
+        "src/model/model_workload.h",
+    ]
+    for path in units_files:
+        if "Units:" not in read(path):
+            errors.append(f"{path}: missing the 'Units:' "
+                          "header-comment line (see docs/SERVING.md)")
+
     # --- bench binaries <-> docs/BENCHMARKS.md ------------------
     bench_doc = read("docs/BENCHMARKS.md")
     benches = sorted(
@@ -80,7 +131,8 @@ def main():
         print(f"check_docs: {len(errors)} problem(s)")
         return 1
     print(f"check_docs: {len(modules)} src modules, {len(benches)} "
-          "bench binaries, goldens all in sync")
+          "bench binaries, serving docs, units headers and goldens "
+          "all in sync")
     return 0
 
 

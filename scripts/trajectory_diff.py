@@ -25,8 +25,11 @@ import argparse
 import datetime
 import json
 import os
+import re
 import subprocess
 import sys
+
+PERCENTILE_RE = re.compile(r"^(.+)_p(50|95|99)(_s)?$")
 
 
 def collect(results_dir):
@@ -102,6 +105,48 @@ def print_diff(prev, last):
     if regressions:
         print(f"trajectory: {regressions} metric(s) slowed >25% "
               "(informational, not gating)")
+    print_percentiles(pm, lm)
+
+
+def print_percentiles(pm, lm):
+    """Render *_p50/_p95/_p99 families side by side with deltas.
+
+    The serving bench records tail latencies per offered-load point;
+    reading p50/p95/p99 as one row per family makes tail-latency
+    drift visible at a glance instead of three scattered lines.
+    """
+    families = {}
+    for key in lm:
+        m = PERCENTILE_RE.match(key)
+        if m:
+            families.setdefault(m.group(1), {})[m.group(2)] = key
+    if not families:
+        return
+
+    def cell(fam, p):
+        key = families[fam].get(p)
+        if key is None:
+            return "-"
+        new = lm[key]
+        old = pm.get(key)
+        if old is None:
+            return f"{new:.4g} (new)"
+        if old == 0:
+            return f"{new:.4g} (n/a)"
+        pct = 100.0 * (new - old) / abs(old)
+        return f"{new:.4g} ({pct:+.1f}%)"
+
+    width = max(len(f) for f in families)
+    print("latency percentiles (value (delta vs previous)):")
+    header = f"  {'family':<{width}}"
+    for p in ("50", "95", "99"):
+        header += f"  {'p' + p:<20}"
+    print(header)
+    for fam in sorted(families):
+        row = f"  {fam:<{width}}"
+        for p in ("50", "95", "99"):
+            row += f"  {cell(fam, p):<20}"
+        print(row)
 
 
 def main():

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -88,6 +89,21 @@ stddev(const std::vector<double> &v)
     for (double x : v)
         acc += (x - m) * (x - m);
     return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    std::sort(v.begin(), v.end());
+    const double pos = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= v.size())
+        return v.back();
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + frac * (v[lo + 1] - v[lo]);
 }
 
 } // namespace sofa

@@ -62,6 +62,14 @@ double mean(const std::vector<double> &v);
 /** Population standard deviation; 0 for fewer than two values. */
 double stddev(const std::vector<double> &v);
 
+/**
+ * p-quantile (p in [0, 1], e.g. 0.95) of the sample by linear
+ * interpolation between order statistics; 0 for an empty vector.
+ * Takes the vector by value (sorts a copy). The latency-percentile
+ * currency of the serving benchmarks (p50/p95/p99).
+ */
+double percentile(std::vector<double> v, double p);
+
 } // namespace sofa
 
 #endif // SOFA_COMMON_STATS_H

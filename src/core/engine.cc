@@ -253,30 +253,76 @@ Engine::run(const ModelWorkload &mw) const
 EngineResult
 Engine::run(const std::vector<HeadTask> &tasks) const
 {
+    return EngineRun(*this, tasks).finish();
+}
+
+EngineRun::EngineRun(const Engine &engine, std::vector<HeadTask> tasks)
+    : engine_(engine), tasks_(std::move(tasks))
+{
+    const EngineConfig &cfg = engine_.cfg_;
     ThreadPool &pool =
-        cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::instance();
-    EngineState st{cfg_, pool, tasks, {}, {}, {}, {}};
-    st.keep.resize(tasks.size());
-    st.preds.resize(tasks.size());
-    st.sads.resize(tasks.size());
-    st.heads.resize(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        const HeadTask &t = tasks[i];
+        cfg.pool != nullptr ? *cfg.pool : ThreadPool::instance();
+    state_ = std::make_unique<EngineState>(
+        EngineState{cfg, pool, tasks_, {}, {}, {}, {}});
+    EngineState &st = *state_;
+    st.keep.resize(tasks_.size());
+    st.preds.resize(tasks_.size());
+    st.sads.resize(tasks_.size());
+    st.heads.resize(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        const HeadTask &t = tasks_[i];
         SOFA_ASSERT(t.workload != nullptr);
         SOFA_ASSERT(t.pastLen >= 0 &&
                     t.pastLen <= t.workload->spec.seq);
-        st.keep[i] = pipelineKeepCount(cfg_.pipeline.topkFrac,
+        st.keep[i] = pipelineKeepCount(cfg.pipeline.topkFrac,
                                        t.workload->spec.seq);
         st.sads[i].rows.resize(t.workload->q.rows());
         st.heads[i].batch = t.batch;
         st.heads[i].head = t.head;
     }
+}
 
-    for (const auto &stage : stages_)
-        stage->run(st);
+EngineRun::~EngineRun() = default;
 
+std::size_t
+EngineRun::stageCount() const
+{
+    return engine_.stages_.size();
+}
+
+bool
+EngineRun::done() const
+{
+    return next_ >= engine_.stages_.size();
+}
+
+const char *
+EngineRun::nextStageName() const
+{
+    return done() ? nullptr : engine_.stages_[next_]->name();
+}
+
+void
+EngineRun::step()
+{
+    SOFA_ASSERT(!done());
+    engine_.stages_[next_]->run(*state_);
+    ++next_;
+}
+
+EngineResult
+EngineRun::finish()
+{
+    while (!done())
+        step();
+    return aggregateHeadResults(std::move(state_->heads));
+}
+
+EngineResult
+aggregateHeadResults(std::vector<HeadResult> heads)
+{
     EngineResult res;
-    res.heads = std::move(st.heads);
+    res.heads = std::move(heads);
     double mass = 0.0, recall = 0.0, loss = 0.0;
     for (const HeadResult &hr : res.heads) {
         res.predictionOps += hr.result.predictionOps;

@@ -17,6 +17,14 @@
  * cache hits in `keysCached`, which is what makes decode steps
  * dramatically cheaper than prefill on the formal-op axis.
  *
+ * Two submission granularities: Engine::run executes all stages in
+ * order (the whole-run path), while EngineRun exposes the same
+ * sequence one step() at a time so a caller — the serve/ scheduler —
+ * can hold several runs in flight and interleave their stages on the
+ * shared pool (one request's SADS overlapping another's SU-FA).
+ * Engine::run is a thin loop over EngineRun, so both paths execute
+ * identical per-stage code and stay bit-exact.
+ *
  * Units: per-stage OpCounter ops, key counts; quality metrics are
  * fractions (see core/pipeline.h). Cycles/energy live in src/arch.
  */
@@ -123,9 +131,58 @@ class Engine
     EngineResult run(const std::vector<HeadTask> &tasks) const;
 
   private:
+    friend class EngineRun;
+
     EngineConfig cfg_;
     std::vector<std::unique_ptr<Stage>> stages_;
 };
+
+/**
+ * Stage-granular submission: one grid run whose stages are executed
+ * one step() at a time. The serving scheduler keeps several
+ * EngineRuns in flight so their stages interleave on the shared
+ * pool; Engine::run(tasks) itself is `EngineRun(...).finish()`, so
+ * the stepped path can never drift from the whole-run path.
+ */
+class EngineRun
+{
+  public:
+    /** Bind a run to @p engine (which must outlive it). The task
+     * list is copied; the workloads the tasks point at must stay
+     * alive until the run is finished. */
+    EngineRun(const Engine &engine, std::vector<HeadTask> tasks);
+    ~EngineRun();
+
+    EngineRun(const EngineRun &) = delete;
+    EngineRun &operator=(const EngineRun &) = delete;
+
+    std::size_t stageCount() const;
+    /** Index of the stage the next step() will execute. */
+    std::size_t nextStage() const { return next_; }
+    /** Name of that stage; nullptr once every stage has run. */
+    const char *nextStageName() const;
+    bool done() const;
+    /** Execute exactly one stage. Precondition: !done(). */
+    void step();
+    /** Execute any remaining stages, then assemble the aggregate
+     * result. The run is spent afterwards (heads are moved out). */
+    EngineResult finish();
+
+  private:
+    const Engine &engine_;
+    std::vector<HeadTask> tasks_;
+    std::unique_ptr<EngineState> state_;
+    std::size_t next_ = 0;
+};
+
+/**
+ * Sum/mean per-head results into the grid aggregate (the tail of
+ * Engine::run). Public so the serving scheduler can assemble a
+ * per-request EngineResult from its own head subset of a
+ * co-scheduled run — the sums visit heads in the same order as a
+ * standalone run, so the aggregate is bit-identical.
+ */
+EngineResult aggregateHeadResults(std::vector<HeadResult> heads);
 
 /** Convenience wrapper: one-shot engine run. */
 EngineResult runEngine(const ModelWorkload &mw,

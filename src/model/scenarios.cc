@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace sofa {
 
@@ -119,6 +120,54 @@ representativeScenarios(const ModelConfig &model)
         }
     }
     return picks;
+}
+
+const char *
+arrivalPatternName(ArrivalPattern p)
+{
+    switch (p) {
+      case ArrivalPattern::Uniform:
+        return "uniform";
+      case ArrivalPattern::Poisson:
+        return "poisson";
+      case ArrivalPattern::Burst:
+        return "burst";
+    }
+    return "?";
+}
+
+std::vector<double>
+arrivalTimes(ArrivalPattern pattern, int n, double mean_gap,
+             std::uint64_t seed, int burst)
+{
+    SOFA_ASSERT(n >= 0);
+    SOFA_ASSERT(mean_gap >= 0.0);
+    SOFA_ASSERT(burst >= 1);
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(std::max(0, n)));
+    Rng rng(seed);
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        switch (pattern) {
+          case ArrivalPattern::Uniform:
+            t = static_cast<double>(i) * mean_gap;
+            break;
+          case ArrivalPattern::Poisson:
+            if (i > 0)
+                t += mean_gap > 0.0
+                         ? rng.exponential(1.0 / mean_gap)
+                         : 0.0;
+            break;
+          case ArrivalPattern::Burst:
+            // Group g = i / burst arrives all at once; groups are
+            // spaced so the long-run rate matches mean_gap.
+            t = static_cast<double>(i / burst) *
+                (static_cast<double>(burst) * mean_gap);
+            break;
+        }
+        times.push_back(t);
+    }
+    return times;
 }
 
 ModelWorkloadSpec

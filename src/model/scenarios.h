@@ -75,6 +75,31 @@ std::vector<ServingScenario>
 representativeScenarios(const ModelConfig &model);
 
 /**
+ * Request inter-arrival patterns for the serving traces the
+ * scheduler (src/serve) replays. Units: seconds of logical trace
+ * time; a driver chooses the wall-clock scale at replay.
+ */
+enum class ArrivalPattern {
+    Uniform, ///< constant gap (closed-form pacing)
+    Poisson, ///< i.i.d. exponential gaps — memoryless open traffic
+    Burst,   ///< groups arrive simultaneously (admission stressor)
+};
+
+const char *arrivalPatternName(ArrivalPattern p);
+
+/**
+ * @p n non-decreasing arrival offsets in seconds (the first at 0)
+ * with mean inter-arrival gap @p mean_gap. Poisson draws exponential
+ * gaps; Burst packs requests into groups of @p burst simultaneous
+ * arrivals spaced burst*mean_gap apart, so the long-run offered rate
+ * matches Uniform while the instantaneous rate overbooks any
+ * admission budget. Deterministic in @p seed.
+ */
+std::vector<double> arrivalTimes(ArrivalPattern pattern, int n,
+                                 double mean_gap, std::uint64_t seed,
+                                 int burst = 4);
+
+/**
  * Functional-scale batched multi-head workload spec for a scenario,
  * for the value-level engine (core/engine). Shapes are capped —
  * context at @p max_context, batch at @p max_batch, heads at

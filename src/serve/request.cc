@@ -1,0 +1,59 @@
+#include "serve/request.h"
+
+#include "common/logging.h"
+
+namespace sofa {
+namespace serve {
+
+const char *
+requestKindName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::Prefill:
+        return "prefill";
+      case RequestKind::Decode:
+        return "decode";
+    }
+    return "?";
+}
+
+std::vector<Request>
+mixedTrace(const std::vector<ServingScenario> &scenarios, int n,
+           ArrivalPattern pattern, double mean_gap,
+           std::uint64_t seed, int max_context, int max_batch,
+           int max_heads)
+{
+    SOFA_ASSERT(!scenarios.empty());
+    SOFA_ASSERT(n >= 0);
+    const std::vector<double> times =
+        arrivalTimes(pattern, n, mean_gap, seed);
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(std::max(0, n)));
+    for (int i = 0; i < n; ++i) {
+        const std::size_t s =
+            static_cast<std::size_t>(i) % scenarios.size();
+        Request r;
+        r.id = static_cast<std::uint64_t>(i);
+        r.arrival = times[static_cast<std::size_t>(i)];
+        r.work = scenarioWorkloadSpec(scenarios[s], max_context,
+                                      max_batch, max_heads);
+        // Decorrelated per-request stream, regenerable in isolation
+        // (the same splitmix mix the grid uses per head).
+        r.work.seed = headSeed(seed, i, static_cast<int>(s));
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<Request>
+scenarioTrace(const ServingScenario &s, int n,
+              ArrivalPattern pattern, double mean_gap,
+              std::uint64_t seed, int max_context, int max_batch,
+              int max_heads)
+{
+    return mixedTrace({s}, n, pattern, mean_gap, seed, max_context,
+                      max_batch, max_heads);
+}
+
+} // namespace serve
+} // namespace sofa

@@ -1,0 +1,83 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+namespace sofa {
+namespace serve {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+bool
+RequestQueue::push(PendingRequest &&p)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (closed_ || q_.size() >= capacity_)
+            return false;
+        q_.push_back(std::move(p));
+        max_depth_ = std::max(max_depth_, q_.size());
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::vector<PendingRequest>
+RequestQueue::popBatch(std::int64_t head_budget,
+                       std::int64_t token_budget)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    std::vector<PendingRequest> batch;
+    if (q_.empty())
+        return batch; // closed and drained
+    // The head of the line always dispatches, whatever its size —
+    // budgets bound aggregation, they never starve a request.
+    std::int64_t heads = 0, tokens = 0;
+    do {
+        heads += q_.front().request.headTasks();
+        tokens += q_.front().request.contextTokens();
+        batch.push_back(std::move(q_.front()));
+        q_.pop_front();
+    } while (!q_.empty() &&
+             heads + q_.front().request.headTasks() <= head_budget &&
+             tokens + q_.front().request.contextTokens() <=
+                 token_budget);
+    return batch;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::maxDepth() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return max_depth_;
+}
+
+} // namespace serve
+} // namespace sofa

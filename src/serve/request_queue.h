@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded FIFO admission queue between Scheduler::submit and the
+ * dispatcher. Admission is capacity-checked at push (queue full =>
+ * the caller sheds the request explicitly — nothing is ever dropped
+ * inside the queue), and batch formation pops a front-contiguous run
+ * of requests under head-task and context-token budgets: FIFO order
+ * is never violated, so no request can be starved by later arrivals
+ * (the fairness policy). The capacity intentionally overbooks the
+ * in-flight lanes — Tailors-style: admit more work than worst-case
+ * concurrent capacity and shed only beyond the buffer.
+ *
+ * Units: capacity and depth in requests; budgets in head tasks and
+ * context tokens (see serve/request.h).
+ */
+
+#ifndef SOFA_SERVE_REQUEST_QUEUE_H
+#define SOFA_SERVE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace sofa {
+namespace serve {
+
+/** A request waiting in the queue, with its completion promise. */
+struct PendingRequest
+{
+    Request request;
+    std::promise<RequestResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+};
+
+class RequestQueue
+{
+  public:
+    /** Queue admitting at most @p capacity waiting requests. */
+    explicit RequestQueue(std::size_t capacity);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admit @p p. Returns false — leaving @p p untouched, so the
+     * caller can resolve its promise as Shed — when the queue holds
+     * `capacity` requests or has been closed.
+     */
+    bool push(PendingRequest &&p);
+
+    /**
+     * Pop a front-contiguous batch: blocks until at least one
+     * request is available (that first request is taken whatever its
+     * size), then greedily extends while the next request fits both
+     * the remaining head-task and context-token budgets. Returns an
+     * empty batch only once the queue is closed *and* drained.
+     */
+    std::vector<PendingRequest> popBatch(std::int64_t head_budget,
+                                         std::int64_t token_budget);
+
+    /** Stop admitting; popBatch keeps draining what was admitted. */
+    void close();
+
+    std::size_t size() const;
+    bool closed() const;
+    /** High-water mark of the waiting depth (for stats). */
+    std::size_t maxDepth() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<PendingRequest> q_;
+    std::size_t max_depth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace sofa
+
+#endif // SOFA_SERVE_REQUEST_QUEUE_H

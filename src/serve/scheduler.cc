@@ -1,0 +1,303 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+
+namespace sofa {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : cfg_(cfg), engine_(cfg.engine), queue_(cfg.maxQueue),
+      lanes_(std::make_unique<TaskQueue>(std::max(1, cfg.lanes))),
+      started_(!cfg.startPaused)
+{
+    SOFA_ASSERT(cfg_.headBudget >= 1);
+    SOFA_ASSERT(cfg_.tokenBudget >= 1);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    start();
+    queue_.close();
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closing_ = true;
+    }
+    cv_.notify_all();
+    dispatcher_.join();
+    lanes_.reset(); // drains the in-flight batches
+}
+
+std::future<RequestResult>
+Scheduler::submit(Request r)
+{
+    PendingRequest p;
+    p.request = std::move(r);
+    p.submitted = Clock::now();
+    std::future<RequestResult> fut = p.promise.get_future();
+    {
+        // Count the request as outstanding *before* it becomes
+        // visible in the queue: a concurrent drain() must never see
+        // outstanding_ == 0 while an admitted request is queued.
+        std::lock_guard<std::mutex> lk(m_);
+        ++submitted_;
+        ++outstanding_;
+    }
+    if (!queue_.push(std::move(p))) {
+        // Admission overload: shed explicitly. The future resolves
+        // right here with Outcome::Shed — the caller always observes
+        // what happened (push left `p` intact on refusal).
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++shed_;
+            --outstanding_;
+        }
+        cv_.notify_all();
+        RequestResult rr;
+        rr.id = p.request.id;
+        rr.kind = p.request.kind();
+        rr.outcome = Outcome::Shed;
+        p.promise.set_value(std::move(rr));
+        return fut;
+    }
+    cv_.notify_all();
+    return fut;
+}
+
+void
+Scheduler::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        started_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+Scheduler::drain()
+{
+    start();
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    SchedulerStats s;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        s.submitted = submitted_;
+        s.shed = shed_;
+        s.completed = completed_;
+        s.batches = batches_;
+        s.headTasks = headTasks_;
+    }
+    s.admitted = s.submitted - s.shed;
+    s.maxQueueDepth =
+        static_cast<std::int64_t>(queue_.maxDepth());
+    if (s.batches > 0)
+        s.meanBatchRequests = static_cast<double>(s.completed) /
+                              static_cast<double>(s.batches);
+    return s;
+}
+
+void
+Scheduler::dispatchLoop()
+{
+    const int lanes = std::max(1, cfg_.lanes);
+    for (;;) {
+        {
+            // A batch is formed only when a lane is free (continuous
+            // batching: every request that arrived while the lanes
+            // were busy merges into the next batch). When closing,
+            // drain unconditionally — queued promises must resolve.
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk, [&] {
+                return closing_ || (started_ && inFlight_ < lanes);
+            });
+        }
+        std::vector<PendingRequest> batch =
+            queue_.popBatch(cfg_.headBudget, cfg_.tokenBudget);
+        if (batch.empty())
+            return; // queue closed and drained
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++batches_;
+            ++inFlight_;
+        }
+        // PendingRequest holds a promise (move-only); std::function
+        // needs a copyable callable, so the batch rides shared_ptr.
+        auto shared = std::make_shared<std::vector<PendingRequest>>(
+            std::move(batch));
+        lanes_->submit([this, shared] {
+            runBatch(std::move(*shared));
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                --inFlight_;
+            }
+            cv_.notify_all();
+        });
+    }
+}
+
+void
+Scheduler::runBatch(std::vector<PendingRequest> batch)
+{
+    const Clock::time_point t0 = Clock::now();
+    try {
+        // Materialize each request's workload (deterministic in its
+        // own seed), then merge every head onto one engine grid.
+        std::vector<ModelWorkload> works;
+        works.reserve(batch.size());
+        for (const PendingRequest &p : batch)
+            works.push_back(generateModelWorkload(p.request.work));
+
+        std::vector<HeadTask> tasks;
+        std::vector<std::size_t> owner; // task index -> batch slot
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+            const ModelWorkload &mw = works[r];
+            for (int b = 0; b < mw.batch(); ++b) {
+                for (int h = 0; h < mw.heads(); ++h) {
+                    HeadTask t;
+                    t.workload = &mw.head(b, h);
+                    // Request-local coordinates, so the per-request
+                    // split below reproduces a standalone run.
+                    t.batch = b;
+                    t.head = h;
+                    t.pastLen = mw.spec.isDecode()
+                                    ? mw.spec.pastLen
+                                    : 0;
+                    tasks.push_back(t);
+                    owner.push_back(r);
+                }
+            }
+        }
+        const int coscheduled = static_cast<int>(tasks.size());
+
+        // Each stage is a separate pool epoch, so concurrent lanes
+        // interleave between stages (one lane's SU-FA overlapping
+        // another's SADS); EngineRun keeps the per-stage seam open
+        // for per-stage instrumentation or finer scheduling.
+        EngineResult merged =
+            EngineRun(engine_, std::move(tasks)).finish();
+
+        const Clock::time_point t1 = Clock::now();
+
+        // Count executed work before any promise resolves, so a
+        // caller observing its future sees consistent stats.
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            headTasks_ += coscheduled;
+        }
+
+        // Split the co-scheduled heads back per request, in task
+        // order, so each aggregate matches a standalone Engine::run.
+        std::vector<std::vector<HeadResult>> per_req(batch.size());
+        for (std::size_t i = 0; i < merged.heads.size(); ++i)
+            per_req[owner[i]].push_back(std::move(merged.heads[i]));
+
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+            PendingRequest &p = batch[r];
+            RequestResult rr;
+            rr.id = p.request.id;
+            rr.kind = p.request.kind();
+            rr.outcome = Outcome::Completed;
+            rr.engine =
+                aggregateHeadResults(std::move(per_req[r]));
+            rr.queueSeconds = seconds(p.submitted, t0);
+            rr.serviceSeconds = seconds(t0, t1);
+            rr.totalSeconds = rr.queueSeconds + rr.serviceSeconds;
+            rr.coscheduledHeads = coscheduled;
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                ++completed_;
+            }
+            p.promise.set_value(std::move(rr));
+        }
+    } catch (...) {
+        // Engine failure: surface it on every affected future —
+        // the "never drop silently" contract extends to errors.
+        for (PendingRequest &p : batch) {
+            try {
+                p.promise.set_exception(std::current_exception());
+            } catch (const std::future_error &) {
+                // promise already satisfied; nothing to do
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        outstanding_ -= static_cast<std::int64_t>(batch.size());
+    }
+    cv_.notify_all();
+}
+
+std::vector<RequestResult>
+runClosedLoop(Scheduler &sched, const std::vector<Request> &trace,
+              int window)
+{
+    window = std::max(1, window);
+    std::vector<RequestResult> results(trace.size());
+    std::deque<std::pair<std::size_t,
+                         std::future<RequestResult>>> inflight;
+    std::size_t next = 0;
+    while (next < trace.size() || !inflight.empty()) {
+        while (next < trace.size() &&
+               inflight.size() < static_cast<std::size_t>(window)) {
+            inflight.emplace_back(next,
+                                  sched.submit(trace[next]));
+            ++next;
+        }
+        auto &[idx, fut] = inflight.front();
+        results[idx] = fut.get();
+        inflight.pop_front();
+    }
+    return results;
+}
+
+std::vector<RequestResult>
+replayTrace(Scheduler &sched, const std::vector<Request> &trace,
+            double time_scale)
+{
+    std::vector<std::future<RequestResult>> futures;
+    futures.reserve(trace.size());
+    const Clock::time_point start = Clock::now();
+    for (const Request &r : trace) {
+        if (time_scale > 0.0) {
+            const auto due =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                r.arrival * time_scale));
+            std::this_thread::sleep_until(due);
+        }
+        futures.push_back(sched.submit(r));
+    }
+    std::vector<RequestResult> results;
+    results.reserve(trace.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+} // namespace serve
+} // namespace sofa

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Asynchronous request scheduler over the stage-structured engine
+ * (core/engine): many ModelWorkload requests — prefill and KV-cache
+ * decode, mixed — run through one engine concurrently. The pipeline
+ * is admission (bounded queue, explicit shedding) -> continuous
+ * batch formation (front-contiguous requests merged up to head-task
+ * and context-token budgets, formed only when a lane frees up so
+ * late arrivals can still join) -> lane dispatch (a common/
+ * threadpool TaskQueue runs up to `lanes` engine runs concurrently,
+ * each stepping its EngineRun stage by stage, so one request's SU-FA
+ * overlaps another's SADS on the shared pool).
+ *
+ * Determinism contract: an identical request trace + seed yields
+ * identical per-request *numerical* results (outputs, selections,
+ * op counts, quality) at any thread count, lane count, or batch
+ * composition — each head task computes independently and the
+ * engine is bit-exact, so co-scheduling changes only wall-clock.
+ * Shedding is timing-dependent under open-loop overload; construct
+ * with `startPaused` and call start() later for deterministic
+ * admission experiments.
+ *
+ * Units: latencies in seconds (steady clock); budgets in head tasks
+ * and context tokens; results carry OpCounter ops (core/pipeline.h).
+ */
+
+#ifndef SOFA_SERVE_SCHEDULER_H
+#define SOFA_SERVE_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace sofa {
+class TaskQueue;
+
+namespace serve {
+
+/** Scheduler tuning knobs (documented in docs/SERVING.md). */
+struct SchedulerConfig
+{
+    /** Engine hyperparameters, rowTile and pool (core/engine.h). */
+    EngineConfig engine;
+    /** Concurrent engine runs in flight (TaskQueue workers). */
+    int lanes = 2;
+    /** Max head tasks merged into one engine run. */
+    std::int64_t headBudget = 16;
+    /** Max context tokens merged into one engine run. */
+    std::int64_t tokenBudget = 1 << 20;
+    /** Admission capacity: waiting requests beyond this are shed
+     * (resolved immediately with Outcome::Shed). Deliberately
+     * overbooks lanes*headBudget — queue depth absorbs bursts. */
+    std::size_t maxQueue = 256;
+    /** Admit but do not dispatch until start() — deterministic
+     * admission/shedding experiments and maximal first batches. */
+    bool startPaused = false;
+};
+
+/** Counter snapshot (monotonic over the scheduler's lifetime). */
+struct SchedulerStats
+{
+    std::int64_t submitted = 0; ///< submit() calls
+    std::int64_t admitted = 0;  ///< accepted into the queue
+    std::int64_t shed = 0;      ///< refused at admission
+    std::int64_t completed = 0; ///< futures resolved Completed
+    std::int64_t batches = 0;   ///< engine runs formed
+    std::int64_t headTasks = 0; ///< head tasks executed
+    std::int64_t maxQueueDepth = 0; ///< waiting-depth high water
+    /** Mean completed requests per formed batch (continuous-
+     * batching effectiveness; 0 before the first batch). */
+    double meanBatchRequests = 0.0;
+};
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerConfig cfg = {});
+    /** Closes admission, drains every admitted request, joins. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+    /**
+     * Submit one request. The returned future always resolves: with
+     * Outcome::Completed and the engine results, with Outcome::Shed
+     * when admission refuses it, or with the engine's exception if
+     * the run fails.
+     */
+    std::future<RequestResult> submit(Request r);
+
+    /** Begin dispatching (needed after startPaused; idempotent). */
+    void start();
+
+    /** Block until every admitted request has completed. Implies
+     * start() — a paused scheduler would never drain. */
+    void drain();
+
+    SchedulerStats stats() const;
+
+  private:
+    void dispatchLoop();
+    void runBatch(std::vector<PendingRequest> batch);
+
+    SchedulerConfig cfg_;
+    Engine engine_;
+    RequestQueue queue_;
+    std::unique_ptr<TaskQueue> lanes_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    bool started_ = false;
+    bool closing_ = false;
+    int inFlight_ = 0;           ///< batches dispatched, unfinished
+    std::int64_t outstanding_ = 0; ///< admitted, not yet completed
+    std::int64_t submitted_ = 0;
+    std::int64_t shed_ = 0;
+    std::int64_t completed_ = 0;
+    std::int64_t batches_ = 0;
+    std::int64_t headTasks_ = 0;
+
+    std::thread dispatcher_;
+};
+
+/**
+ * Closed-loop driver: submit the trace in order keeping at most
+ * @p window requests outstanding (offered load = window), collect
+ * results in trace order. `window` is the offered-load axis of
+ * bench_serve's sweep.
+ */
+std::vector<RequestResult> runClosedLoop(
+    Scheduler &sched, const std::vector<Request> &trace, int window);
+
+/**
+ * Open-loop replay: submit each request when its scaled arrival
+ * offset elapses (time_scale 0 submits the whole trace at once).
+ * Returns results in trace order after draining.
+ */
+std::vector<RequestResult> replayTrace(
+    Scheduler &sched, const std::vector<Request> &trace,
+    double time_scale = 1.0);
+
+} // namespace serve
+} // namespace sofa
+
+#endif // SOFA_SERVE_SCHEDULER_H

@@ -84,5 +84,22 @@ TEST(Summary, GeomeanLessOrEqualMean)
     EXPECT_LE(geomean(v), mean(v));
 }
 
+TEST(Summary, Percentile)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+    // 0..9: linear interpolation between order statistics.
+    std::vector<double> v;
+    for (int i = 9; i >= 0; --i) // unsorted on purpose
+        v.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 4.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.95), 8.55);
+    // Out-of-range p clamps instead of reading out of bounds.
+    EXPECT_DOUBLE_EQ(percentile(v, -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 2.0), 9.0);
+}
+
 } // namespace
 } // namespace sofa

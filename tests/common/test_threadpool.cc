@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -209,6 +212,98 @@ TEST(ThreadPool, ZeroRowsIsANoop)
     EXPECT_EQ(calls, 0);
     parallelForRows(0, 1, [&](std::size_t, std::size_t) { ++calls; });
     EXPECT_EQ(calls, 0);
+}
+
+TEST(TaskQueue, RunsEverySubmittedTask)
+{
+    TaskQueue q(3);
+    EXPECT_EQ(q.workers(), 3);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 20; ++i)
+        futs.push_back(q.submit([&done] { ++done; }));
+    q.wait();
+    EXPECT_EQ(done.load(), 20);
+    EXPECT_EQ(q.pending(), 0u);
+    for (auto &f : futs)
+        f.get(); // no exceptions stored
+}
+
+TEST(TaskQueue, ExceptionIsCapturedInTheFuture)
+{
+    TaskQueue q(2);
+    struct TaskError
+    {
+    };
+    std::future<void> bad =
+        q.submit([] { throw TaskError{}; });
+    std::atomic<int> ok{0};
+    std::future<void> good = q.submit([&ok] { ++ok; });
+    EXPECT_THROW(bad.get(), TaskError);
+    good.get(); // the queue survives a throwing task
+    EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(TaskQueue, ConcurrencyNeverExceedsWorkers)
+{
+    TaskQueue q(2);
+    std::atomic<int> running{0}, high{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 8; ++i)
+        futs.push_back(q.submit([&] {
+            const int now = ++running;
+            int seen = high.load();
+            while (now > seen &&
+                   !high.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            --running;
+        }));
+    q.wait();
+    EXPECT_LE(high.load(), 2);
+    EXPECT_GE(high.load(), 1);
+}
+
+TEST(TaskQueue, TasksMayUseParallelFor)
+{
+    // The serve scheduler's pattern: asynchronous tasks that each
+    // run a pool-sharded computation. Concurrent top-level
+    // parallelFor calls serialize per epoch and stay correct.
+    ThreadPool pool(4);
+    TaskQueue q(2);
+    std::vector<std::vector<int>> out(4, std::vector<int>(100, 0));
+    std::vector<std::future<void>> futs;
+    for (int t = 0; t < 4; ++t)
+        futs.push_back(q.submit([&pool, &out, t] {
+            pool.parallelFor(100, 1,
+                             [&out, t](std::size_t b, std::size_t e,
+                                       int) {
+                                 for (std::size_t i = b; i < e; ++i)
+                                     out[static_cast<std::size_t>(
+                                         t)][i] = t + 1;
+                             });
+        }));
+    for (auto &f : futs)
+        f.get();
+    for (int t = 0; t < 4; ++t)
+        for (int v : out[static_cast<std::size_t>(t)])
+            ASSERT_EQ(v, t + 1);
+}
+
+TEST(TaskQueue, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        TaskQueue q(1);
+        for (int i = 0; i < 5; ++i)
+            q.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++done;
+            });
+    } // dtor waits for all five
+    EXPECT_EQ(done.load(), 5);
 }
 
 TEST(GrainForRowCost, ScalesInverselyWithRowCost)

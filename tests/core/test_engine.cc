@@ -239,6 +239,85 @@ TEST(Engine, StageNamesInPipelineOrder)
     EXPECT_EQ(names[4], "quality");
 }
 
+TEST(EngineRun, StepwiseMatchesWholeRun)
+{
+    const auto mw = generateModelWorkload(gridSpec());
+    EngineConfig cfg;
+    cfg.pipeline.topkFrac = 0.2;
+    Engine engine(cfg);
+    const EngineResult whole = engine.run(mw);
+
+    std::vector<HeadTask> tasks;
+    for (int b = 0; b < mw.batch(); ++b)
+        for (int h = 0; h < mw.heads(); ++h) {
+            HeadTask t;
+            t.workload = &mw.head(b, h);
+            t.batch = b;
+            t.head = h;
+            tasks.push_back(t);
+        }
+    EngineRun run(engine, tasks);
+    EXPECT_EQ(run.stageCount(), 5u);
+    std::size_t steps = 0;
+    while (!run.done()) {
+        EXPECT_EQ(run.nextStage(), steps);
+        EXPECT_STREQ(run.nextStageName(),
+                     engine.stageNames()[steps].c_str());
+        run.step();
+        ++steps;
+    }
+    EXPECT_EQ(steps, run.stageCount());
+    EXPECT_EQ(run.nextStageName(), nullptr);
+    const EngineResult stepped = run.finish();
+
+    ASSERT_EQ(stepped.heads.size(), whole.heads.size());
+    for (std::size_t i = 0; i < stepped.heads.size(); ++i)
+        expectSameResult(stepped.heads[i].result,
+                         whole.heads[i].result);
+    EXPECT_EQ(stepped.totalOps().total(), whole.totalOps().total());
+    EXPECT_DOUBLE_EQ(stepped.meanMassRecall, whole.meanMassRecall);
+}
+
+TEST(EngineRun, FinishRunsRemainingStages)
+{
+    const auto mw = generateModelWorkload(gridSpec(1, 2));
+    Engine engine{EngineConfig{}};
+    std::vector<HeadTask> tasks;
+    for (int h = 0; h < 2; ++h) {
+        HeadTask t;
+        t.workload = &mw.head(0, h);
+        t.head = h;
+        tasks.push_back(t);
+    }
+    EngineRun run(engine, tasks);
+    run.step(); // one stage by hand, finish() does the rest
+    const EngineResult res = run.finish();
+    const EngineResult whole = engine.run(mw);
+    ASSERT_EQ(res.heads.size(), whole.heads.size());
+    for (std::size_t i = 0; i < res.heads.size(); ++i)
+        expectSameResult(res.heads[i].result,
+                         whole.heads[i].result);
+}
+
+TEST(EngineRun, AggregateHeadResultsMatchesRunAggregate)
+{
+    const auto mw = generateModelWorkload(gridSpec());
+    const EngineResult whole = runEngine(mw, EngineConfig{});
+    // Re-aggregating the same heads reproduces every summary field.
+    EngineResult again = aggregateHeadResults(whole.heads);
+    EXPECT_EQ(again.totalOps().total(), whole.totalOps().total());
+    EXPECT_EQ(again.keysGenerated, whole.keysGenerated);
+    EXPECT_EQ(again.keysCached, whole.keysCached);
+    EXPECT_DOUBLE_EQ(again.meanMassRecall, whole.meanMassRecall);
+    EXPECT_DOUBLE_EQ(again.meanTopkRecall, whole.meanTopkRecall);
+    EXPECT_DOUBLE_EQ(again.maxOutputRelError,
+                     whole.maxOutputRelError);
+    // And the empty aggregate is all zeros.
+    const EngineResult empty = aggregateHeadResults({});
+    EXPECT_EQ(empty.totalOps().total(), 0);
+    EXPECT_DOUBLE_EQ(empty.meanMassRecall, 0.0);
+}
+
 TEST(Engine, DeterministicAcrossRuns)
 {
     const auto mw = generateModelWorkload(gridSpec());

@@ -91,6 +91,55 @@ TEST(Scenarios, ModeNames)
                  "speculative");
 }
 
+TEST(ArrivalTimes, UniformIsAConstantGrid)
+{
+    const auto t = arrivalTimes(ArrivalPattern::Uniform, 4, 0.5, 1);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+    EXPECT_DOUBLE_EQ(t[1], 0.5);
+    EXPECT_DOUBLE_EQ(t[3], 1.5);
+}
+
+TEST(ArrivalTimes, PoissonDeterministicAndNondecreasing)
+{
+    const auto a =
+        arrivalTimes(ArrivalPattern::Poisson, 64, 0.01, 42);
+    const auto b =
+        arrivalTimes(ArrivalPattern::Poisson, 64, 0.01, 42);
+    const auto c =
+        arrivalTimes(ArrivalPattern::Poisson, 64, 0.01, 43);
+    EXPECT_EQ(a, b);  // same seed, same trace
+    EXPECT_NE(a, c);  // different seed, different trace
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GE(a[i], a[i - 1]);
+    // The mean gap tracks the requested one (loose: 64 samples).
+    const double mean_gap = a.back() / 63.0;
+    EXPECT_GT(mean_gap, 0.002);
+    EXPECT_LT(mean_gap, 0.05);
+}
+
+TEST(ArrivalTimes, BurstPacksSimultaneousGroups)
+{
+    const auto t = arrivalTimes(ArrivalPattern::Burst, 8, 0.25, 7,
+                                /*burst=*/4);
+    ASSERT_EQ(t.size(), 8u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(t[static_cast<std::size_t>(i)], 0.0);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(t[static_cast<std::size_t>(i)], 1.0);
+}
+
+TEST(ArrivalTimes, PatternNames)
+{
+    EXPECT_STREQ(arrivalPatternName(ArrivalPattern::Uniform),
+                 "uniform");
+    EXPECT_STREQ(arrivalPatternName(ArrivalPattern::Poisson),
+                 "poisson");
+    EXPECT_STREQ(arrivalPatternName(ArrivalPattern::Burst),
+                 "burst");
+}
+
 TEST(ScenariosDeath, BadAcceptanceRate)
 {
     auto s = make(ServingMode::SpeculativeDecode);

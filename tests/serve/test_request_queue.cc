@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "serve/request_queue.h"
+
+namespace sofa {
+namespace serve {
+namespace {
+
+/** A pending entry whose request has the given footprint. */
+PendingRequest
+pending(std::uint64_t id, int heads = 2, int context = 64)
+{
+    PendingRequest p;
+    p.request.id = id;
+    p.request.work.batch = 1;
+    p.request.work.heads = heads;
+    p.request.work.seq = context;
+    return p;
+}
+
+TEST(RequestQueue, FifoOrderAndBudgetedBatches)
+{
+    RequestQueue q(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.push(pending(i, /*heads=*/2)));
+    EXPECT_EQ(q.size(), 5u);
+
+    // Head budget 4 => two 2-head requests per batch, FIFO order.
+    auto b1 = q.popBatch(/*head_budget=*/4, /*token_budget=*/1 << 20);
+    ASSERT_EQ(b1.size(), 2u);
+    EXPECT_EQ(b1[0].request.id, 0u);
+    EXPECT_EQ(b1[1].request.id, 1u);
+    auto b2 = q.popBatch(4, 1 << 20);
+    ASSERT_EQ(b2.size(), 2u);
+    EXPECT_EQ(b2[0].request.id, 2u);
+    auto b3 = q.popBatch(4, 1 << 20);
+    ASSERT_EQ(b3.size(), 1u);
+    EXPECT_EQ(b3[0].request.id, 4u);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, TokenBudgetBoundsAggregation)
+{
+    RequestQueue q(16);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(q.push(pending(i, 1, /*context=*/100)));
+    // 250 tokens fit two 100-token requests, not three.
+    auto b = q.popBatch(/*head_budget=*/100, /*token_budget=*/250);
+    EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(RequestQueue, OversizeHeadOfLineStillDispatches)
+{
+    RequestQueue q(4);
+    ASSERT_TRUE(q.push(pending(0, /*heads=*/32, /*context=*/4096)));
+    ASSERT_TRUE(q.push(pending(1, 1, 16)));
+    // The first request exceeds both budgets on its own; it must
+    // dispatch alone rather than starve.
+    auto b = q.popBatch(/*head_budget=*/2, /*token_budget=*/64);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0].request.id, 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, CapacityShedsAtPush)
+{
+    RequestQueue q(2);
+    EXPECT_TRUE(q.push(pending(0)));
+    EXPECT_TRUE(q.push(pending(1)));
+    PendingRequest extra = pending(2);
+    EXPECT_FALSE(q.push(std::move(extra)));
+    // Refusal leaves the entry intact for the caller to shed
+    // explicitly (the promise is still usable).
+    extra.promise.set_value(RequestResult{});
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.maxDepth(), 2u);
+}
+
+TEST(RequestQueue, CloseDrainsThenReturnsEmpty)
+{
+    RequestQueue q(4);
+    ASSERT_TRUE(q.push(pending(0)));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(pending(1))); // no admission after close
+    auto b = q.popBatch(8, 1 << 20);
+    EXPECT_EQ(b.size(), 1u); // admitted work still drains
+    auto empty = q.popBatch(8, 1 << 20);
+    EXPECT_TRUE(empty.empty()); // closed + drained: no blocking
+}
+
+} // namespace
+} // namespace serve
+} // namespace sofa
