@@ -24,6 +24,7 @@
 #include "core/engine.h"
 #include "model/config.h"
 #include "model/scenarios.h"
+#include "tensor/simd.h"
 
 namespace {
 
@@ -200,6 +201,79 @@ run(const bench::Options &opts, bench::Reporter &rep)
         rep.metric("prefill_serial_seconds", serial_s, "s").nocheck();
         rep.metric("prefill_thread_speedup", speedup, "ratio")
             .nocheck();
+    }
+
+    // Whole-engine SIMD dispatch: the same prefill run with the
+    // kernels forced scalar vs forced AVX2. Because every SIMD body
+    // is bit-identical to its scalar baseline, the two runs must
+    // agree on every output and op count (golden-gated bit); the
+    // speedup is the end-to-end win of the explicit-SIMD layer.
+    const auto sameEngineResults = [](const EngineResult &x,
+                                      const EngineResult &y) {
+        if (x.heads.size() != y.heads.size())
+            return false;
+        for (std::size_t i = 0; i < x.heads.size(); ++i) {
+            const HeadResult &a = x.heads[i];
+            const HeadResult &b = y.heads[i];
+            if (!(a.result.output == b.result.output &&
+                  a.result.selections == b.result.selections &&
+                  a.result.totalOps().total() ==
+                      b.result.totalOps().total() &&
+                  a.result.keysGenerated == b.result.keysGenerated))
+                return false;
+        }
+        return x.totalOps().total() == y.totalOps().total() &&
+               x.keysGenerated == y.keysGenerated;
+    };
+    if (prefill) {
+        const ModelWorkload mw = generateModelWorkload(prefill->spec);
+        EngineResult scalar_res, simd_res;
+        double scalar_s, simd_s;
+        {
+            simd::ScopedLevel lvl(simd::Level::Scalar);
+            scalar_s = timeBest(
+                [&] { scalar_res = runEngine(mw, ecfg); }, 0.25, 3);
+        }
+        {
+            simd::ScopedLevel lvl(simd::Level::Avx2);
+            simd_s = timeBest(
+                [&] { simd_res = runEngine(mw, ecfg); }, 0.25, 3);
+        }
+        const bool match = sameEngineResults(scalar_res, simd_res);
+        const double speedup = scalar_s / simd_s;
+        std::printf("engine simd dispatch (%s): scalar %.3fs vs "
+                    "simd %.3fs (%.2fx), results %s\n",
+                    simd::levelName(simd::detected()), scalar_s,
+                    simd_s, speedup,
+                    match ? "bit-exact" : "MISMATCH");
+        rep.metric("engine_simd_speedup", speedup, "ratio").nocheck();
+        rep.metric("engine_simd_match", match ? 1.0 : 0.0, "bool")
+            .tol(0.0);
+    }
+
+    // Static vs dynamic sharding: identical work, two schedulers.
+    // Results are bit-exact either way (canonical-order merges);
+    // the speedup shows what heaviest-first dynamic chunk claiming
+    // buys on the ragged mixed-scenario grid.
+    if (prefill) {
+        const ModelWorkload mw = generateModelWorkload(prefill->spec);
+        EngineConfig stat_cfg = ecfg, dyn_cfg = ecfg;
+        stat_cfg.dynamicSharding = false;
+        dyn_cfg.dynamicSharding = true;
+        EngineResult stat_res, dyn_res;
+        const double stat_s = timeBest(
+            [&] { stat_res = runEngine(mw, stat_cfg); }, 0.25, 3);
+        const double dyn_s = timeBest(
+            [&] { dyn_res = runEngine(mw, dyn_cfg); }, 0.25, 3);
+        const bool match = sameEngineResults(stat_res, dyn_res);
+        const double speedup = stat_s / dyn_s;
+        std::printf("engine sharding: static %.3fs vs dynamic %.3fs "
+                    "(%.2fx), results %s\n", stat_s, dyn_s, speedup,
+                    match ? "bit-exact" : "MISMATCH");
+        rep.metric("engine_dynamic_speedup", speedup, "ratio")
+            .nocheck();
+        rep.metric("engine_dynamic_match", match ? 1.0 : 0.0, "bool")
+            .tol(0.0);
     }
 
     // SU-FA inner-product kernel port: dotBlock vs the scalar

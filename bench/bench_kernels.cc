@@ -21,6 +21,7 @@
 #include "common/threadpool.h"
 #include "tensor/kernels.h"
 #include "tensor/matrix.h"
+#include "tensor/simd.h"
 
 namespace {
 
@@ -203,6 +204,87 @@ run(const bench::Options &opts, bench::Reporter &rep)
     std::printf("%s\n", t.render().c_str());
     std::printf("(transpose row reports GB/s, not GFLOP/s; 'x' "
                 "columns are speedup over the naive seed kernel)\n");
+
+    // Explicit-SIMD dispatch layer (tensor/simd): the AVX2 bodies of
+    // dotBlock / minmaxBlock / scanSurvivors against their scalar
+    // baselines. The dispatched results are bit-identical to scalar
+    // by construction, so the match bits are golden-gated at zero
+    // tolerance; the speedups are machine-dependent trajectory
+    // metrics (scalar-only hosts report 1.0x).
+    {
+        const std::size_t n = opts.quick ? (1u << 14) : (1u << 16);
+        const MatF va = randomMat(1, n, rng);
+        const MatF vb = randomMat(1, n, rng);
+        const float *a = va.rowPtr(0);
+        const float *b = vb.rowPtr(0);
+
+        double dot_scalar = 0.0, dot_simd = 0.0;
+        float mn_sc, mx_sc, mn_sd, mx_sd;
+        std::vector<std::int32_t> idx_sc(n), idx_sd(n);
+        std::size_t kept_sc = 0, kept_sd = 0;
+        float mid;
+        minmaxBlockScalar(a, n, &mn_sc, &mx_sc);
+        mid = 0.5f * (mn_sc + mx_sc);
+
+        double dot_scalar_s, dot_simd_s, mm_scalar_s, mm_simd_s,
+            scan_scalar_s, scan_simd_s;
+        {
+            simd::ScopedLevel lvl(simd::Level::Scalar);
+            dot_scalar_s = timeBest(
+                [&] { dot_scalar = dotBlock(a, b, n); }, 0.2, 8);
+            mm_scalar_s = timeBest(
+                [&] { minmaxBlock(a, n, &mn_sc, &mx_sc); }, 0.2, 8);
+            scan_scalar_s = timeBest(
+                [&] {
+                    kept_sc = simd::scanSurvivors(a, n, mid,
+                                                  idx_sc.data());
+                },
+                0.2, 8);
+        }
+        {
+            simd::ScopedLevel lvl(simd::Level::Avx2);
+            dot_simd_s = timeBest(
+                [&] { dot_simd = dotBlock(a, b, n); }, 0.2, 8);
+            mm_simd_s = timeBest(
+                [&] { minmaxBlock(a, n, &mn_sd, &mx_sd); }, 0.2, 8);
+            scan_simd_s = timeBest(
+                [&] {
+                    kept_sd = simd::scanSurvivors(a, n, mid,
+                                                  idx_sd.data());
+                },
+                0.2, 8);
+        }
+        const bool dot_exact = dot_scalar == dot_simd;
+        const bool mm_exact = mn_sc == mn_sd && mx_sc == mx_sd;
+        const bool scan_exact = kept_sc == kept_sd && idx_sc == idx_sd;
+        all_ok = all_ok && dot_exact && mm_exact && scan_exact;
+
+        std::printf("simd dispatch (%s, n=%zu): dotBlock %.2fx, "
+                    "minmaxBlock %.2fx, scanSurvivors %.2fx vs "
+                    "scalar; bit-exact %s/%s/%s\n",
+                    simd::levelName(simd::detected()), n,
+                    dot_scalar_s / dot_simd_s, mm_scalar_s / mm_simd_s,
+                    scan_scalar_s / scan_simd_s,
+                    dot_exact ? "yes" : "NO", mm_exact ? "yes" : "NO",
+                    scan_exact ? "yes" : "NO");
+
+        rep.metric("simd_avx2_detected",
+                   simd::detected() == simd::Level::Avx2 ? 1.0 : 0.0,
+                   "bool").nocheck();
+        rep.metric("dotblock_simd_speedup", dot_scalar_s / dot_simd_s,
+                   "ratio").nocheck();
+        rep.metric("minmax_simd_speedup", mm_scalar_s / mm_simd_s,
+                   "ratio").nocheck();
+        rep.metric("scan_simd_speedup", scan_scalar_s / scan_simd_s,
+                   "ratio").nocheck();
+        rep.metric("dotblock_simd_bitexact", dot_exact ? 1.0 : 0.0,
+                   "bool").tol(0.0);
+        rep.metric("minmax_simd_bitexact", mm_exact ? 1.0 : 0.0,
+                   "bool").tol(0.0);
+        rep.metric("scan_simd_match", scan_exact ? 1.0 : 0.0, "bool")
+            .tol(0.0);
+    }
+
     rep.metric("threads", threads, "count").nocheck();
     rep.metric("all_ok", all_ok ? 1.0 : 0.0, "bool").tol(0.0);
 

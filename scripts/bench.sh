@@ -17,6 +17,13 @@
 #   scripts/bench.sh --trajectory     # append timing metrics to
 #                                     # bench-results/trajectory.jsonl
 #                                     # and print deltas vs last run
+#   scripts/bench.sh --compare-baseline
+#                                     # print the simd-vs-scalar and
+#                                     # static-vs-dynamic speedup
+#                                     # columns from the BENCH_*.json
+#                                     # just produced (each binary
+#                                     # measures both paths in one
+#                                     # run, so no second sweep)
 #   scripts/bench.sh --threads 4      # pin the thread pool (passed
 #                                     # through to every binary)
 #
@@ -43,6 +50,7 @@ QUICK=""
 GOLDEN_DIFF=0
 UPDATE_GOLDENS=0
 TRAJECTORY=0
+COMPARE_BASELINE=0
 THREADS=()
 ONLY=()
 while [ $# -gt 0 ]; do
@@ -51,6 +59,7 @@ while [ $# -gt 0 ]; do
     --golden-diff) GOLDEN_DIFF=1 ;;
     --update-goldens) UPDATE_GOLDENS=1 ;;
     --trajectory) TRAJECTORY=1 ;;
+    --compare-baseline) COMPARE_BASELINE=1 ;;
     --threads)
         [ $# -ge 2 ] || { echo "--threads requires a count" >&2; exit 2; }
         THREADS=(--threads "$2"); shift ;;
@@ -94,8 +103,12 @@ for name in "${BENCHES[@]}"; do
     echo
 done
 
-if [ "$TRAJECTORY" = 1 ]; then
-    python3 scripts/trajectory_diff.py --results "$OUT_DIR" --append
+TRAJ_ARGS=()
+[ "$TRAJECTORY" = 1 ] && TRAJ_ARGS+=(--append)
+[ "$COMPARE_BASELINE" = 1 ] && TRAJ_ARGS+=(--compare-baseline)
+if [ ${#TRAJ_ARGS[@]} -gt 0 ]; then
+    python3 scripts/trajectory_diff.py --results "$OUT_DIR" \
+        "${TRAJ_ARGS[@]}"
 fi
 
 if [ "$UPDATE_GOLDENS" = 1 ]; then

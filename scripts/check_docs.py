@@ -11,9 +11,10 @@ Fails when the documentation drifts from the actual source tree:
   * docs/SERVING.md must cover every src/serve module, every
     serve::SchedulerConfig knob, and bench_serve (and must not
     mention modules that no longer exist);
-  * every src/serve header, plus src/core/engine.h and
-    src/model/model_workload.h, must carry the Units/assumptions
-    header-comment line (the PR-3 documentation convention).
+  * every src/serve header, plus src/common/threadpool.h,
+    src/core/engine.h and src/model/model_workload.h, must carry the
+    Units/assumptions header-comment line (the PR-3 documentation
+    convention).
 
 Run by CI's docs job and registered as the docs_sync CTest.
 """
@@ -89,6 +90,7 @@ def main():
 
     # --- Units/assumptions header-comment convention ------------
     units_files = sorted(glob.glob("src/serve/*.h")) + [
+        "src/common/threadpool.h",
         "src/core/engine.h",
         "src/model/model_workload.h",
     ]

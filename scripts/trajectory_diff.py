@@ -7,6 +7,12 @@ rot unobserved.  This script closes that gap:
 
   scripts/trajectory_diff.py --results bench-results [--append]
                              [--file bench-results/trajectory.jsonl]
+                             [--compare-baseline]
+
+--compare-baseline additionally renders the baseline-comparison
+columns (simd-vs-scalar and static-vs-dynamic speedups) straight
+from the current BENCH_*.json: each bench binary times both paths in
+a single run, so no second sweep is needed.
 
 With --append (what `scripts/bench.sh --trajectory` passes), one
 JSON line is appended to the trajectory file:
@@ -149,6 +155,41 @@ def print_percentiles(pm, lm):
         print(row)
 
 
+def print_baseline_compare(metrics):
+    """Group the *_speedup metrics into baseline-comparison columns.
+
+    Every bench binary that has a faster path also times the
+    baseline in the same run and reports the ratio as a nocheck
+    `*_speedup` metric, so the whole table comes from one sweep.
+    """
+    groups = {
+        "simd vs scalar": [],
+        "static vs dynamic sharding": [],
+        "threading / other": [],
+    }
+    for key in sorted(metrics):
+        if not key.endswith("_speedup"):
+            continue
+        if "simd" in key:
+            groups["simd vs scalar"].append(key)
+        elif "dynamic" in key:
+            groups["static vs dynamic sharding"].append(key)
+        else:
+            groups["threading / other"].append(key)
+    if not any(groups.values()):
+        print("compare-baseline: no *_speedup metrics in the "
+              "current results")
+        return
+    width = max(len(k) for keys in groups.values() for k in keys)
+    print("baseline comparison (current results, one run each):")
+    for title, keys in groups.items():
+        if not keys:
+            continue
+        print(f"  {title}:")
+        for key in keys:
+            print(f"    {key:<{width}}  {metrics[key]:.2f}x")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Append/diff the bench timing trajectory.")
@@ -159,10 +200,22 @@ def main():
                          "(default <results>/trajectory.jsonl)")
     ap.add_argument("--append", action="store_true",
                     help="append a new entry before diffing")
+    ap.add_argument("--compare-baseline", action="store_true",
+                    help="print simd-vs-scalar and static-vs-dynamic "
+                         "speedup columns from the current results")
     args = ap.parse_args()
 
     path = args.file or os.path.join(args.results,
                                      "trajectory.jsonl")
+    if args.compare_baseline:
+        if not os.path.isdir(args.results):
+            print(f"trajectory_diff: no results dir {args.results}",
+                  file=sys.stderr)
+            return 2
+        metrics, _ = collect(args.results)
+        print_baseline_compare(metrics)
+        if not args.append:
+            return 0
     if args.append:
         if not os.path.isdir(args.results):
             print(f"trajectory_diff: no results dir {args.results}",

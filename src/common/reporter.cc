@@ -201,7 +201,7 @@ benchMain(const char *name, RunFn fn, int argc, char **argv)
     // Apply --threads before any pool use; once the process-wide
     // pool exists the override cannot take effect.
     if (opts.threads > 0 &&
-        !ThreadPool::setDefaultThreads(opts.threads)) {
+        ThreadPool::setDefaultThreads(opts.threads) < 0) {
         std::fprintf(stderr,
                      "%s: --threads %d ignored (pool already "
                      "created)\n",

@@ -73,18 +73,29 @@ ThreadPool::~ThreadPool()
 ThreadPool &
 ThreadPool::instance()
 {
-    static ThreadPool pool(envThreads());
+    // Latch the flag *before* construction so a setDefaultThreads
+    // racing with the first instance() call is rejected rather than
+    // accepted-but-ignored.
     g_instance_created.store(true);
+    static ThreadPool pool(envThreads());
     return pool;
 }
 
-bool
+int
 ThreadPool::setDefaultThreads(int threads)
 {
-    if (threads < 1 || g_instance_created.load())
-        return false;
-    g_default_threads.store(threads);
-    return true;
+    if (threads < 0 || g_instance_created.load())
+        return -1;
+    const int clamped = std::min(threads, 256);
+    // exchange (not store) returns the previous override, which is
+    // what lets nested overrides restore it exactly; 0 clears.
+    return g_default_threads.exchange(clamped);
+}
+
+int
+ThreadPool::defaultThreadsOverride()
+{
+    return g_default_threads.load();
 }
 
 void
@@ -122,6 +133,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain,
             b += len;
         }
         job_ = &fn;
+        dynamic_ = false;
         done_ = 0;
         active_ = shards - 1;
         worker_error_ = nullptr;
@@ -164,6 +176,89 @@ ThreadPool::parallelFor(std::size_t n, std::size_t grain,
 }
 
 void
+ThreadPool::runDynamicChunks(const RangeFn &fn, std::size_t n,
+                             std::size_t grain, std::size_t chunks)
+{
+    for (;;) {
+        const std::size_t c =
+            dyn_next_.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks)
+            return;
+        const std::size_t b = c * grain;
+        fn(b, std::min(n, b + grain), static_cast<int>(c));
+    }
+}
+
+void
+ThreadPool::parallelForDynamic(std::size_t n, std::size_t grain,
+                               const RangeFn &fn)
+{
+    if (n == 0)
+        return;
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t chunks = (n + grain - 1) / grain;
+
+    if (chunks <= 1 || nthreads_ <= 1 || serialForced() ||
+        tl_in_parallel_region) {
+        // Serial path runs the *same* chunk grid in ascending order,
+        // so callers keeping per-chunk tallies see identical chunk
+        // shapes and indices in every execution mode.
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t b = c * grain;
+            fn(b, std::min(n, b + grain), static_cast<int>(c));
+        }
+        return;
+    }
+
+    std::lock_guard<std::mutex> serialize(run_mutex_);
+
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        job_ = &fn;
+        dynamic_ = true;
+        dyn_n_ = n;
+        dyn_grain_ = grain;
+        dyn_chunks_ = chunks;
+        dyn_next_.store(0, std::memory_order_relaxed);
+        done_ = 0;
+        active_ = nthreads_ - 1;
+        worker_error_ = nullptr;
+        ++epoch_;
+    }
+    wake_cv_.notify_all();
+
+    // Same drain discipline as parallelFor: workers reference fn
+    // through job_, so block until every worker reports done before
+    // unwinding can destroy the callable or release run_mutex_.
+    struct CompletionWait
+    {
+        ThreadPool &pool;
+        ~CompletionWait()
+        {
+            std::unique_lock<std::mutex> lk(pool.m_);
+            pool.done_cv_.wait(
+                lk, [&] { return pool.done_ == pool.active_; });
+            pool.job_ = nullptr;
+        }
+    } wait_for_workers{*this};
+
+    {
+        RegionGuard region;
+        runDynamicChunks(fn, n, grain, chunks);
+    }
+
+    std::exception_ptr worker_error;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        done_cv_.wait(lk, [&] { return done_ == active_; });
+        worker_error = worker_error_;
+        worker_error_ = nullptr;
+    }
+    if (worker_error)
+        std::rethrow_exception(worker_error);
+}
+
+void
 ThreadPool::workerLoop(int worker)
 {
     std::uint64_t seen = 0;
@@ -173,6 +268,32 @@ ThreadPool::workerLoop(int worker)
         if (stop_)
             return;
         seen = epoch_;
+        if (dynamic_) {
+            const RangeFn *job = job_;
+            const std::size_t n = dyn_n_;
+            const std::size_t grain = dyn_grain_;
+            const std::size_t chunks = dyn_chunks_;
+            lk.unlock();
+
+            std::exception_ptr error;
+            {
+                RegionGuard region;
+                try {
+                    runDynamicChunks(*job, n, grain, chunks);
+                } catch (...) {
+                    // Stop claiming chunks; the other participants
+                    // drain the rest of the grid.
+                    error = std::current_exception();
+                }
+            }
+
+            lk.lock();
+            if (error && !worker_error_)
+                worker_error_ = error;
+            if (++done_ == active_)
+                done_cv_.notify_one();
+            continue;
+        }
         const std::size_t shard =
             static_cast<std::size_t>(worker) + 1;
         if (shard >= ranges_.size())

@@ -13,6 +13,15 @@
  * the pool has a single thread, or inside an already-parallel region
  * (nested parallelism runs inline rather than deadlocking).
  *
+ * parallelFor splits the range into one static near-equal shard per
+ * participant; parallelForDynamic instead fixes a grain-sized chunk
+ * grid and lets every participant pull the next unclaimed chunk off
+ * an atomic counter (work stealing for ragged chunk costs). The
+ * chunk grid — and therefore every chunk's [begin, end) and index —
+ * is a pure function of (n, grain), never of the thread count or of
+ * which thread claimed what, so callers that keep per-chunk tallies
+ * and merge them in chunk order stay bit-exact at any concurrency.
+ *
  * TaskQueue adds the asynchronous counterpart: a FIFO of opaque
  * tasks drained by a small set of dedicated worker threads, for
  * callers (the serve/ scheduler's lanes) that need work *submitted*
@@ -20,11 +29,16 @@
  * concurrent top-level calls serialize on the pool and interleave
  * between epochs, which is what lets stages of independent engine
  * runs overlap.
+ *
+ * Units: thread counts are participants (the calling thread plus
+ * workers); n, grain, and shard/chunk boundaries are rows (work
+ * items); grainForRowCost takes flops per row.
  */
 
 #ifndef SOFA_COMMON_THREADPOOL_H
 #define SOFA_COMMON_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -62,12 +76,20 @@ class ThreadPool
 
     /**
      * Override the process-wide pool's thread count (wins over
-     * SOFA_NUM_THREADS; clamped to [1, 256]). Must run before the
-     * first instance() use — the bench CLI's --threads flag calls it
-     * at startup. Returns false (and changes nothing) once the pool
-     * exists.
+     * SOFA_NUM_THREADS; clamped to [1, 256]), or clear the override
+     * with @p threads == 0. Must run before the first instance() use
+     * — the bench CLI's --threads flag calls it at startup.
+     *
+     * Returns the *previous* override (0 = none was set) so nested
+     * overrides can restore it — pass the returned value back to undo
+     * — or -1 (changing nothing) once the pool exists or when
+     * @p threads is negative. ScopedDefaultThreads wraps the
+     * save/restore pattern.
      */
-    static bool setDefaultThreads(int threads);
+    static int setDefaultThreads(int threads);
+
+    /** Current override as last set (0 = none). */
+    static int defaultThreadsOverride();
 
     /** Total participants (calling thread + workers). */
     int threads() const { return nthreads_; }
@@ -90,9 +112,31 @@ class ThreadPool
                      const RangeFn &fn);
 
     /**
+     * Dynamic (work-stealing) variant: fix the chunk grid
+     * chunk c = [c*grain, min(n, (c+1)*grain)) for
+     * c in [0, ceil(n/grain)), then let the caller and every worker
+     * repeatedly claim the lowest unclaimed chunk via an atomic
+     * counter and run fn(begin, end, chunk_index) on it. Which
+     * participant runs a chunk is nondeterministic; the grid itself
+     * is not, so per-chunk accumulators merged in chunk order are
+     * bit-exact for any thread count. The serial path (single
+     * participant, forced serial, nested call, or a single chunk)
+     * runs the identical chunk grid in ascending order on the
+     * caller.
+     *
+     * Exception-safe like parallelFor: a throwing participant stops
+     * claiming chunks while the others drain the grid; the caller's
+     * own exception wins over a stored worker exception.
+     */
+    void parallelForDynamic(std::size_t n, std::size_t grain,
+                            const RangeFn &fn);
+
+    /**
      * RAII guard forcing every parallelFor into the serial path while
      * alive. Used by determinism tests to compare threaded results
      * against a bit-exact serial execution within one process.
+     * Guards nest (a depth count), and serial forcing is independent
+     * of the default-thread-count override below.
      */
     class ScopedSerial
     {
@@ -106,6 +150,33 @@ class ThreadPool
     /** True while any ScopedSerial guard is alive. */
     static bool serialForced();
 
+    /**
+     * RAII default-thread-count override: installs @p threads via
+     * setDefaultThreads and restores the previous override (not
+     * simply "no override") on destruction, so nested guards compose.
+     * Arms only when setDefaultThreads accepted the change; once the
+     * process-wide pool exists the guard is a no-op.
+     */
+    class ScopedDefaultThreads
+    {
+      public:
+        explicit ScopedDefaultThreads(int threads)
+            : prev_(setDefaultThreads(threads))
+        {
+        }
+        ~ScopedDefaultThreads()
+        {
+            if (prev_ >= 0)
+                setDefaultThreads(prev_);
+        }
+        ScopedDefaultThreads(const ScopedDefaultThreads &) = delete;
+        ScopedDefaultThreads &
+        operator=(const ScopedDefaultThreads &) = delete;
+
+      private:
+        int prev_; ///< previous override; -1 = change was rejected
+    };
+
   private:
     struct Range
     {
@@ -114,6 +185,8 @@ class ThreadPool
     };
 
     void workerLoop(int worker);
+    void runDynamicChunks(const RangeFn &fn, std::size_t n,
+                          std::size_t grain, std::size_t chunks);
 
     const int nthreads_;
     std::vector<std::thread> workers_;
@@ -130,6 +203,12 @@ class ThreadPool
     int done_ = 0;
     std::uint64_t epoch_ = 0;
     bool stop_ = false;
+
+    bool dynamic_ = false; ///< current epoch uses the chunk counter
+    std::size_t dyn_n_ = 0;
+    std::size_t dyn_grain_ = 1;
+    std::size_t dyn_chunks_ = 0;
+    std::atomic<std::size_t> dyn_next_{0}; ///< next unclaimed chunk
 };
 
 /**

@@ -1,9 +1,15 @@
 #include "core/dlzs.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "tensor/simd.h"
+
+#if SOFA_SIMD_COMPILED_AVX2
+#include <immintrin.h>
+#endif
 
 namespace sofa {
 
@@ -74,8 +80,8 @@ dlzsProduct(std::int64_t x, int /*x_width*/, LzCode y, int y_width)
 }
 
 MatI64
-dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
-                OpCounter *ops)
+dlzsKPredictionScalar(const MatI8 &tokens, const LzMatrix &wk_lz,
+                      OpCounter *ops)
 {
     SOFA_ASSERT(tokens.cols() == wk_lz.rows());
     SOFA_ASSERT(wk_lz.width == 8);
@@ -108,8 +114,8 @@ dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
 }
 
 MatI64
-dlzsAPrediction(const LzMatrix &q_lz, const MatI16 &k_hat,
-                OpCounter *ops)
+dlzsAPredictionScalar(const LzMatrix &q_lz, const MatI16 &k_hat,
+                      OpCounter *ops)
 {
     SOFA_ASSERT(q_lz.cols() == k_hat.cols());
     SOFA_ASSERT(q_lz.width == 16);
@@ -139,6 +145,256 @@ dlzsAPrediction(const LzMatrix &q_lz, const MatI16 &k_hat,
         }
     }
     return a_hat;
+}
+
+#if SOFA_SIMD_COMPILED_AVX2
+
+// The AVX2 prediction bodies work in four-wide int64 lanes: the
+// largest magnitude a DLZS product can reach is 2^15 << 16 = 2^31
+// (A-prediction with k = INT16_MIN and LZ = 0), which overflows
+// int32 but sits comfortably in int64, and vpsllvq gives the
+// per-lane variable shift Eq. 1c needs. All accumulation is
+// two's-complement addition, so lane order never changes a result:
+// the vector paths are bit-identical to the Scalar baselines, and op
+// tallies are reconstructed exactly from the zero-lane counts.
+
+namespace {
+
+static_assert(sizeof(LzCode) == 2, "LzCode must pack sign+lz bytes");
+static_assert(offsetof(LzCode, sign) == 0 && offsetof(LzCode, lz) == 1,
+              "LzCode byte layout assumed by the AVX2 decode");
+
+/** Integer horizontal sum; int64 addition commutes, any order. */
+SOFA_TARGET_AVX2 inline std::int64_t
+hsumEpi64(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const __m128i s = _mm_add_epi64(lo, hi);
+    return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+/** |x| per int64 lane (values far from INT64_MIN here). */
+SOFA_TARGET_AVX2 inline __m256i
+absEpi64(__m256i x)
+{
+    const __m256i neg =
+        _mm256_cmpgt_epi64(_mm256_setzero_si256(), x);
+    return _mm256_sub_epi64(_mm256_xor_si256(x, neg), neg);
+}
+
+/** Negate lanes of @p v where @p flip is all-ones. */
+SOFA_TARGET_AVX2 inline __m256i
+negateWhere(__m256i v, __m256i flip)
+{
+    return _mm256_sub_epi64(_mm256_xor_si256(v, flip), flip);
+}
+
+/** Four consecutive LzCodes decoded to int64 lanes: sign-negative
+ * mask, zero mask (sign == 0), and the lz field zero-extended. */
+struct Codes4
+{
+    __m256i signNeg;
+    __m256i zero;
+    __m256i lz;
+};
+
+SOFA_TARGET_AVX2 inline Codes4
+loadCodes4(const LzCode *codes)
+{
+    const __m128i raw = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(codes));
+    const __m128i sign_shuf = _mm_setr_epi8(
+        0, 2, 4, 6, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m128i lz_shuf = _mm_setr_epi8(
+        1, 3, 5, 7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i sign64 = _mm256_cvtepi8_epi64(
+        _mm_shuffle_epi8(raw, sign_shuf));
+    Codes4 c;
+    c.signNeg =
+        _mm256_cmpgt_epi64(_mm256_setzero_si256(), sign64);
+    c.zero =
+        _mm256_cmpeq_epi64(sign64, _mm256_setzero_si256());
+    c.lz = _mm256_cvtepu8_epi64(_mm_shuffle_epi8(raw, lz_shuf));
+    return c;
+}
+
+SOFA_TARGET_AVX2 inline int
+popcountMask4(__m256i lane_mask)
+{
+    return __builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(lane_mask))));
+}
+
+SOFA_TARGET_AVX2 MatI64
+dlzsKPredictionAvx2(const MatI8 &tokens, const LzMatrix &wk_lz,
+                    OpCounter *ops)
+{
+    const std::size_t S = tokens.rows();
+    const std::size_t n = tokens.cols();
+    const std::size_t d = wk_lz.cols();
+
+    MatI64 k_hat(S, d, 0);
+    std::int64_t skips = 0;  // zero-eliminated pairs (cmp each)
+    std::int64_t active = 0; // shifted-and-accumulated pairs
+    const __m256i w_width = _mm256_set1_epi64x(8);
+    for (std::size_t i = 0; i < S; ++i) {
+        const std::int8_t *xi = tokens.rowPtr(i);
+        std::int64_t *acc = k_hat.rowPtr(i);
+        // i-t-j order: codes row t is contiguous over j, and int64
+        // accumulation into the k_hat row commutes with the scalar
+        // baseline's i-j-t order.
+        for (std::size_t t = 0; t < n; ++t) {
+            const std::int64_t x = xi[t];
+            if (x == 0) {
+                skips += static_cast<std::int64_t>(d);
+                continue;
+            }
+            const __m256i xmag =
+                _mm256_set1_epi64x(x < 0 ? -x : x);
+            const __m256i xneg =
+                _mm256_set1_epi64x(x < 0 ? -1 : 0);
+            const LzCode *row = wk_lz.codes.rowPtr(t);
+            std::int64_t zeros_t = 0;
+            std::size_t j = 0;
+            for (; j + 4 <= d; j += 4) {
+                const Codes4 c = loadCodes4(row + j);
+                const __m256i exp =
+                    _mm256_sub_epi64(w_width, c.lz);
+                const __m256i mag =
+                    _mm256_sllv_epi64(xmag, exp);
+                const __m256i val = _mm256_andnot_si256(
+                    c.zero,
+                    negateWhere(
+                        mag, _mm256_xor_si256(xneg, c.signNeg)));
+                const __m256i prev = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(acc + j));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(acc + j),
+                    _mm256_add_epi64(prev, val));
+                zeros_t += popcountMask4(c.zero);
+            }
+            std::int64_t act_t =
+                static_cast<std::int64_t>(j) - zeros_t;
+            for (; j < d; ++j) {
+                const LzCode w = row[j];
+                if (w.isZero()) {
+                    ++zeros_t;
+                    continue;
+                }
+                acc[j] += dlzsProduct(x, 8, w, 8);
+                ++act_t;
+            }
+            skips += zeros_t;
+            active += act_t;
+        }
+    }
+    if (ops) {
+        ops->cmpN(skips);
+        ops->shiftN(active);
+        ops->addN(active);
+    }
+    return k_hat;
+}
+
+SOFA_TARGET_AVX2 MatI64
+dlzsAPredictionAvx2(const LzMatrix &q_lz, const MatI16 &k_hat,
+                    OpCounter *ops)
+{
+    const std::size_t T = q_lz.rows();
+    const std::size_t S = k_hat.rows();
+    const std::size_t d = k_hat.cols();
+
+    MatI64 a_hat(T, S, 0);
+    std::int64_t skips = 0;
+    std::int64_t active = 0;
+    const __m256i q_width = _mm256_set1_epi64x(16);
+    const __m256i zero = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < T; ++i) {
+        const LzCode *qrow = q_lz.codes.rowPtr(i);
+        for (std::size_t j = 0; j < S; ++j) {
+            const std::int16_t *kj = k_hat.rowPtr(j);
+            __m256i vacc = zero;
+            std::int64_t zeros_ij = 0;
+            std::size_t t = 0;
+            for (; t + 4 <= d; t += 4) {
+                const __m256i k64 =
+                    _mm256_cvtepi16_epi64(_mm_loadl_epi64(
+                        reinterpret_cast<const __m128i *>(kj +
+                                                          t)));
+                const Codes4 c = loadCodes4(qrow + t);
+                const __m256i kzero =
+                    _mm256_cmpeq_epi64(k64, zero);
+                const __m256i skip =
+                    _mm256_or_si256(kzero, c.zero);
+                const __m256i kneg =
+                    _mm256_cmpgt_epi64(zero, k64);
+                const __m256i exp =
+                    _mm256_sub_epi64(q_width, c.lz);
+                const __m256i mag =
+                    _mm256_sllv_epi64(absEpi64(k64), exp);
+                const __m256i val = _mm256_andnot_si256(
+                    skip,
+                    negateWhere(
+                        mag, _mm256_xor_si256(kneg, c.signNeg)));
+                vacc = _mm256_add_epi64(vacc, val);
+                zeros_ij += popcountMask4(skip);
+            }
+            std::int64_t acc = hsumEpi64(vacc);
+            std::int64_t act_ij =
+                static_cast<std::int64_t>(t) - zeros_ij;
+            for (; t < d; ++t) {
+                const LzCode qc = qrow[t];
+                if (kj[t] == 0 || qc.isZero()) {
+                    ++zeros_ij;
+                    continue;
+                }
+                acc += dlzsProduct(kj[t], 16, qc, 16);
+                ++act_ij;
+            }
+            a_hat(i, j) = acc;
+            skips += zeros_ij;
+            active += act_ij;
+        }
+    }
+    if (ops) {
+        ops->cmpN(skips);
+        ops->shiftN(active);
+        ops->addN(active);
+    }
+    return a_hat;
+}
+
+} // namespace
+
+#endif // SOFA_SIMD_COMPILED_AVX2
+
+MatI64
+dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
+                OpCounter *ops)
+{
+#if SOFA_SIMD_COMPILED_AVX2
+    if (simd::active() == simd::Level::Avx2) {
+        SOFA_ASSERT(tokens.cols() == wk_lz.rows());
+        SOFA_ASSERT(wk_lz.width == 8);
+        return dlzsKPredictionAvx2(tokens, wk_lz, ops);
+    }
+#endif
+    return dlzsKPredictionScalar(tokens, wk_lz, ops);
+}
+
+MatI64
+dlzsAPrediction(const LzMatrix &q_lz, const MatI16 &k_hat,
+                OpCounter *ops)
+{
+#if SOFA_SIMD_COMPILED_AVX2
+    if (simd::active() == simd::Level::Avx2) {
+        SOFA_ASSERT(q_lz.cols() == k_hat.cols());
+        SOFA_ASSERT(q_lz.width == 16);
+        return dlzsAPredictionAvx2(q_lz, k_hat, ops);
+    }
+#endif
+    return dlzsAPredictionScalar(q_lz, k_hat, ops);
 }
 
 std::int64_t

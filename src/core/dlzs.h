@@ -85,9 +85,18 @@ std::int64_t dlzsProduct(std::int64_t x, int x_width, LzCode y,
  * @param ops     charged shifts/adds only (no multiplies) plus the
  *                zero-eliminator comparisons
  * @return int64 accumulators [S x d] (caller truncates to 16 bit)
+ *
+ * Runtime-dispatched (tensor/simd.h): the AVX2 body vectorizes the
+ * shift-accumulate over contiguous weight-code rows. Accumulation is
+ * two's-complement int64 addition — associative and commutative — so
+ * the result and the OpCounter totals are bit-identical to the
+ * Scalar baseline, which keeps the seed's loop nest verbatim.
  */
 MatI64 dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
                        OpCounter *ops = nullptr);
+MatI64 dlzsKPredictionScalar(const MatI8 &tokens,
+                             const LzMatrix &wk_lz,
+                             OpCounter *ops = nullptr);
 
 /**
  * Phase 1.2 — A-hat = Q * K-hat^T with Q runtime-converted to LZ.
@@ -95,9 +104,15 @@ MatI64 dlzsKPrediction(const MatI8 &tokens, const LzMatrix &wk_lz,
  * @param q_lz   LZ-encoded queries [T x d] (16-bit source)
  * @param k_hat  truncated K-hat [S x d]
  * @return int64 score estimates [T x S]
+ *
+ * Runtime-dispatched like dlzsKPrediction; bit-identical to the
+ * Scalar baseline (including op totals) at every dispatch level.
  */
 MatI64 dlzsAPrediction(const LzMatrix &q_lz, const MatI16 &k_hat,
                        OpCounter *ops = nullptr);
+MatI64 dlzsAPredictionScalar(const LzMatrix &q_lz,
+                             const MatI16 &k_hat,
+                             OpCounter *ops = nullptr);
 
 /**
  * Vanilla leading-zero baseline (Fig. 7(b) top): both operands are

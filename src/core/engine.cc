@@ -44,19 +44,100 @@ struct RowUnit
     std::size_t end;
 };
 
-/** Shard [0, n) units across the pool, one call per unit. Grain is
- * 1: units are whole heads or row tiles, both heavyweight. */
+/**
+ * Visit order for a stage's units. Static sharding iterates units in
+ * their natural (canonical) order; dynamic sharding visits them
+ * heaviest-first by the stage's cost estimate, so the atomic-counter
+ * scheduler starts the long poles early and back-fills with cheap
+ * units (the Tailors lesson: size for the common case, recover
+ * data-dependently). The order only decides *scheduling* — per-unit
+ * outputs and tallies are still indexed and merged by the canonical
+ * unit id, so results are bit-exact for any order.
+ */
+std::vector<std::size_t>
+costOrder(const std::vector<double> &cost)
+{
+    std::vector<std::size_t> order(cost.size());
+    for (std::size_t u = 0; u < order.size(); ++u)
+        order[u] = u;
+    std::stable_sort(order.begin(), order.end(),
+                     [&cost](std::size_t a, std::size_t b) {
+                         return cost[a] > cost[b];
+                     });
+    return order;
+}
+
+/** Approximate arithmetic cost of one head's prediction/KV work. */
+double
+headCost(const AttentionWorkload &w)
+{
+    const double seq = static_cast<double>(w.spec.seq);
+    const double rows = static_cast<double>(w.q.rows());
+    const double dim = static_cast<double>(w.spec.headDim);
+    return seq * static_cast<double>(w.spec.tokenDim) * dim +
+           rows * seq * dim;
+}
+
+/** Cost estimates for whole-head units. */
+std::vector<double>
+headCosts(const EngineState &st)
+{
+    std::vector<double> cost(st.tasks.size());
+    for (std::size_t i = 0; i < st.tasks.size(); ++i)
+        cost[i] = headCost(*st.tasks[i].workload);
+    return cost;
+}
+
+/** Cost estimates for row-tile units (rows x context width). */
+std::vector<double>
+unitCosts(const EngineState &st, const std::vector<RowUnit> &units)
+{
+    std::vector<double> cost(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        const RowUnit &ru = units[u];
+        cost[u] = static_cast<double>(ru.end - ru.begin) *
+                  static_cast<double>(
+                      st.tasks[ru.head].workload->spec.seq);
+    }
+    return cost;
+}
+
+/**
+ * Shard @p order.size() units across the pool, one fn(unit_id) call
+ * per unit, via the config's scheduler. Grain is 1: units are whole
+ * heads or row tiles, both heavyweight. Dynamic mode claims units
+ * off the pool's atomic chunk counter in @p order; static mode runs
+ * the classic near-equal contiguous split over the same order.
+ */
 template <typename Fn>
 void
-forEachUnit(ThreadPool &pool, std::size_t n, const Fn &fn)
+forEachUnit(EngineState &st, const std::vector<std::size_t> &order,
+            const Fn &fn)
 {
-    if (n == 0)
+    if (order.empty())
         return;
-    pool.parallelFor(n, 1,
-                     [&fn](std::size_t b, std::size_t e, int) {
-                         for (std::size_t u = b; u < e; ++u)
-                             fn(u);
-                     });
+    const auto body = [&fn, &order](std::size_t b, std::size_t e,
+                                    int) {
+        for (std::size_t u = b; u < e; ++u)
+            fn(order[u]);
+    };
+    if (st.cfg.dynamicSharding)
+        st.pool.parallelForDynamic(order.size(), 1, body);
+    else
+        st.pool.parallelFor(order.size(), 1, body);
+}
+
+/** Unit order for a stage: cost-sorted when dynamic, natural when
+ * static (the seed's behavior). */
+std::vector<std::size_t>
+stageOrder(const EngineState &st, std::vector<double> cost)
+{
+    if (st.cfg.dynamicSharding)
+        return costOrder(cost);
+    std::vector<std::size_t> order(cost.size());
+    for (std::size_t u = 0; u < order.size(); ++u)
+        order[u] = u;
+    return order;
 }
 
 /** Row tiles of every head, in (head, row) order. */
@@ -83,11 +164,15 @@ class DlzsStage : public Stage
     void
     run(EngineState &st) const override
     {
-        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
-            const AttentionWorkload &w = *st.tasks[i].workload;
-            st.preds[i] = dlzsPredict(w.tokens, w.wk, w.q);
-            st.heads[i].result.predictionOps = st.preds[i].ops;
-        });
+        forEachUnit(st, stageOrder(st, headCosts(st)),
+                    [&st](std::size_t i) {
+                        const AttentionWorkload &w =
+                            *st.tasks[i].workload;
+                        st.preds[i] =
+                            dlzsPredict(w.tokens, w.wk, w.q);
+                        st.heads[i].result.predictionOps =
+                            st.preds[i].ops;
+                    });
     }
 };
 
@@ -102,13 +187,15 @@ class SadsStage : public Stage
     {
         const std::vector<RowUnit> units = rowUnits(st);
         std::vector<OpCounter> unit_ops(units.size());
-        forEachUnit(st.pool, units.size(), [&](std::size_t u) {
-            const RowUnit &ru = units[u];
-            sadsTopKRows(st.preds[ru.head].scoresHat,
-                         st.keep[ru.head],
-                         st.cfg.pipeline.sads, ru.begin, ru.end,
-                         &st.sads[ru.head].rows, &unit_ops[u]);
-        });
+        forEachUnit(st, stageOrder(st, unitCosts(st, units)),
+                    [&](std::size_t u) {
+                        const RowUnit &ru = units[u];
+                        sadsTopKRows(st.preds[ru.head].scoresHat,
+                                     st.keep[ru.head],
+                                     st.cfg.pipeline.sads, ru.begin,
+                                     ru.end, &st.sads[ru.head].rows,
+                                     &unit_ops[u]);
+                    });
         // Per-shard tallies merge with integer addition in unit
         // order — order-independent, so equal to a serial run.
         for (std::size_t u = 0; u < units.size(); ++u)
@@ -129,7 +216,8 @@ class KvStage : public Stage
     void
     run(EngineState &st) const override
     {
-        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
+        forEachUnit(st, stageOrder(st, headCosts(st)),
+                    [&st](std::size_t i) {
             const HeadTask &task = st.tasks[i];
             const AttentionWorkload &w = *task.workload;
             HeadResult &hr = st.heads[i];
@@ -169,7 +257,8 @@ class SufaStage : public Stage
         std::vector<OpCounter> unit_ops(units.size());
         std::vector<std::int64_t> unit_viol(units.size(), 0);
         std::vector<std::int64_t> unit_tiles(units.size(), 0);
-        forEachUnit(st.pool, units.size(), [&](std::size_t u) {
+        forEachUnit(st, stageOrder(st, unitCosts(st, units)),
+                    [&](std::size_t u) {
             const RowUnit &ru = units[u];
             const AttentionWorkload &w = *st.tasks[ru.head].workload;
             sufaAttentionRows(w.q, w.k, w.v,
@@ -199,10 +288,12 @@ class QualityStage : public Stage
     {
         if (!st.cfg.computeQuality)
             return;
-        forEachUnit(st.pool, st.tasks.size(), [&st](std::size_t i) {
-            fillPipelineQuality(*st.tasks[i].workload, st.keep[i],
-                                st.heads[i].result);
-        });
+        forEachUnit(st, stageOrder(st, headCosts(st)),
+                    [&st](std::size_t i) {
+                        fillPipelineQuality(*st.tasks[i].workload,
+                                            st.keep[i],
+                                            st.heads[i].result);
+                    });
     }
 };
 

@@ -6,10 +6,14 @@
  * explicit Stage objects run in order over a ModelWorkload's
  * (batch, head) grid. Each stage shards its work items — whole
  * heads for prediction/KV, (head, query-row tile) pairs for SADS
- * and SU-FA — across the common/threadpool `parallelFor`, with
- * per-shard OpCounter tallies merged by integer addition, so every
- * result and count is bit-exact for any thread count and identical
- * to a per-head `runSofaPipeline` loop.
+ * and SU-FA — across the common/threadpool: by default through the
+ * dynamic `parallelForDynamic` chunk scheduler with units ordered
+ * heaviest-first by a cost estimate (ragged batches load-balance),
+ * or through the static `parallelFor` split when dynamicSharding is
+ * off. Per-unit OpCounter tallies are merged by integer addition in
+ * canonical unit order either way, so every result and count is
+ * bit-exact for any thread count and schedule, and identical to a
+ * per-head `runSofaPipeline` loop.
  *
  * KV-cache decode: a HeadTask's `pastLen` marks keys [0, pastLen)
  * as already resident in the KV cache; the KV stage only charges
@@ -51,6 +55,17 @@ struct EngineConfig
     /** Query rows per SADS/SU-FA work item (tile); smaller tiles
      * expose more parallelism, results never depend on it. */
     int rowTile = 64;
+    /**
+     * Shard stage units with the pool's dynamic (work-stealing)
+     * scheduler, visiting units heaviest-first by a per-unit cost
+     * estimate, instead of one static near-equal split in unit
+     * order. Ragged task lists (mixed prefill/decode shapes) keep
+     * every participant busy this way. Either setting is bit-exact:
+     * per-unit tallies are merged in canonical unit order and unit
+     * outputs land in disjoint rows, so results never depend on the
+     * schedule.
+     */
+    bool dynamicSharding = true;
     /** Compute the reference-attention quality metrics (skippable:
      * the dense reference costs more than the sparse pipeline). */
     bool computeQuality = true;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/threadpool.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 
 namespace sofa {
 
@@ -68,25 +69,34 @@ segmentTopM(const float *row, int lo, int hi, int m,
 
     std::vector<Cand> buffer; // sorted descending, holds top-m so far
     buffer.reserve(m + cfg.sorterInputs);
+    std::vector<Cand> batch;
+    batch.reserve(cfg.sorterInputs);
+    std::vector<std::int32_t> survivors(
+        static_cast<std::size_t>(cfg.sorterInputs));
 
     int pos = lo;
     while (pos < hi) {
         const int chunk = std::min(cfg.sorterInputs, hi - pos);
-        std::vector<Cand> batch;
-        batch.reserve(chunk);
-        for (int i = 0; i < chunk; ++i) {
-            const float v = row[pos + i];
-            ops.cmpN(1); // clip filter compare
-            float threshold = -std::numeric_limits<float>::infinity();
-            if (clip_enabled &&
-                running_max > -std::numeric_limits<float>::infinity()) {
-                threshold = std::max(running_max - radius, low_bound);
-            }
-            if (v < threshold) {
-                ++res.clipped;
-                continue;
-            }
-            batch.push_back({v, pos + i});
+        // The clip threshold is constant across a sorter chunk —
+        // running_max and low_bound only advance after the batch
+        // merge below — which is what lets the filter run as one
+        // SIMD compare + compress sweep (tensor/simd.h) instead of
+        // a per-element branch. Survivor order and count match the
+        // scalar left-to-right filter exactly.
+        float threshold = -std::numeric_limits<float>::infinity();
+        if (clip_enabled &&
+            running_max > -std::numeric_limits<float>::infinity()) {
+            threshold = std::max(running_max - radius, low_bound);
+        }
+        ops.cmpN(chunk); // clip filter compare, one per element
+        const std::size_t kept = simd::scanSurvivors(
+            row + pos, static_cast<std::size_t>(chunk), threshold,
+            survivors.data());
+        res.clipped += chunk - static_cast<std::int64_t>(kept);
+        batch.clear();
+        for (std::size_t s = 0; s < kept; ++s) {
+            const int idx = pos + survivors[s];
+            batch.push_back({row[idx], idx});
         }
         pos += chunk;
         if (batch.empty())

@@ -98,51 +98,10 @@ matmulRows(const MatF &a, const MatF &b, MatF &c, std::size_t r0,
 
 } // namespace
 
-double
-dotBlock(const float *a, const float *b, std::size_t n)
-{
-    double s[8] = {0.0};
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8)
-        for (int l = 0; l < 8; ++l)
-            s[l] += static_cast<double>(a[i + l]) * b[i + l];
-    double tot = 0.0;
-    for (int l = 0; l < 8; ++l)
-        tot += s[l];
-    for (; i < n; ++i)
-        tot += static_cast<double>(a[i]) * b[i];
-    return tot;
-}
-
-void
-minmaxBlock(const float *a, std::size_t n, float *min_out,
-            float *max_out)
-{
-    SOFA_ASSERT(n >= 1);
-    float mn[8], mx[8];
-    for (int l = 0; l < 8; ++l) {
-        mn[l] = a[0];
-        mx[l] = a[0];
-    }
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-        for (int l = 0; l < 8; ++l) {
-            mn[l] = a[i + l] < mn[l] ? a[i + l] : mn[l];
-            mx[l] = a[i + l] > mx[l] ? a[i + l] : mx[l];
-        }
-    }
-    float tmn = mn[0], tmx = mx[0];
-    for (int l = 1; l < 8; ++l) {
-        tmn = mn[l] < tmn ? mn[l] : tmn;
-        tmx = mx[l] > tmx ? mx[l] : tmx;
-    }
-    for (; i < n; ++i) {
-        tmn = a[i] < tmn ? a[i] : tmn;
-        tmx = a[i] > tmx ? a[i] : tmx;
-    }
-    *min_out = tmn;
-    *max_out = tmx;
-}
+// dotBlock/minmaxBlock (and their Scalar baselines) live in
+// tensor/simd.cc: that translation unit is compiled with
+// -ffp-contract=off so the baselines stay bit-identical to the
+// runtime-dispatched AVX2 bodies.
 
 MatF
 matmulNTNaive(const MatF &a, const MatF &b)

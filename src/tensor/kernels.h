@@ -60,18 +60,31 @@ panelRows(std::size_t row_floats)
 /**
  * Tiled dot product in double precision: eight independent partial
  * sums over @p n elements. Shared by the flash kernels (per-row
- * Q·K^T) and masked reference attention.
+ * Q·K^T) and masked reference attention. Runtime-dispatched to an
+ * explicit AVX2 body (tensor/simd.h) that keeps the same eight
+ * double lanes and reduction order, so the result is bit-identical
+ * to the Scalar baseline at every dispatch level.
  */
 double dotBlock(const float *a, const float *b, std::size_t n);
+
+/** The scalar baseline dotBlock dispatches to (and the benches and
+ * property tests compare the SIMD path against). */
+double dotBlockScalar(const float *a, const float *b, std::size_t n);
 
 /**
  * Blocked min/max scan over @p n floats in eight independent lanes
  * (the SIMD-friendly shape of the SADS threshold-updating scan).
  * min/max are order-independent, so the result is bit-identical to a
- * sequential scan for any n >= 1.
+ * sequential scan for any n >= 1. Runtime-dispatched like dotBlock;
+ * the AVX2 body's vminps/vmaxps match the scalar ternaries bit for
+ * bit (including NaN handling).
  */
 void minmaxBlock(const float *a, std::size_t n, float *min_out,
                  float *max_out);
+
+/** Scalar baseline for minmaxBlock. */
+void minmaxBlockScalar(const float *a, std::size_t n, float *min_out,
+                       float *max_out);
 
 /** @name Naive seed kernels (dense; baseline for benches and tests).
  * Triple loops with single-accumulator dot products, exactly the

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -14,6 +15,39 @@
 
 namespace sofa {
 namespace {
+
+// These run first on purpose (gtest keeps registration order):
+// setDefaultThreads only accepts changes before the process-wide
+// pool exists, and later tests in this binary create it through
+// parallelForRows.
+TEST(ThreadPoolDefaults, SetAndClearReturnPreviousOverride)
+{
+    ASSERT_EQ(ThreadPool::defaultThreadsOverride(), 0);
+    EXPECT_EQ(ThreadPool::setDefaultThreads(5), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 5);
+    EXPECT_EQ(ThreadPool::setDefaultThreads(3), 5);
+    EXPECT_EQ(ThreadPool::setDefaultThreads(-2), -1); // rejected
+    EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 3);
+    EXPECT_EQ(ThreadPool::setDefaultThreads(0), 3); // clear
+    EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 0);
+}
+
+TEST(ThreadPoolDefaults, ScopedOverridesNestAndRestore)
+{
+    ASSERT_EQ(ThreadPool::defaultThreadsOverride(), 0);
+    {
+        ThreadPool::ScopedDefaultThreads outer(7);
+        EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 7);
+        {
+            ThreadPool::ScopedDefaultThreads inner(2);
+            EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 2);
+        }
+        // The regression this locks down: the inner guard must
+        // restore the *outer* override, not clear it outright.
+        EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 7);
+    }
+    EXPECT_EQ(ThreadPool::defaultThreadsOverride(), 0);
+}
 
 TEST(ThreadPool, CoversRangeExactlyOnce)
 {
@@ -304,6 +338,170 @@ TEST(TaskQueue, DestructorDrainsPendingTasks)
             });
     } // dtor waits for all five
     EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPoolDynamic, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1237;
+    std::vector<int> hits(n, 0);
+    // Chunks are disjoint, so unsynchronized writes are race-free.
+    pool.parallelForDynamic(n, 10,
+                            [&](std::size_t b, std::size_t e, int) {
+                                for (std::size_t i = b; i < e; ++i)
+                                    hits[i] += 1;
+                            });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "row " << i;
+}
+
+/** The chunk grid every mode must produce for (n, grain). */
+std::vector<std::array<std::size_t, 2>>
+expectedChunkGrid(std::size_t n, std::size_t grain)
+{
+    std::vector<std::array<std::size_t, 2>> grid;
+    for (std::size_t b = 0; b < n; b += grain)
+        grid.push_back({b, std::min(n, b + grain)});
+    return grid;
+}
+
+TEST(ThreadPoolDynamic, ChunkGridIsDeterministicAcrossModes)
+{
+    const std::size_t n = 103, grain = 10; // ragged final chunk
+    const auto expect = expectedChunkGrid(n, grain);
+
+    const auto collect = [&](ThreadPool &pool) {
+        std::mutex mu;
+        std::vector<std::array<std::size_t, 3>> seen;
+        pool.parallelForDynamic(
+            n, grain, [&](std::size_t b, std::size_t e, int chunk) {
+                std::lock_guard<std::mutex> lock(mu);
+                seen.push_back(
+                    {b, e, static_cast<std::size_t>(chunk)});
+            });
+        std::sort(seen.begin(), seen.end(),
+                  [](const auto &a, const auto &b) {
+                      return a[2] < b[2];
+                  });
+        return seen;
+    };
+
+    ThreadPool wide(4), narrow(1);
+    for (auto *pool : {&wide, &narrow}) {
+        const auto seen = collect(*pool);
+        ASSERT_EQ(seen.size(), expect.size());
+        for (std::size_t c = 0; c < expect.size(); ++c) {
+            EXPECT_EQ(seen[c][0], expect[c][0]) << "chunk " << c;
+            EXPECT_EQ(seen[c][1], expect[c][1]) << "chunk " << c;
+            EXPECT_EQ(seen[c][2], c);
+        }
+    }
+}
+
+TEST(ThreadPoolDynamic, SerialPathRunsGridAscendingOnCaller)
+{
+    ThreadPool pool(4);
+    ThreadPool::ScopedSerial serial;
+    std::vector<int> order;
+    std::thread::id tid;
+    pool.parallelForDynamic(95, 10,
+                            [&](std::size_t b, std::size_t e,
+                                int chunk) {
+                                order.push_back(chunk);
+                                tid = std::this_thread::get_id();
+                                EXPECT_EQ(b, 10u * chunk);
+                                EXPECT_EQ(e, std::min<std::size_t>(
+                                                 95, b + 10));
+                            });
+    ASSERT_EQ(order.size(), 10u);
+    for (int c = 0; c < 10; ++c)
+        EXPECT_EQ(order[static_cast<std::size_t>(c)], c);
+    EXPECT_EQ(tid, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolDynamic, MoreThreadsThanChunks)
+{
+    ThreadPool pool(8);
+    std::vector<int> hits(3, 0);
+    pool.parallelForDynamic(3, 1,
+                            [&](std::size_t b, std::size_t e, int) {
+                                for (std::size_t i = b; i < e; ++i)
+                                    hits[i] += 1;
+                            });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolDynamic, NestedCallRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::int64_t> outer(4, 0);
+    pool.parallelFor(
+        4, 1, [&](std::size_t b, std::size_t e, int shard) {
+            for (std::size_t i = b; i < e; ++i) {
+                std::int64_t s = 0;
+                pool.parallelForDynamic(
+                    100, 10,
+                    [&](std::size_t nb, std::size_t ne, int) {
+                        for (std::size_t j = nb; j < ne; ++j)
+                            s += static_cast<std::int64_t>(j);
+                    });
+                outer[static_cast<std::size_t>(shard)] = s;
+            }
+        });
+    for (const auto s : outer)
+        EXPECT_EQ(s, 4950);
+}
+
+TEST(ThreadPoolDynamic, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    struct ChunkError
+    {
+    };
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelForDynamic(
+                     400, 10,
+                     [&](std::size_t, std::size_t, int chunk) {
+                         if (chunk == 3)
+                             throw ChunkError{};
+                         ++ran;
+                     }),
+                 ChunkError);
+    // The thrower stops claiming; the others drain the grid, so no
+    // chunk runs twice and at most one (the thrower's) is lost.
+    EXPECT_LE(ran.load(), 39);
+    std::atomic<int> calls{0};
+    pool.parallelForDynamic(400, 10,
+                            [&](std::size_t, std::size_t, int) {
+                                ++calls;
+                            });
+    EXPECT_EQ(calls.load(), 40);
+}
+
+TEST(ThreadPoolDynamic, ZeroRowsIsANoop)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelForDynamic(
+        0, 1, [&](std::size_t, std::size_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolDefaultsLate, RejectedOncePoolExists)
+{
+    // Self-contained: force the process-wide pool into existence,
+    // then confirm the override API refuses to lie about it.
+    std::atomic<std::int64_t> sum{0};
+    parallelForRows(1000, 1, [&](std::size_t b, std::size_t e) {
+        sum += static_cast<std::int64_t>(e - b);
+    });
+    EXPECT_EQ(sum.load(), 1000);
+    EXPECT_EQ(ThreadPool::setDefaultThreads(4), -1);
+    {
+        ThreadPool::ScopedDefaultThreads noop(4); // must not arm
+    }
+    EXPECT_EQ(ThreadPool::setDefaultThreads(2), -1);
 }
 
 TEST(GrainForRowCost, ScalesInverselyWithRowCost)

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Randomized property-test helpers: deterministic seeded case
+ * iteration plus edge-biased shape and sparsity samplers for the
+ * kernel bit-exactness layer (tests/tensor/test_kernels_prop.cc and
+ * friends).
+ *
+ * Each case gets its own Rng derived from testutil::kTestSeed and the
+ * case index, so a failure reproduces from the printed case number
+ * alone. Size samplers are biased toward the boundaries SIMD kernels
+ * get wrong — empty, one element, one below/at/above a vector lane
+ * multiple — because a uniform draw essentially never lands there.
+ */
+
+#ifndef SOFA_TESTS_TESTPROP_H
+#define SOFA_TESTS_TESTPROP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "testutil.h"
+
+namespace sofa {
+namespace testprop {
+
+/**
+ * Run fn(case_index, rng) for @p cases deterministic cases. The
+ * per-case seed mixes the case index through a splitmix-style odd
+ * constant so neighbouring cases get unrelated streams.
+ */
+template <typename Fn>
+void
+forEachSeededCase(int cases, const Fn &fn)
+{
+    for (int c = 0; c < cases; ++c) {
+        Rng rng(testutil::kTestSeed ^
+                (0x9E3779B97F4A7C15ull *
+                 static_cast<std::uint64_t>(c + 1)));
+        fn(c, rng);
+    }
+}
+
+/**
+ * Length in [min_n, max_n], biased toward SIMD edge cases: empty,
+ * single element, and the -1/0/+1 neighbourhood of a multiple of
+ * @p lane (half the draws), else uniform.
+ */
+inline std::size_t
+edgeSize(Rng &rng, std::size_t min_n, std::size_t max_n,
+         std::size_t lane = 8)
+{
+    if (max_n <= min_n)
+        return min_n;
+    if (rng.bernoulli(0.5)) {
+        const std::size_t mult = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(
+                                  max_n / (lane ? lane : 1))));
+        const std::int64_t off = rng.uniformInt(-1, 1);
+        const std::int64_t cand =
+            static_cast<std::int64_t>(mult * lane) + off;
+        if (cand >= static_cast<std::int64_t>(min_n) &&
+            cand <= static_cast<std::int64_t>(max_n))
+            return static_cast<std::size_t>(cand);
+    }
+    return static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::int64_t>(min_n),
+                       static_cast<std::int64_t>(max_n)));
+}
+
+/**
+ * Gaussian buffer with a randomly drawn zero fraction (0, light, or
+ * heavy sparsity per case) — the ragged-sparsity shapes the DLZS
+ * zero-eliminator and SADS clip filter branch on.
+ */
+inline std::vector<float>
+sparseFloats(Rng &rng, std::size_t n)
+{
+    const double zero_frac =
+        rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 0.9);
+    std::vector<float> x(n);
+    for (auto &v : x) {
+        v = rng.bernoulli(zero_frac)
+                ? 0.0f
+                : static_cast<float>(rng.gaussian());
+    }
+    return x;
+}
+
+/** Signed integer buffer with the same ragged-sparsity draw. */
+template <typename T>
+inline std::vector<T>
+sparseInts(Rng &rng, std::size_t n, std::int64_t lo, std::int64_t hi)
+{
+    const double zero_frac =
+        rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 0.9);
+    std::vector<T> x(n);
+    for (auto &v : x) {
+        v = rng.bernoulli(zero_frac)
+                ? static_cast<T>(0)
+                : static_cast<T>(rng.uniformInt(lo, hi));
+    }
+    return x;
+}
+
+} // namespace testprop
+} // namespace sofa
+
+#endif // SOFA_TESTS_TESTPROP_H
