@@ -9,9 +9,14 @@
  * be slower once >= 2 requests are concurrent), verifies per-request
  * results are bit-exact vs that sequential baseline, and runs a
  * deterministic admission/shedding experiment (paused scheduler,
- * burst beyond the queue capacity). Timings and latency percentiles
- * are machine-dependent (nocheck, trajectory only); request counts,
- * shed counts, op totals and the exactness bits are golden-gated.
+ * burst beyond the queue capacity). A seeded fault sweep (one
+ * transient failure, one permanent failure, one slowdown racing a
+ * deadline) gates the outcome-count fingerprint and its replay
+ * determinism, and a graceful-degradation experiment quantifies the
+ * reduced-keep-span quality/latency trade. Timings and latency
+ * percentiles are machine-dependent (nocheck, trajectory only);
+ * request counts, shed counts, outcome counts, op totals and the
+ * exactness bits are golden-gated.
  */
 
 #include <algorithm>
@@ -271,6 +276,237 @@ run(const bench::Options &opts, bench::Reporter &rep)
             .tol(0.0);
         rep.metric("burst_completed",
                    static_cast<double>(completed), "count").tol(0.0);
+    }
+
+    // Deterministic fault sweep: a seeded common/faultplan injects
+    // one transient failure (recovered by solo retry), one permanent
+    // failure (retry budget exhausted -> Failed) and one slowdown
+    // that loses against its request's deadline (-> TimedOut). The
+    // outcome-count fingerprint is golden-gated at tolerance 0, the
+    // sweep is run twice to assert bit-identical replay, and every
+    // Completed result must match a standalone Engine::run.
+    {
+        std::vector<Request> ftrace = serve::mixedTrace(
+            representativeScenarios(model), 12,
+            ArrivalPattern::Burst, 0.0, seed + 2, 64, 1, 2);
+        ftrace[5].deadlineSeconds = 5e-3; // vs the 40 ms slowdown
+
+        SchedulerConfig fcfg;
+        fcfg.engine = scfg.engine;
+        fcfg.lanes = 2;
+        fcfg.headBudget = 8; // 4 two-head requests per merged run
+        fcfg.startPaused = true;
+        fcfg.faultsFromEnv = false; // hermetic: SOFA_FAULTS ignored
+        fcfg.faults = FaultPlan::parse(
+            "fail:req=1:stage=sads_topk:attempt<2;"
+            "fail:req=3:stage=sufa_attention;"
+            "slow:req=5:stage=dlzs_predict:ms=40");
+        fcfg.retry.baseSeconds = 1e-6; // keep backoff sleeps small
+        fcfg.retry.maxSeconds = 1e-4;
+
+        serve::SchedulerStats fstats[2];
+        std::vector<RequestResult> fres[2];
+        double fwall = 0.0;
+        for (int pass = 0; pass < 2; ++pass) {
+            fwall = timeTrace([&] {
+                Scheduler sched(fcfg);
+                std::vector<std::future<RequestResult>> futs;
+                for (const Request &r : ftrace)
+                    futs.push_back(sched.submit(r));
+                sched.drain();
+                for (auto &f : futs)
+                    fres[pass].push_back(f.get());
+                fstats[pass] = sched.stats();
+            });
+        }
+
+        // Replay determinism: identical outcome counts, identical
+        // per-request outcomes, bit-identical surviving numbers.
+        const serve::SchedulerStats &a = fstats[0];
+        const serve::SchedulerStats &b = fstats[1];
+        bool replay_ok =
+            a.completed == b.completed && a.degraded == b.degraded &&
+            a.shed == b.shed && a.timedOut == b.timedOut &&
+            a.failed == b.failed && a.retried == b.retried;
+        for (std::size_t i = 0; i < ftrace.size(); ++i) {
+            const RequestResult &r0 = fres[0][i];
+            const RequestResult &r1 = fres[1][i];
+            replay_ok = replay_ok && r0.outcome == r1.outcome;
+            if (r0.outcome != Outcome::Completed ||
+                r1.outcome != Outcome::Completed)
+                continue;
+            replay_ok =
+                replay_ok &&
+                r0.engine.totalOps().total() ==
+                    r1.engine.totalOps().total() &&
+                r0.engine.heads.size() == r1.engine.heads.size();
+            for (std::size_t h = 0;
+                 replay_ok && h < r0.engine.heads.size(); ++h)
+                replay_ok =
+                    r0.engine.heads[h].result.output ==
+                        r1.engine.heads[h].result.output &&
+                    r0.engine.heads[h].result.selections ==
+                        r1.engine.heads[h].result.selections;
+        }
+
+        // Fault tolerance must not bend determinism: recovered and
+        // untouched requests alike match a standalone engine run.
+        bool exact = true;
+        std::int64_t attempts_total = 0;
+        for (std::size_t i = 0; i < ftrace.size(); ++i) {
+            const RequestResult &r = fres[0][i];
+            attempts_total += r.attempts;
+            if (r.outcome != Outcome::Completed)
+                continue;
+            const EngineResult ref = runEngine(
+                generateModelWorkload(ftrace[i].work), fcfg.engine);
+            bool req_ok = r.engine.heads.size() == ref.heads.size();
+            for (std::size_t h = 0;
+                 req_ok && h < ref.heads.size(); ++h) {
+                const PipelineResult &x = r.engine.heads[h].result;
+                const PipelineResult &y = ref.heads[h].result;
+                req_ok = x.output == y.output &&
+                         x.selections == y.selections &&
+                         x.totalOps().total() ==
+                             y.totalOps().total() &&
+                         x.keysGenerated == y.keysGenerated;
+            }
+            exact = exact && req_ok;
+        }
+
+        std::printf("fault sweep (12 requests, plan \"%s\"):\n"
+                    "  completed=%lld degraded=%lld shed=%lld "
+                    "timedout=%lld failed=%lld retried=%lld "
+                    "attempts=%lld\n  replay: %s; completed vs "
+                    "standalone runs: %s\n",
+                    fcfg.faults.describe().c_str(),
+                    static_cast<long long>(a.completed),
+                    static_cast<long long>(a.degraded),
+                    static_cast<long long>(a.shed),
+                    static_cast<long long>(a.timedOut),
+                    static_cast<long long>(a.failed),
+                    static_cast<long long>(a.retried),
+                    static_cast<long long>(attempts_total),
+                    replay_ok ? "bit-identical" : "DIVERGED",
+                    exact ? "bit-exact" : "MISMATCH");
+        rep.metric("fault_completed",
+                   static_cast<double>(a.completed), "count")
+            .tol(0.0);
+        rep.metric("fault_degraded",
+                   static_cast<double>(a.degraded), "count").tol(0.0);
+        rep.metric("fault_shed", static_cast<double>(a.shed),
+                   "count").tol(0.0);
+        rep.metric("fault_timedout",
+                   static_cast<double>(a.timedOut), "count").tol(0.0);
+        rep.metric("fault_failed", static_cast<double>(a.failed),
+                   "count").tol(0.0);
+        rep.metric("fault_retried", static_cast<double>(a.retried),
+                   "count").tol(0.0);
+        // A pre-dispatch deadline expiry consumes 0 attempts where a
+        // mid-run cancellation consumes 1; tolerance absorbs that
+        // scheduling race (the outcome itself is unaffected).
+        rep.metric("fault_attempts_total",
+                   static_cast<double>(attempts_total), "count")
+            .tol(1.0);
+        rep.metric("fault_replay_identical", replay_ok ? 1.0 : 0.0,
+                   "bool").tol(0.0);
+        rep.metric("fault_completed_bitexact", exact ? 1.0 : 0.0,
+                   "bool").tol(0.0);
+        rep.metric("fault_wall_s", fwall, "s").nocheck();
+        if (!replay_ok || !exact) {
+            std::fprintf(stderr, "FAIL: fault sweep diverged across "
+                                 "replays or vs standalone runs\n");
+            return 1;
+        }
+    }
+
+    // Graceful-degradation experiment: every request waits past the
+    // (tiny) overload threshold, so all run on the degraded engine —
+    // pipeline.topkFrac scaled by degradeKeepFactor — and resolve
+    // Outcome::Degraded, bit-exact vs a standalone run of that
+    // config. Quality is computed here (unlike the throughput sweep)
+    // so the keep-span quality/cost trade is visible in the goldens.
+    {
+        SchedulerConfig dcfg;
+        dcfg.engine = scfg.engine;
+        dcfg.engine.computeQuality = true;
+        dcfg.lanes = 2;
+        dcfg.headBudget = 8;
+        dcfg.startPaused = true;
+        dcfg.faultsFromEnv = false;
+        dcfg.degradeAfterSeconds = 1e-9; // degrade every request
+        const std::vector<Request> dtrace = serve::mixedTrace(
+            representativeScenarios(model), 8,
+            ArrivalPattern::Burst, 0.0, seed + 3, 64, 1, 2);
+        Scheduler sched(dcfg);
+        std::vector<std::future<RequestResult>> futs;
+        for (const Request &r : dtrace)
+            futs.push_back(sched.submit(r));
+        sched.drain();
+
+        const EngineConfig degraded_cfg = degradedEngineConfig(dcfg);
+        int degraded_n = 0;
+        bool dexact = true;
+        double keep_frac = 1.0;
+        double deg_keys = 0.0, full_keys = 0.0;
+        double deg_formal = 0.0, full_formal = 0.0;
+        double deg_quality = 0.0, full_quality = 0.0;
+        for (std::size_t i = 0; i < dtrace.size(); ++i) {
+            const RequestResult r = futs[i].get();
+            degraded_n += r.outcome == Outcome::Degraded ? 1 : 0;
+            keep_frac = r.degradeKeepFrac;
+            const ModelWorkload w =
+                generateModelWorkload(dtrace[i].work);
+            const EngineResult ref = runEngine(w, degraded_cfg);
+            dexact = dexact &&
+                     r.engine.totalOps().total() ==
+                         ref.totalOps().total() &&
+                     r.engine.keysGenerated == ref.keysGenerated &&
+                     r.engine.heads.size() == ref.heads.size();
+            for (std::size_t h = 0;
+                 dexact && h < ref.heads.size(); ++h)
+                dexact = r.engine.heads[h].result.output ==
+                             ref.heads[h].result.output &&
+                         r.engine.heads[h].result.selections ==
+                             ref.heads[h].result.selections;
+            const EngineResult full = runEngine(w, dcfg.engine);
+            deg_keys += static_cast<double>(
+                r.engine.keysGenerated + r.engine.keysCached);
+            full_keys += static_cast<double>(full.keysGenerated +
+                                             full.keysCached);
+            deg_formal += r.engine.formalOps.normalized();
+            full_formal += full.formalOps.normalized();
+            deg_quality += r.engine.meanMassRecall;
+            full_quality += full.meanMassRecall;
+        }
+        const double n_d = static_cast<double>(dtrace.size());
+        std::printf("graceful degradation (8 requests, keep factor "
+                    "%.2f): keep frac %.2f, formal ops %.1f%% of "
+                    "full, mass recall %.4f vs %.4f full (%s)\n",
+                    dcfg.degradeKeepFactor, keep_frac,
+                    100.0 * deg_formal / full_formal,
+                    deg_quality / n_d, full_quality / n_d,
+                    dexact ? "bit-exact vs standalone degraded runs"
+                           : "MISMATCH");
+        rep.metric("degrade_count",
+                   static_cast<double>(degraded_n), "count").tol(0.0);
+        rep.metric("degrade_keep_frac", keep_frac, "fraction")
+            .tol(0.0);
+        rep.metric("degrade_bitexact", dexact ? 1.0 : 0.0, "bool")
+            .tol(0.0);
+        rep.metric("degrade_keys_ratio", deg_keys / full_keys,
+                   "ratio").tol(0.05);
+        rep.metric("degrade_formal_ratio", deg_formal / full_formal,
+                   "ratio").tol(0.05);
+        rep.metric("degrade_quality", deg_quality / n_d, "fraction")
+            .tol(0.02);
+        rep.metric("degrade_quality_full", full_quality / n_d,
+                   "fraction").tol(0.02);
+        if (!dexact) {
+            std::fprintf(stderr, "FAIL: degraded results diverged "
+                                 "from the degraded engine config\n");
+            return 1;
+        }
     }
 
     return 0;

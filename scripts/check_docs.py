@@ -9,8 +9,10 @@ Fails when the documentation drifts from the actual source tree:
   * every bench binary must have a golden
     (bench/goldens/BENCH_<name>.json) and every golden a binary;
   * docs/SERVING.md must cover every src/serve module, every
-    serve::SchedulerConfig knob, and bench_serve (and must not
-    mention modules that no longer exist);
+    serve::SchedulerConfig knob, every serve::Outcome value (as
+    `Outcome::X`), the SOFA_FAULTS variable and the common/faultplan
+    grammar, and bench_serve (and must not mention modules or
+    Outcome values that no longer exist);
   * every src/serve header, plus src/common/threadpool.h,
     src/core/engine.h and src/model/model_workload.h, must carry the
     Units/assumptions header-comment line (the PR-3 documentation
@@ -87,6 +89,38 @@ def main():
             if f"`{knob}`" not in serving_doc:
                 errors.append(f"docs/SERVING.md: SchedulerConfig "
                               f"knob `{knob}` not documented")
+
+    # Every request outcome must be documented as `Outcome::X` (the
+    # fault-model section's contract table), and the doc must not
+    # name outcomes that were removed from the enum.
+    request_header = read("src/serve/request.h")
+    outcome_match = re.search(
+        r"enum class Outcome\s*\{(.*?)\};", request_header,
+        re.DOTALL)
+    if not outcome_match:
+        errors.append("src/serve/request.h: Outcome enum not found "
+                      "(check_docs parses it)")
+    else:
+        body = re.sub(r"//[^\n]*", "", outcome_match.group(1))
+        values = re.findall(r"\b([A-Z]\w*)\b", body)
+        if not values:
+            errors.append("src/serve/request.h: no Outcome values "
+                          "parsed (check_docs regex stale?)")
+        for v in values:
+            if f"`Outcome::{v}`" not in serving_doc:
+                errors.append(f"docs/SERVING.md: `Outcome::{v}` "
+                              "not documented")
+        for v in set(re.findall(r"Outcome::(\w+)", serving_doc)):
+            if v not in values:
+                errors.append(f"docs/SERVING.md: Outcome::{v} "
+                              "mentioned but not in the enum")
+
+    # The fault model must be documented: the injection grammar's
+    # environment hook and the module implementing it.
+    for needle in ("SOFA_FAULTS", "common/faultplan"):
+        if needle not in serving_doc:
+            errors.append(f"docs/SERVING.md: {needle} not documented "
+                          "(fault-model section)")
 
     # --- Units/assumptions header-comment convention ------------
     units_files = sorted(glob.glob("src/serve/*.h")) + [

@@ -36,10 +36,20 @@ import subprocess
 import sys
 
 PERCENTILE_RE = re.compile(r"^(.+)_p(50|95|99)(_s)?$")
+OUTCOME_KINDS = ("completed", "degraded", "shed", "timedout",
+                 "failed", "retried")
+OUTCOME_RE = re.compile(
+    r"^(.+)_(" + "|".join(OUTCOME_KINDS) + r")$")
 
 
 def collect(results_dir):
-    """All nocheck metrics of every artifact, keyed bench/metric."""
+    """All nocheck metrics of every artifact, keyed bench/metric.
+
+    Request-outcome counters (*_completed, *_shed, ...) are collected
+    even though they are golden-gated: the trajectory renders them as
+    one row per outcome family, so a deliberate fingerprint change
+    (new golden) still shows up as a delta in the log.
+    """
     metrics = {}
     threads = {}
     names = sorted(
@@ -53,7 +63,8 @@ def collect(results_dir):
         if "threads" in doc:
             threads[bench] = doc["threads"]
         for m in doc.get("metrics", []):
-            if m.get("check", True):
+            if (m.get("check", True)
+                    and not OUTCOME_RE.match(m.get("name", ""))):
                 continue  # gated elsewhere; trajectory is for timings
             if m.get("value") is None:
                 continue  # non-finite leak; never poison the log
@@ -112,6 +123,7 @@ def print_diff(prev, last):
         print(f"trajectory: {regressions} metric(s) slowed >25% "
               "(informational, not gating)")
     print_percentiles(pm, lm)
+    print_outcomes(pm, lm)
 
 
 def print_percentiles(pm, lm):
@@ -152,6 +164,48 @@ def print_percentiles(pm, lm):
         row = f"  {fam:<{width}}"
         for p in ("50", "95", "99"):
             row += f"  {cell(fam, p):<20}"
+        print(row)
+
+
+def print_outcomes(pm, lm):
+    """Render request-outcome count families as one row each.
+
+    bench_serve emits *_completed/_degraded/_shed/_timedout/_failed/
+    _retried counters per experiment (burst admission, fault sweep).
+    One row per family ("burst", "fault", ...) makes an outcome-mix
+    shift readable at a glance; counts only change when a golden is
+    deliberately updated, so any delta here is worth a look.
+    """
+    families = {}
+    for key in lm:
+        m = OUTCOME_RE.match(key)
+        if m:
+            families.setdefault(m.group(1), {})[m.group(2)] = key
+    if not families:
+        return
+
+    def cell(fam, kind):
+        key = families[fam].get(kind)
+        if key is None:
+            return "-"
+        new = lm[key]
+        old = pm.get(key)
+        if old is None:
+            return f"{new:g} (new)"
+        if old != new:
+            return f"{new:g} (was {old:g})"
+        return f"{new:g}"
+
+    width = max(len(f) for f in families)
+    print("request outcome counts (value (delta vs previous)):")
+    header = f"  {'family':<{width}}"
+    for kind in OUTCOME_KINDS:
+        header += f"  {kind:<14}"
+    print(header)
+    for fam in sorted(families):
+        row = f"  {fam:<{width}}"
+        for kind in OUTCOME_KINDS:
+            row += f"  {cell(fam, kind):<14}"
         print(row)
 
 

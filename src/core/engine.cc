@@ -32,6 +32,7 @@ struct EngineState
     std::vector<DlzsPrediction> preds;  ///< DLZS stage output
     std::vector<SadsResult> sads;       ///< SADS stage output
     std::vector<HeadResult> heads;      ///< results being assembled
+    std::vector<char> cancelled;        ///< per-task cancel flags
 };
 
 namespace {
@@ -166,6 +167,8 @@ class DlzsStage : public Stage
     {
         forEachUnit(st, stageOrder(st, headCosts(st)),
                     [&st](std::size_t i) {
+                        if (st.cancelled[i])
+                            return;
                         const AttentionWorkload &w =
                             *st.tasks[i].workload;
                         st.preds[i] =
@@ -190,6 +193,8 @@ class SadsStage : public Stage
         forEachUnit(st, stageOrder(st, unitCosts(st, units)),
                     [&](std::size_t u) {
                         const RowUnit &ru = units[u];
+                        if (st.cancelled[ru.head])
+                            return;
                         sadsTopKRows(st.preds[ru.head].scoresHat,
                                      st.keep[ru.head],
                                      st.cfg.pipeline.sads, ru.begin,
@@ -201,6 +206,8 @@ class SadsStage : public Stage
         for (std::size_t u = 0; u < units.size(); ++u)
             st.sads[units[u].head].ops += unit_ops[u];
         for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+            if (st.cancelled[i])
+                continue;
             st.heads[i].result.sortOps = st.sads[i].ops;
             st.heads[i].result.selections = st.sads[i].selections();
         }
@@ -218,6 +225,8 @@ class KvStage : public Stage
     {
         forEachUnit(st, stageOrder(st, headCosts(st)),
                     [&st](std::size_t i) {
+            if (st.cancelled[i])
+                return;
             const HeadTask &task = st.tasks[i];
             const AttentionWorkload &w = *task.workload;
             HeadResult &hr = st.heads[i];
@@ -249,6 +258,8 @@ class SufaStage : public Stage
     run(EngineState &st) const override
     {
         for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+            if (st.cancelled[i])
+                continue;
             const AttentionWorkload &w = *st.tasks[i].workload;
             st.heads[i].result.output =
                 MatF(w.q.rows(), w.q.cols(), 0.0f);
@@ -260,6 +271,8 @@ class SufaStage : public Stage
         forEachUnit(st, stageOrder(st, unitCosts(st, units)),
                     [&](std::size_t u) {
             const RowUnit &ru = units[u];
+            if (st.cancelled[ru.head])
+                return;
             const AttentionWorkload &w = *st.tasks[ru.head].workload;
             sufaAttentionRows(w.q, w.k, w.v,
                               st.heads[ru.head].result.selections,
@@ -290,6 +303,8 @@ class QualityStage : public Stage
             return;
         forEachUnit(st, stageOrder(st, headCosts(st)),
                     [&st](std::size_t i) {
+                        if (st.cancelled[i])
+                            return;
                         fillPipelineQuality(*st.tasks[i].workload,
                                             st.keep[i],
                                             st.heads[i].result);
@@ -354,12 +369,13 @@ EngineRun::EngineRun(const Engine &engine, std::vector<HeadTask> tasks)
     ThreadPool &pool =
         cfg.pool != nullptr ? *cfg.pool : ThreadPool::instance();
     state_ = std::make_unique<EngineState>(
-        EngineState{cfg, pool, tasks_, {}, {}, {}, {}});
+        EngineState{cfg, pool, tasks_, {}, {}, {}, {}, {}});
     EngineState &st = *state_;
     st.keep.resize(tasks_.size());
     st.preds.resize(tasks_.size());
     st.sads.resize(tasks_.size());
     st.heads.resize(tasks_.size());
+    st.cancelled.assign(tasks_.size(), 0);
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
         const HeadTask &t = tasks_[i];
         SOFA_ASSERT(t.workload != nullptr);
@@ -399,6 +415,20 @@ EngineRun::step()
     SOFA_ASSERT(!done());
     engine_.stages_[next_]->run(*state_);
     ++next_;
+}
+
+void
+EngineRun::cancel(std::size_t i)
+{
+    SOFA_ASSERT(i < tasks_.size());
+    state_->cancelled[i] = 1;
+}
+
+bool
+EngineRun::cancelled(std::size_t i) const
+{
+    SOFA_ASSERT(i < tasks_.size());
+    return state_->cancelled[i] != 0;
 }
 
 EngineResult

@@ -183,6 +183,22 @@ class EngineRun
      * result. The run is spent afterwards (heads are moved out). */
     EngineResult finish();
 
+    /**
+     * Cooperative cancellation: mark task @p i so the remaining
+     * stages skip its work (the serving scheduler cancels a
+     * deadline-expired request's tasks at a stage-step boundary, so
+     * the request stops consuming pool time mid-pipeline). Stages
+     * already run are unaffected; the head still occupies slot @p i
+     * of the finish() result — with whatever was computed before the
+     * cancel — to keep task/result index alignment, and the caller
+     * discards it. Results of non-cancelled tasks are bit-identical
+     * to a run without any cancellation. Call only between step()s
+     * (not concurrently with one).
+     */
+    void cancel(std::size_t i);
+    /** Whether task @p i has been cancelled. */
+    bool cancelled(std::size_t i) const;
+
   private:
     const Engine &engine_;
     std::vector<HeadTask> tasks_;

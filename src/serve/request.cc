@@ -17,6 +17,24 @@ requestKindName(RequestKind k)
     return "?";
 }
 
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Completed:
+        return "completed";
+      case Outcome::Degraded:
+        return "degraded";
+      case Outcome::Shed:
+        return "shed";
+      case Outcome::TimedOut:
+        return "timedout";
+      case Outcome::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
 std::vector<Request>
 mixedTrace(const std::vector<ServingScenario> &scenarios, int n,
            ArrivalPattern pattern, double mean_gap,

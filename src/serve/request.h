@@ -22,6 +22,8 @@
 #define SOFA_SERVE_REQUEST_H
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -47,6 +49,15 @@ struct Request
     /** The work: shapes + seed. Usually batch = 1 (one sequence);
      * larger grids are allowed and count as more head tasks. */
     ModelWorkloadSpec work;
+    /**
+     * Completion deadline in seconds of wall-clock time measured
+     * from submit(). 0 (the default) defers to the scheduler's
+     * `defaultDeadlineSeconds`; a negative value opts this request
+     * out of any deadline. Expired requests resolve
+     * Outcome::TimedOut — their engine work is cancelled
+     * cooperatively at the next stage boundary.
+     */
+    double deadlineSeconds = 0.0;
 
     RequestKind kind() const
     {
@@ -70,9 +81,20 @@ struct Request
 /** How a submitted request left the scheduler. */
 enum class Outcome {
     Completed, ///< ran through the engine; `engine` is filled
+    Degraded,  ///< ran with the cheaper degraded engine config after
+               ///< waiting past the overload threshold; `engine` is
+               ///< filled (bit-exact vs a standalone run of the
+               ///< degraded spec) and `degradeKeepFrac` < 1
     Shed,      ///< refused at admission (queue full); never silent —
                ///< the future still resolves, with this outcome
+    TimedOut,  ///< deadline expired before the work finished; any
+               ///< in-flight engine work was cancelled cooperatively
+    Failed,    ///< every retry attempt failed; `error` holds the
+               ///< last failure message
 };
+
+/** Stable lower-case name of an outcome ("completed", ...). */
+const char *outcomeName(Outcome o);
 
 /** Per-request outcome: engine results + latency breakdown. */
 struct RequestResult
@@ -92,6 +114,20 @@ struct RequestResult
     /** Head tasks in the engine run that served this request
      * (including its own) — the co-scheduling footprint. */
     int coscheduledHeads = 0;
+
+    /** Engine runs this request consumed (1 on the fault-free path;
+     * 0 when shed or timed out before any dispatch). */
+    int attempts = 0;
+    /** Seconds left on the deadline when the result resolved:
+     * negative when the deadline was missed, +infinity when the
+     * request had no deadline. */
+    double deadlineSlackSeconds =
+        std::numeric_limits<double>::infinity();
+    /** Fraction of the configured SADS keep span this request ran
+     * with: 1.0 normally, `degradeKeepFactor` when Degraded. */
+    double degradeKeepFrac = 1.0;
+    /** Last failure message (Outcome::Failed only). */
+    std::string error;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <utility>
 
@@ -21,15 +22,102 @@ seconds(Clock::time_point from, Clock::time_point to)
     return std::chrono::duration<double>(to - from).count();
 }
 
+/** The effective deadline length of a request; 0 = none. */
+double
+deadlineSecondsOf(const Request &r, const SchedulerConfig &cfg)
+{
+    if (r.deadlineSeconds > 0.0)
+        return r.deadlineSeconds;
+    if (r.deadlineSeconds < 0.0)
+        return 0.0; // explicitly opted out
+    return cfg.defaultDeadlineSeconds > 0.0
+               ? cfg.defaultDeadlineSeconds
+               : 0.0;
+}
+
+/** Append @p mw's grid as request-local HeadTasks (so the
+ * per-request split reproduces a standalone run). */
+void
+appendHeadTasks(const ModelWorkload &mw, std::vector<HeadTask> *out)
+{
+    for (int b = 0; b < mw.batch(); ++b) {
+        for (int h = 0; h < mw.heads(); ++h) {
+            HeadTask t;
+            t.workload = &mw.head(b, h);
+            t.batch = b;
+            t.head = h;
+            t.pastLen = mw.spec.isDecode() ? mw.spec.pastLen : 0;
+            out->push_back(t);
+        }
+    }
+}
+
+void
+sleepSeconds(double s)
+{
+    if (s > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
 } // namespace
 
+double
+retryBackoffSeconds(const RetryPolicy &policy, std::uint64_t request,
+                    int attempt)
+{
+    if (attempt <= 0)
+        return 0.0;
+    double backoff =
+        policy.baseSeconds * std::pow(2.0, attempt - 1);
+    if (policy.maxSeconds > 0.0)
+        backoff = std::min(backoff, policy.maxSeconds);
+    // Deterministic jitter in [1 - jitterFrac, 1 + jitterFrac):
+    // hashed per (request, attempt), never a shared RNG stream.
+    const double u = hashUnitInterval(
+        policy.seed, request, static_cast<std::uint64_t>(attempt));
+    const double jitter = 1.0 + policy.jitterFrac * (2.0 * u - 1.0);
+    return std::max(0.0, backoff * jitter);
+}
+
+EngineConfig
+degradedEngineConfig(const SchedulerConfig &cfg)
+{
+    EngineConfig ec = cfg.engine;
+    const double frac = ec.pipeline.topkFrac * cfg.degradeKeepFactor;
+    ec.pipeline.topkFrac = std::min(1.0, std::max(1e-3, frac));
+    return ec;
+}
+
+/** Per-request in-flight state while its batch is being served. */
+struct Scheduler::Slot
+{
+    PendingRequest p;
+    Clock::time_point t0{};      ///< batch dispatch time
+    bool hasDeadline = false;
+    Clock::time_point deadline{};
+    /** The slot's task indices in the current EngineRun. */
+    std::vector<std::size_t> taskIdx;
+    int attempts = 0;     ///< engine runs consumed so far
+    bool timedOut = false; ///< deadline expired during the run
+    bool resolved = false; ///< promise satisfied
+};
+
 Scheduler::Scheduler(SchedulerConfig cfg)
-    : cfg_(cfg), engine_(cfg.engine), queue_(cfg.maxQueue),
-      lanes_(std::make_unique<TaskQueue>(std::max(1, cfg.lanes))),
-      started_(!cfg.startPaused)
+    : cfg_(std::move(cfg)), engine_(cfg_.engine),
+      degradedEngine_(degradedEngineConfig(cfg_)),
+      faults_(!cfg_.faults.empty()
+                  ? cfg_.faults
+                  : (cfg_.faultsFromEnv ? FaultPlan::fromEnv()
+                                        : FaultPlan{})),
+      queue_(cfg_.maxQueue),
+      lanes_(std::make_unique<TaskQueue>(std::max(1, cfg_.lanes))),
+      started_(!cfg_.startPaused)
 {
     SOFA_ASSERT(cfg_.headBudget >= 1);
     SOFA_ASSERT(cfg_.tokenBudget >= 1);
+    SOFA_ASSERT(cfg_.retry.maxAttempts >= 1);
+    SOFA_ASSERT(cfg_.degradeKeepFactor > 0.0 &&
+                cfg_.degradeKeepFactor <= 1.0);
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -109,6 +197,10 @@ Scheduler::stats() const
         s.submitted = submitted_;
         s.shed = shed_;
         s.completed = completed_;
+        s.timedOut = timedOut_;
+        s.failed = failed_;
+        s.degraded = degraded_;
+        s.retried = retried_;
         s.batches = batches_;
         s.headTasks = headTasks_;
     }
@@ -161,93 +253,308 @@ Scheduler::dispatchLoop()
 }
 
 void
+Scheduler::resolveSlot(Slot &slot, Outcome outcome,
+                       EngineResult engine, double keep_frac,
+                       int coscheduled, std::string error)
+{
+    SOFA_ASSERT(!slot.resolved);
+    const Clock::time_point now = Clock::now();
+    RequestResult rr;
+    rr.id = slot.p.request.id;
+    rr.kind = slot.p.request.kind();
+    rr.outcome = outcome;
+    rr.engine = std::move(engine);
+    rr.queueSeconds = seconds(slot.p.submitted, slot.t0);
+    rr.serviceSeconds = seconds(slot.t0, now);
+    rr.totalSeconds = rr.queueSeconds + rr.serviceSeconds;
+    rr.coscheduledHeads = coscheduled;
+    rr.attempts = slot.attempts;
+    if (slot.hasDeadline)
+        rr.deadlineSlackSeconds = seconds(now, slot.deadline);
+    rr.degradeKeepFrac = keep_frac;
+    rr.error = std::move(error);
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        switch (outcome) {
+          case Outcome::Completed:
+            ++completed_;
+            break;
+          case Outcome::Degraded:
+            ++degraded_;
+            break;
+          case Outcome::TimedOut:
+            ++timedOut_;
+            break;
+          case Outcome::Failed:
+            ++failed_;
+            break;
+          case Outcome::Shed:
+            break; // resolved in submit(), never here
+        }
+    }
+    slot.resolved = true;
+    slot.p.promise.set_value(std::move(rr));
+}
+
+bool
+Scheduler::stepWithFaults(EngineRun &run, std::vector<Slot *> &slots)
+{
+    while (!run.done()) {
+        const char *stage = run.nextStageName();
+        bool any_live = false;
+        for (Slot *s : slots) {
+            if (s->timedOut)
+                continue;
+            const FaultDecision d =
+                faults_.at(s->p.request.id, stage, s->attempts);
+            if (d.action == FaultAction::Slow)
+                sleepSeconds(d.slowMs * 1e-3);
+            if (s->hasDeadline && Clock::now() >= s->deadline) {
+                // Deadline expired mid-pipeline: cancel the slot's
+                // tasks so the remaining stages skip them — the
+                // run keeps the lane only for still-live requests.
+                // Timeout takes precedence over an injected failure
+                // at the same boundary.
+                for (std::size_t t : s->taskIdx)
+                    run.cancel(t);
+                s->timedOut = true;
+                continue;
+            }
+            if (d.action == FaultAction::Fail)
+                throw InjectedFault(
+                    "injected fault: req=" +
+                    std::to_string(s->p.request.id) + " stage=" +
+                    (stage != nullptr ? stage : "?") + " attempt=" +
+                    std::to_string(s->attempts));
+            any_live = true;
+        }
+        if (!any_live)
+            return false; // everything cancelled; stop stepping
+        run.step();
+    }
+    return true;
+}
+
+void
+Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
+                            Outcome success, double keep_frac,
+                            std::string last_error)
+{
+    const int max_attempts = std::max(1, cfg_.retry.maxAttempts);
+    std::vector<Slot *> solo{&slot};
+    while (slot.attempts < max_attempts) {
+        if (slot.attempts > 0) {
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                ++retried_;
+            }
+            sleepSeconds(retryBackoffSeconds(
+                cfg_.retry, slot.p.request.id, slot.attempts));
+        }
+        if (slot.hasDeadline && Clock::now() >= slot.deadline) {
+            resolveSlot(slot, Outcome::TimedOut, EngineResult{},
+                        keep_frac, 0, std::string());
+            return;
+        }
+        try {
+            const ModelWorkload mw =
+                generateModelWorkload(slot.p.request.work);
+            std::vector<HeadTask> tasks;
+            appendHeadTasks(mw, &tasks);
+            const int n = static_cast<int>(tasks.size());
+            slot.taskIdx.resize(tasks.size());
+            for (std::size_t t = 0; t < tasks.size(); ++t)
+                slot.taskIdx[t] = t;
+            slot.timedOut = false;
+            EngineRun run(eng, std::move(tasks));
+            const bool ran = stepWithFaults(run, solo);
+            ++slot.attempts;
+            if (slot.timedOut || !ran) {
+                resolveSlot(slot, Outcome::TimedOut, EngineResult{},
+                            keep_frac, n, std::string());
+                return;
+            }
+            EngineResult res = run.finish();
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                headTasks_ += n;
+            }
+            // Solo run of the request's own tasks == a standalone
+            // Engine::run of its spec, so the bit-exactness
+            // contract holds on the recovery and degraded paths.
+            resolveSlot(slot, success, std::move(res), keep_frac, n,
+                        std::string());
+            return;
+        } catch (const std::exception &e) {
+            ++slot.attempts;
+            last_error = e.what();
+        } catch (...) {
+            ++slot.attempts;
+            last_error = "unknown engine failure";
+        }
+    }
+    resolveSlot(slot, Outcome::Failed, EngineResult{}, keep_frac, 0,
+                std::move(last_error));
+}
+
+void
 Scheduler::runBatch(std::vector<PendingRequest> batch)
 {
     const Clock::time_point t0 = Clock::now();
+    std::vector<Slot> slots(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Slot &s = slots[i];
+        s.p = std::move(batch[i]);
+        s.t0 = t0;
+        const double dl = deadlineSecondsOf(s.p.request, cfg_);
+        if (dl > 0.0) {
+            s.hasDeadline = true;
+            s.deadline =
+                s.p.submitted +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(dl));
+        }
+    }
     try {
-        // Materialize each request's workload (deterministic in its
-        // own seed), then merge every head onto one engine grid.
-        std::vector<ModelWorkload> works;
-        works.reserve(batch.size());
-        for (const PendingRequest &p : batch)
-            works.push_back(generateModelWorkload(p.request.work));
+        // Pre-dispatch triage: already-expired deadlines resolve
+        // TimedOut without consuming an engine run; requests queued
+        // past the overload threshold take the degraded path; the
+        // rest merge into one engine run.
+        std::vector<Slot *> merged_slots;
+        std::vector<Slot *> degrade_slots;
+        for (Slot &s : slots) {
+            if (s.hasDeadline && t0 >= s.deadline) {
+                resolveSlot(s, Outcome::TimedOut, EngineResult{},
+                            1.0, 0, std::string());
+            } else if (cfg_.degradeAfterSeconds > 0.0 &&
+                       seconds(s.p.submitted, t0) >
+                           cfg_.degradeAfterSeconds) {
+                degrade_slots.push_back(&s);
+            } else {
+                merged_slots.push_back(&s);
+            }
+        }
 
-        std::vector<HeadTask> tasks;
-        std::vector<std::size_t> owner; // task index -> batch slot
-        for (std::size_t r = 0; r < batch.size(); ++r) {
-            const ModelWorkload &mw = works[r];
-            for (int b = 0; b < mw.batch(); ++b) {
-                for (int h = 0; h < mw.heads(); ++h) {
-                    HeadTask t;
-                    t.workload = &mw.head(b, h);
-                    // Request-local coordinates, so the per-request
-                    // split below reproduces a standalone run.
-                    t.batch = b;
-                    t.head = h;
-                    t.pastLen = mw.spec.isDecode()
-                                    ? mw.spec.pastLen
-                                    : 0;
-                    tasks.push_back(t);
+        // Degraded requests run solo on the cheaper engine, first —
+        // they have already waited past the overload threshold.
+        const double keep_frac =
+            degradedEngine_.config().pipeline.topkFrac /
+            cfg_.engine.pipeline.topkFrac;
+        for (Slot *s : degrade_slots)
+            runSoloWithRetry(*s, degradedEngine_, Outcome::Degraded,
+                             keep_frac, std::string());
+
+        if (!merged_slots.empty()) {
+            // Materialize each request's workload (deterministic in
+            // its own seed), then merge every head onto one grid.
+            std::vector<ModelWorkload> works;
+            works.reserve(merged_slots.size());
+            for (Slot *s : merged_slots)
+                works.push_back(
+                    generateModelWorkload(s->p.request.work));
+
+            std::vector<HeadTask> tasks;
+            std::vector<std::size_t> owner; // task -> slot index
+            for (std::size_t r = 0; r < merged_slots.size(); ++r) {
+                const std::size_t first = tasks.size();
+                appendHeadTasks(works[r], &tasks);
+                for (std::size_t t = first; t < tasks.size(); ++t) {
                     owner.push_back(r);
+                    merged_slots[r]->taskIdx.push_back(t);
+                }
+            }
+            const int coscheduled = static_cast<int>(tasks.size());
+
+            try {
+                // Each stage is a separate pool epoch, so concurrent
+                // lanes interleave between stages; the per-stage seam
+                // is also where faults inject and deadlines cancel.
+                EngineRun run(engine_, std::move(tasks));
+                const bool ran = stepWithFaults(run, merged_slots);
+                for (Slot *s : merged_slots)
+                    ++s->attempts; // the merged run was attempt 0
+                if (ran) {
+                    EngineResult merged = run.finish();
+                    // Count executed work before any promise
+                    // resolves, so a caller observing its future
+                    // sees consistent stats.
+                    {
+                        std::lock_guard<std::mutex> lk(m_);
+                        headTasks_ += coscheduled;
+                    }
+                    // Split the co-scheduled heads back per request,
+                    // in task order, so each aggregate matches a
+                    // standalone Engine::run.
+                    std::vector<std::vector<HeadResult>> per_req(
+                        merged_slots.size());
+                    for (std::size_t i = 0; i < merged.heads.size();
+                         ++i) {
+                        if (!merged_slots[owner[i]]->timedOut)
+                            per_req[owner[i]].push_back(
+                                std::move(merged.heads[i]));
+                    }
+                    for (std::size_t r = 0; r < merged_slots.size();
+                         ++r) {
+                        Slot *s = merged_slots[r];
+                        if (s->timedOut)
+                            resolveSlot(*s, Outcome::TimedOut,
+                                        EngineResult{}, 1.0,
+                                        coscheduled, std::string());
+                        else
+                            resolveSlot(*s, Outcome::Completed,
+                                        aggregateHeadResults(
+                                            std::move(per_req[r])),
+                                        1.0, coscheduled,
+                                        std::string());
+                    }
+                } else {
+                    // Every merged request timed out mid-run; the
+                    // partial work was cancelled and is discarded.
+                    for (Slot *s : merged_slots)
+                        resolveSlot(*s, Outcome::TimedOut,
+                                    EngineResult{}, 1.0, coscheduled,
+                                    std::string());
+                }
+            } catch (const std::exception &e) {
+                // Engine failure (injected or real): abandon the
+                // merged run; every still-live request recovers with
+                // solo retries so one bad request cannot poison its
+                // batch neighbours. This path is counted (failed_/
+                // retried_) and the futures still resolve normally.
+                for (Slot *s : merged_slots)
+                    ++s->attempts; // the aborted run was attempt 0
+                for (Slot *s : merged_slots) {
+                    if (s->resolved)
+                        continue;
+                    if (s->timedOut) {
+                        resolveSlot(*s, Outcome::TimedOut,
+                                    EngineResult{}, 1.0, coscheduled,
+                                    std::string());
+                        continue;
+                    }
+                    s->taskIdx.clear();
+                    runSoloWithRetry(*s, engine_, Outcome::Completed,
+                                     1.0, e.what());
                 }
             }
         }
-        const int coscheduled = static_cast<int>(tasks.size());
-
-        // Each stage is a separate pool epoch, so concurrent lanes
-        // interleave between stages (one lane's SU-FA overlapping
-        // another's SADS); EngineRun keeps the per-stage seam open
-        // for per-stage instrumentation or finer scheduling.
-        EngineResult merged =
-            EngineRun(engine_, std::move(tasks)).finish();
-
-        const Clock::time_point t1 = Clock::now();
-
-        // Count executed work before any promise resolves, so a
-        // caller observing its future sees consistent stats.
-        {
-            std::lock_guard<std::mutex> lk(m_);
-            headTasks_ += coscheduled;
-        }
-
-        // Split the co-scheduled heads back per request, in task
-        // order, so each aggregate matches a standalone Engine::run.
-        std::vector<std::vector<HeadResult>> per_req(batch.size());
-        for (std::size_t i = 0; i < merged.heads.size(); ++i)
-            per_req[owner[i]].push_back(std::move(merged.heads[i]));
-
-        for (std::size_t r = 0; r < batch.size(); ++r) {
-            PendingRequest &p = batch[r];
-            RequestResult rr;
-            rr.id = p.request.id;
-            rr.kind = p.request.kind();
-            rr.outcome = Outcome::Completed;
-            rr.engine =
-                aggregateHeadResults(std::move(per_req[r]));
-            rr.queueSeconds = seconds(p.submitted, t0);
-            rr.serviceSeconds = seconds(t0, t1);
-            rr.totalSeconds = rr.queueSeconds + rr.serviceSeconds;
-            rr.coscheduledHeads = coscheduled;
-            {
-                std::lock_guard<std::mutex> lk(m_);
-                ++completed_;
-            }
-            p.promise.set_value(std::move(rr));
-        }
+    } catch (const std::exception &e) {
+        // Last-resort safety net (e.g. workload generation failed):
+        // resolve every still-pending promise as Failed — futures
+        // never carry exceptions and failures are always accounted.
+        for (Slot &s : slots)
+            if (!s.resolved)
+                resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
+                            0, e.what());
     } catch (...) {
-        // Engine failure: surface it on every affected future —
-        // the "never drop silently" contract extends to errors.
-        for (PendingRequest &p : batch) {
-            try {
-                p.promise.set_exception(std::current_exception());
-            } catch (const std::future_error &) {
-                // promise already satisfied; nothing to do
-            }
-        }
+        for (Slot &s : slots)
+            if (!s.resolved)
+                resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
+                            0, "unknown scheduler failure");
     }
     {
         std::lock_guard<std::mutex> lk(m_);
-        outstanding_ -= static_cast<std::int64_t>(batch.size());
+        outstanding_ -= static_cast<std::int64_t>(slots.size());
     }
     cv_.notify_all();
 }

@@ -20,6 +20,17 @@
  * with `startPaused` and call start() later for deterministic
  * admission experiments.
  *
+ * Fault tolerance (the robustness layer): per-request deadlines
+ * cancel expired work cooperatively at EngineRun stage boundaries
+ * (Outcome::TimedOut), failed engine runs are retried solo with
+ * bounded exponential backoff + deterministic jitter
+ * (Outcome::Failed only after the budget), and requests queued past
+ * `degradeAfterSeconds` run on a cheaper engine config — reduced
+ * SADS keep span — instead of waiting for full service
+ * (Outcome::Degraded). Every failure path is reproducible through
+ * the seeded common/faultplan injection hooks probed at each stage
+ * boundary; see docs/SERVING.md for the fault model.
+ *
  * Units: latencies in seconds (steady clock); budgets in head tasks
  * and context tokens; results carry OpCounter ops (core/pipeline.h).
  */
@@ -35,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/faultplan.h"
 #include "core/engine.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -43,6 +55,29 @@ namespace sofa {
 class TaskQueue;
 
 namespace serve {
+
+/**
+ * Bounded-retry policy for transiently-failed engine runs. The
+ * backoff before attempt N (N >= 1, 0-based) is
+ * baseSeconds * 2^(N-1), capped at maxSeconds, scaled by a
+ * deterministic jitter factor in [1 - jitterFrac, 1 + jitterFrac)
+ * hashed from (seed, request id, attempt) — no RNG stream, so the
+ * schedule replays bit-identically (see retryBackoffSeconds).
+ */
+struct RetryPolicy
+{
+    /** Total engine-run attempts per request (first try included);
+     * Outcome::Failed only after all of them failed. */
+    int maxAttempts = 3;
+    /** Backoff before the first retry, in seconds. */
+    double baseSeconds = 1e-3;
+    /** Upper bound on any single backoff, in seconds. */
+    double maxSeconds = 0.1;
+    /** Jitter half-width as a fraction of the backoff. */
+    double jitterFrac = 0.25;
+    /** Salt of the jitter hash. */
+    std::uint64_t seed = 0;
+};
 
 /** Scheduler tuning knobs (documented in docs/SERVING.md). */
 struct SchedulerConfig
@@ -62,7 +97,43 @@ struct SchedulerConfig
     /** Admit but do not dispatch until start() — deterministic
      * admission/shedding experiments and maximal first batches. */
     bool startPaused = false;
+    /** Deadline for requests that don't set their own, in seconds
+     * from submit(); 0 = no deadline (the default). */
+    double defaultDeadlineSeconds = 0.0;
+    /** Bounded retry with exponential backoff for failed runs. */
+    RetryPolicy retry;
+    /** Graceful degradation: a request whose queue delay exceeds
+     * this many seconds runs on the degraded engine (reduced SADS
+     * keep span, solo) and resolves Outcome::Degraded instead of
+     * waiting for full service; 0 disables (the default). */
+    double degradeAfterSeconds = 0.0;
+    /** Factor applied to pipeline.topkFrac for the degraded engine
+     * (in (0, 1]; see degradedEngineConfig). */
+    double degradeKeepFactor = 0.5;
+    /** Fault-injection plan driving deterministic failure/slowdown
+     * tests and benches; empty = no injection. */
+    FaultPlan faults;
+    /** When `faults` is empty, also consult the SOFA_FAULTS
+     * environment variable (FaultPlan::fromEnv). Benches that gate
+     * outcome counts set this false to stay hermetic. */
+    bool faultsFromEnv = true;
 };
+
+/**
+ * The deterministic backoff before @p attempt (0-based; attempts
+ * <= 0 return 0). Pure function of (policy, request, attempt).
+ */
+double retryBackoffSeconds(const RetryPolicy &policy,
+                           std::uint64_t request, int attempt);
+
+/**
+ * The engine configuration degraded requests run with: the base
+ * engine config with pipeline.topkFrac scaled by degradeKeepFactor
+ * (clamped to [1e-3, 1]) — the SOFA-native quality/latency lever:
+ * a smaller SADS keep span means fewer selected keys, less on-demand
+ * KV generation and less SU-FA formal compute.
+ */
+EngineConfig degradedEngineConfig(const SchedulerConfig &cfg);
 
 /** Counter snapshot (monotonic over the scheduler's lifetime). */
 struct SchedulerStats
@@ -71,8 +142,12 @@ struct SchedulerStats
     std::int64_t admitted = 0;  ///< accepted into the queue
     std::int64_t shed = 0;      ///< refused at admission
     std::int64_t completed = 0; ///< futures resolved Completed
-    std::int64_t batches = 0;   ///< engine runs formed
-    std::int64_t headTasks = 0; ///< head tasks executed
+    std::int64_t timedOut = 0;  ///< futures resolved TimedOut
+    std::int64_t failed = 0;    ///< futures resolved Failed
+    std::int64_t degraded = 0;  ///< futures resolved Degraded
+    std::int64_t retried = 0;   ///< re-run attempts started
+    std::int64_t batches = 0;   ///< merged engine runs formed
+    std::int64_t headTasks = 0; ///< head tasks of finished runs
     std::int64_t maxQueueDepth = 0; ///< waiting-depth high water
     /** Mean completed requests per formed batch (continuous-
      * batching effectiveness; 0 before the first batch). */
@@ -92,10 +167,12 @@ class Scheduler
     const SchedulerConfig &config() const { return cfg_; }
 
     /**
-     * Submit one request. The returned future always resolves: with
-     * Outcome::Completed and the engine results, with Outcome::Shed
-     * when admission refuses it, or with the engine's exception if
-     * the run fails.
+     * Submit one request. The returned future always resolves with
+     * a RequestResult — never an exception: Outcome::Completed (or
+     * Degraded) with the engine results, Outcome::Shed when
+     * admission refuses it, Outcome::TimedOut when the deadline
+     * expires first, or Outcome::Failed (with `error` filled) once
+     * the retry budget is exhausted.
      */
     std::future<RequestResult> submit(Request r);
 
@@ -109,11 +186,22 @@ class Scheduler
     SchedulerStats stats() const;
 
   private:
+    struct Slot; // per-request in-flight state (scheduler.cc)
+
     void dispatchLoop();
     void runBatch(std::vector<PendingRequest> batch);
+    bool stepWithFaults(EngineRun &run, std::vector<Slot *> &slots);
+    void runSoloWithRetry(Slot &slot, const Engine &eng,
+                          Outcome success, double keep_frac,
+                          std::string last_error);
+    void resolveSlot(Slot &slot, Outcome outcome,
+                     EngineResult engine, double keep_frac,
+                     int coscheduled, std::string error);
 
     SchedulerConfig cfg_;
     Engine engine_;
+    Engine degradedEngine_; ///< cheaper config for Degraded runs
+    FaultPlan faults_;      ///< cfg_.faults, else SOFA_FAULTS
     RequestQueue queue_;
     std::unique_ptr<TaskQueue> lanes_;
 
@@ -126,6 +214,10 @@ class Scheduler
     std::int64_t submitted_ = 0;
     std::int64_t shed_ = 0;
     std::int64_t completed_ = 0;
+    std::int64_t timedOut_ = 0;
+    std::int64_t failed_ = 0;
+    std::int64_t degraded_ = 0;
+    std::int64_t retried_ = 0;
     std::int64_t batches_ = 0;
     std::int64_t headTasks_ = 0;
 

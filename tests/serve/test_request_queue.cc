@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "serve/request_queue.h"
 
 namespace sofa {
@@ -87,6 +91,51 @@ TEST(RequestQueue, CloseDrainsThenReturnsEmpty)
     EXPECT_EQ(b.size(), 1u); // admitted work still drains
     auto empty = q.popBatch(8, 1 << 20);
     EXPECT_TRUE(empty.empty()); // closed + drained: no blocking
+}
+
+TEST(RequestQueue, CloseRacingPopBatchNeverLosesWork)
+{
+    // close() races concurrent popBatch() consumers: every admitted
+    // request must still be popped exactly once, and every consumer
+    // must unblock with an empty batch afterwards. Runs in the TSan
+    // CI group (serve. prefix) to catch lock-discipline slips.
+    for (int round = 0; round < 8; ++round) {
+        RequestQueue q(1024);
+        std::atomic<std::int64_t> popped{0};
+        std::vector<std::thread> consumers;
+        for (int c = 0; c < 3; ++c) {
+            consumers.emplace_back([&q, &popped] {
+                for (;;) {
+                    auto batch = q.popBatch(/*head_budget=*/3,
+                                            /*token_budget=*/1
+                                                << 20);
+                    if (batch.empty())
+                        return; // closed and drained
+                    popped.fetch_add(
+                        static_cast<std::int64_t>(batch.size()));
+                    for (PendingRequest &p : batch)
+                        p.promise.set_value(RequestResult{});
+                }
+            });
+        }
+        std::int64_t pushed = 0;
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            PendingRequest p = pending(i, /*heads=*/1);
+            if (q.push(std::move(p)))
+                ++pushed;
+            else
+                p.promise.set_value(RequestResult{});
+            if (i == 40)
+                q.close(); // mid-stream: late pushes are refused
+        }
+        for (std::thread &t : consumers)
+            t.join();
+        EXPECT_TRUE(q.closed());
+        EXPECT_EQ(popped.load(), pushed);
+        EXPECT_EQ(q.size(), 0u);
+        // Once closed and drained, popBatch never blocks again.
+        EXPECT_TRUE(q.popBatch(8, 1 << 20).empty());
+    }
 }
 
 } // namespace
