@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Open-loop trace-replay benchmark (serving v2): the full SLO-aware
+ * configuration — DRR per-tenant fairness, prefill chunking, and the
+ * bounded paged KV pool — replaying multi-tenant Poisson traces at
+ * increasing offered rate until saturation. Each rate point reports
+ * goodput (completed requests per wall-clock second), p50/p99
+ * request latency, and the timeout/shed/eviction/cold/chunk counters
+ * (all machine-dependent under open-loop timing: nocheck, trajectory
+ * only — the trajectory log renders the goodput/p99-vs-offered-rate
+ * family).
+ *
+ * A second, fully deterministic section (paused scheduler, one lane)
+ * golden-gates the serving-v2 analytic invariants at tolerance 0:
+ *
+ *  - conservation: submitted = admitted + shed and
+ *    admitted = completed + timedOut + failed + degraded;
+ *  - page accounting at quiescence: pinned = 0 and
+ *    free + resident = capacity;
+ *  - recompute reconciliation: the pool-on op total exceeds the
+ *    pool-off total by exactly the kvGenerationOps of the keys the
+ *    pool-off run found cached but cold decodes had to regenerate —
+ *    recompute cost is derived through the engine's own counters,
+ *    never asserted;
+ *  - the eviction/cold-run/chunk-dispatch counters themselves
+ *    (a pure function of the seeded trace).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmain.h"
+#include "benchutil.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "model/config.h"
+#include "serve/scheduler.h"
+
+namespace {
+
+using namespace sofa;
+using serve::Outcome;
+using serve::Request;
+using serve::RequestResult;
+using serve::Scheduler;
+using serve::SchedulerConfig;
+using serve::SchedulingPolicy;
+
+/** The serving-v2 scheduler configuration under benchmark. */
+SchedulerConfig
+servingV2Config(int threads)
+{
+    SchedulerConfig cfg;
+    cfg.engine.pipeline.topkFrac = 0.2;
+    cfg.engine.computeQuality = false; // throughput focus
+    cfg.lanes = threads > 1 ? 2 : 1;
+    cfg.headBudget = 8;
+    cfg.policy = SchedulingPolicy::DRR;
+    cfg.drrQuantumHeads = 4;
+    cfg.prefillChunkRows = 24;
+    cfg.kvPool.pages = 24;
+    cfg.kvPool.pageTokens = 16;
+    cfg.faultsFromEnv = false; // hermetic: outcome counts reported
+    return cfg;
+}
+
+int
+run(const bench::Options &opts, bench::Reporter &rep)
+{
+    std::printf("open-loop trace replay: DRR + prefill chunking + "
+                "paged KV pool (%d thread%s)\n\n",
+                opts.threads, opts.threads == 1 ? "" : "s");
+
+    const auto model = models::llama7b();
+    const std::uint64_t seed = opts.seedOr(0x50FA7CE0ull);
+    const int tenants = 4;
+    const int ctx = opts.quick ? 48 : 64;
+    const int n = opts.quick ? 400 : 20000;
+
+    // ------------------------------------------------------------
+    // Offered-rate sweep (open loop; wall-clock-dependent: nocheck)
+    // ------------------------------------------------------------
+    // One logical trace with Poisson arrivals; replaying it with a
+    // shrinking time scale raises the offered rate — scale 0 submits
+    // everything at once (the saturation point). Deadlines turn
+    // overload into timeouts, the bounded queue into shedding.
+    const std::vector<Request> trace = serve::multiTenantTrace(
+        representativeScenarios(model), tenants, n,
+        ArrivalPattern::Poisson, /*mean_gap=*/2e-4, seed, ctx,
+        /*max_batch=*/1, /*max_heads=*/2);
+
+    Table t;
+    t.column("offered", Align::Left)
+        .column("rate r/s")
+        .column("goodput r/s")
+        .column("p50 ms")
+        .column("p99 ms")
+        .column("timeout")
+        .column("shed")
+        .column("evict")
+        .column("cold")
+        .column("chunks");
+    const std::vector<double> scales = {4.0, 1.0, 0.0};
+    for (std::size_t si = 0; si < scales.size(); ++si) {
+        const double scale = scales[si];
+        SchedulerConfig cfg = servingV2Config(opts.threads);
+        cfg.maxQueue = static_cast<std::size_t>(n) / 4 + 8;
+        cfg.defaultDeadlineSeconds = 2.0; // generous: p99 visible
+        Scheduler sched(cfg);
+        const double t0 = benchutil::now();
+        const std::vector<RequestResult> res =
+            replayTrace(sched, trace, scale);
+        const double wall = benchutil::now() - t0;
+        const serve::SchedulerStats st = sched.stats();
+
+        std::vector<double> lat;
+        std::int64_t completed = 0;
+        for (const RequestResult &r : res) {
+            if (r.outcome != Outcome::Completed)
+                continue;
+            ++completed;
+            lat.push_back(r.totalSeconds);
+        }
+        const double offered =
+            scale > 0.0 ? 1.0 / (2e-4 * scale)
+                        : static_cast<double>(n) / wall;
+        const double goodput = static_cast<double>(completed) / wall;
+        const double p50 = lat.empty() ? 0.0 : percentile(lat, 0.50);
+        const double p99 = lat.empty() ? 0.0 : percentile(lat, 0.99);
+        const std::string tag = "rate" + std::to_string(si);
+        char label[32];
+        if (scale > 0.0)
+            std::snprintf(label, sizeof(label), "%gx gaps", scale);
+        else
+            std::snprintf(label, sizeof(label), "saturation");
+        t.row()
+            .cell(label)
+            .cell(offered, 0)
+            .cell(goodput, 0)
+            .cell(1e3 * p50, 2)
+            .cell(1e3 * p99, 2)
+            .cell(st.timedOut)
+            .cell(st.shed)
+            .cell(st.kvEvictions)
+            .cell(st.kvColdRuns)
+            .cell(st.chunkRuns);
+        rep.metric(tag + "_offered_rps", offered, "req/s").nocheck();
+        rep.metric(tag + "_goodput_rps", goodput, "req/s").nocheck();
+        rep.metric(tag + "_latency_p50_s", p50, "s").nocheck();
+        rep.metric(tag + "_latency_p99_s", p99, "s").nocheck();
+        rep.metric(tag + "_completed",
+                   static_cast<double>(completed), "count").nocheck();
+        rep.metric(tag + "_timedout",
+                   static_cast<double>(st.timedOut), "count")
+            .nocheck();
+        rep.metric(tag + "_shed", static_cast<double>(st.shed),
+                   "count").nocheck();
+        rep.metric(tag + "_kv_evictions",
+                   static_cast<double>(st.kvEvictions), "count")
+            .nocheck();
+        rep.metric(tag + "_wall_s", wall, "s").nocheck();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // ------------------------------------------------------------
+    // Deterministic invariants (golden-gated at tolerance 0)
+    // ------------------------------------------------------------
+    // A paused single-lane scheduler admits a burst that overflows
+    // the queue (deterministic shedding), then drains: the served
+    // schedule — and with it every eviction, cold run and chunk
+    // dispatch — is a pure function of the seeded trace.
+    const int n_inv = opts.quick ? 160 : 400;
+    const std::vector<Request> inv_trace = serve::multiTenantTrace(
+        representativeScenarios(model), tenants, n_inv,
+        ArrivalPattern::Burst, 0.0, seed + 1, /*max_context=*/24,
+        /*max_batch=*/1, /*max_heads=*/2);
+
+    SchedulerConfig icfg = servingV2Config(opts.threads);
+    icfg.lanes = 1;          // serialize the pool's op sequence
+    icfg.startPaused = true; // admission decoupled from dispatch
+    icfg.maxQueue = static_cast<std::size_t>(3 * n_inv / 4);
+    icfg.drrQuantumHeads = 2;
+    icfg.headBudget = 4;
+    icfg.prefillChunkRows = 10;
+    icfg.kvPool.pages = 6; // tiny: constant eviction churn
+    icfg.kvPool.pageTokens = 16;
+
+    auto replay = [&](bool pool_on) {
+        SchedulerConfig cfg = icfg;
+        if (!pool_on)
+            cfg.kvPool.pages = 0;
+        Scheduler sched(cfg);
+        std::vector<std::future<RequestResult>> futs;
+        for (const Request &r : inv_trace)
+            futs.push_back(sched.submit(r));
+        sched.drain();
+        std::pair<std::vector<RequestResult>,
+                  serve::SchedulerStats> out;
+        for (auto &f : futs)
+            out.first.push_back(f.get());
+        out.second = sched.stats();
+        // Page accounting at quiescence: nothing is pinned and
+        // every page is either free or idle-resident cache.
+        const serve::KvPool &pool = sched.kvPool();
+        const bool pages_ok =
+            pool.pinnedPages() == 0 &&
+            pool.freePages() + pool.residentPages() ==
+                pool.capacityPages();
+        if (pool_on) {
+            rep.metric("inv_pinned_at_quiescence",
+                       static_cast<double>(pool.pinnedPages()),
+                       "pages").tol(0.0);
+            rep.metric("inv_pages_conserved", pages_ok ? 1.0 : 0.0,
+                       "bool").tol(0.0);
+        }
+        return out;
+    };
+    const auto on = replay(true);
+    const auto off = replay(false);
+
+    const serve::SchedulerStats &st = on.second;
+    const bool conserved =
+        st.submitted == st.admitted + st.shed &&
+        st.admitted == st.completed + st.timedOut + st.failed +
+                           st.degraded;
+
+    // Recompute reconciliation: pool-off keeps pastLen free, so its
+    // decodes find their keys cached; the pool-on run's cold decodes
+    // regenerate them. The exact op delta is kvGenerationOps of the
+    // cached-key difference, summed per request (linear in keys).
+    std::int64_t ops_on = 0, ops_off = 0, expected_delta = 0;
+    for (std::size_t i = 0; i < on.first.size(); ++i) {
+        const RequestResult &a = on.first[i];
+        const RequestResult &b = off.first[i];
+        if (a.outcome != Outcome::Completed ||
+            b.outcome != Outcome::Completed)
+            continue;
+        ops_on += a.engine.totalOps().total();
+        ops_off += b.engine.totalOps().total();
+        const std::int64_t cached_delta =
+            b.engine.keysCached - a.engine.keysCached;
+        expected_delta +=
+            kvGenerationOps(cached_delta, inv_trace[i].work.tokenDim,
+                            inv_trace[i].work.headDim).total();
+    }
+    const bool recompute_ok = ops_on - ops_off == expected_delta;
+
+    std::printf(
+        "deterministic invariants (%d requests, capacity %zu):\n"
+        "  admitted=%lld shed=%lld completed=%lld -> conservation "
+        "%s\n"
+        "  kv: evictions=%lld cold runs=%lld chunk runs=%lld; page "
+        "accounting %s\n"
+        "  recompute: pool-on ops - pool-off ops = %lld, expected "
+        "%lld -> %s\n",
+        n_inv, icfg.maxQueue, static_cast<long long>(st.admitted),
+        static_cast<long long>(st.shed),
+        static_cast<long long>(st.completed),
+        conserved ? "OK" : "VIOLATED",
+        static_cast<long long>(st.kvEvictions),
+        static_cast<long long>(st.kvColdRuns),
+        static_cast<long long>(st.chunkRuns),
+        "gated in JSON",
+        static_cast<long long>(ops_on - ops_off),
+        static_cast<long long>(expected_delta),
+        recompute_ok ? "reconciled exactly" : "MISMATCH");
+
+    rep.metric("inv_requests", static_cast<double>(n_inv), "count")
+        .tol(0.0);
+    rep.metric("inv_admitted", static_cast<double>(st.admitted),
+               "count").tol(0.0);
+    rep.metric("inv_shed", static_cast<double>(st.shed), "count")
+        .tol(0.0);
+    rep.metric("inv_completed", static_cast<double>(st.completed),
+               "count").tol(0.0);
+    rep.metric("inv_conservation", conserved ? 1.0 : 0.0, "bool")
+        .tol(0.0);
+    rep.metric("inv_kv_evictions",
+               static_cast<double>(st.kvEvictions), "count").tol(0.0);
+    rep.metric("inv_kv_cold_runs",
+               static_cast<double>(st.kvColdRuns), "count").tol(0.0);
+    rep.metric("inv_chunk_runs",
+               static_cast<double>(st.chunkRuns), "count").tol(0.0);
+    rep.metric("inv_recompute_delta_ops",
+               static_cast<double>(ops_on - ops_off), "ops").tol(0.0);
+    rep.metric("inv_recompute_reconciled", recompute_ok ? 1.0 : 0.0,
+               "bool").tol(0.0);
+    if (!conserved || !recompute_ok) {
+        std::fprintf(stderr, "FAIL: serving-v2 invariants violated\n");
+        return 1;
+    }
+
+    return 0;
+}
+
+} // namespace
+
+SOFA_BENCH_MAIN("serve_trace", run)

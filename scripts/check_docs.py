@@ -115,6 +115,28 @@ def main():
                 errors.append(f"docs/SERVING.md: Outcome::{v} "
                               "mentioned but not in the enum")
 
+    # Every scheduling policy must be documented (the policy table),
+    # parsed from the SchedulingPolicy enum so a new policy cannot
+    # land without its row.
+    queue_header = read("src/serve/request_queue.h")
+    policy_match = re.search(
+        r"enum class SchedulingPolicy\s*\{(.*?)\};", queue_header,
+        re.DOTALL)
+    if not policy_match:
+        errors.append("src/serve/request_queue.h: SchedulingPolicy "
+                      "enum not found (check_docs parses it)")
+    else:
+        body = re.sub(r"//[^\n]*", "", policy_match.group(1))
+        variants = re.findall(r"\b([A-Z]\w*)\b", body)
+        if not variants:
+            errors.append("src/serve/request_queue.h: no "
+                          "SchedulingPolicy variants parsed "
+                          "(check_docs regex stale?)")
+        for v in variants:
+            if f"`{v}`" not in serving_doc:
+                errors.append(f"docs/SERVING.md: SchedulingPolicy "
+                              f"variant `{v}` not documented")
+
     # The fault model must be documented: the injection grammar's
     # environment hook and the module implementing it.
     for needle in ("SOFA_FAULTS", "common/faultplan"):

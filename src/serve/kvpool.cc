@@ -1,0 +1,212 @@
+#include "serve/kvpool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sofa {
+namespace serve {
+
+KvPool::KvPool(KvPoolConfig cfg) : cfg_(cfg), free_(cfg.pages)
+{
+    SOFA_ASSERT(cfg_.pages >= 0);
+    SOFA_ASSERT(cfg_.pageTokens >= 1);
+}
+
+std::int64_t
+KvPool::pagesFor(std::int64_t tokens, std::int64_t page_tokens)
+{
+    if (tokens <= 0)
+        return 1; // every reservation holds at least one page
+    return (tokens + page_tokens - 1) / page_tokens;
+}
+
+KvAcquire
+KvPool::acquire(std::uint64_t id, std::int64_t tokens, bool pin_now)
+{
+    KvAcquire out;
+    if (!enabled()) {
+        out.ok = true;
+        return out;
+    }
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        // Still resident: the reservation survived — warm. Bump the
+        // LRU clock so the waiters churn in true recency order.
+        it->second.recency = ++clock_;
+        if (pin_now)
+            it->second.pinned = true;
+        out.ok = true;
+        out.pages = it->second.pages;
+        return out;
+    }
+    const std::int64_t need = pagesFor(tokens, cfg_.pageTokens);
+    if (need > cfg_.pages)
+        return out; // can never fit; caller sheds
+    // Evict idle (unpinned) residents LRU-first until it fits.
+    while (free_ < need) {
+        std::uint64_t victim = 0;
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        bool found = false;
+        for (const auto &e : entries_) {
+            if (e.second.pinned)
+                continue;
+            if (e.second.recency < best) {
+                best = e.second.recency;
+                victim = e.first;
+                found = true;
+            }
+        }
+        if (!found)
+            return out; // everything pinned: overcommitted, fail
+        auto vit = entries_.find(victim);
+        free_ += vit->second.pages;
+        if (!vit->second.retired)
+            evictedIds_.insert(victim);
+        entries_.erase(vit);
+        ++evictions_;
+        out.evicted.push_back(victim);
+    }
+    free_ -= need;
+    Entry e;
+    e.pages = need;
+    e.recency = ++clock_;
+    e.pinned = pin_now;
+    entries_.emplace(id, e);
+    out.ok = true;
+    out.pages = need;
+    out.cold = evictedIds_.erase(id) > 0;
+    if (out.cold)
+        ++coldAcquires_;
+    return out;
+}
+
+bool
+KvPool::pin(std::uint64_t id)
+{
+    if (!enabled())
+        return true;
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return false;
+    it->second.pinned = true;
+    it->second.recency = ++clock_;
+    return true;
+}
+
+void
+KvPool::unpin(std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    if (it != entries_.end())
+        it->second.pinned = false;
+}
+
+void
+KvPool::retire(std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        it->second.pinned = false;
+        it->second.retired = true;
+    }
+}
+
+void
+KvPool::release(std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        free_ += it->second.pages;
+        entries_.erase(it);
+    }
+    evictedIds_.erase(id);
+}
+
+std::int64_t
+KvPool::freePages() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return free_;
+}
+
+std::int64_t
+KvPool::residentPages() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::int64_t n = 0;
+    for (const auto &e : entries_)
+        n += e.second.pages;
+    return n;
+}
+
+std::int64_t
+KvPool::pinnedPages() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::int64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.second.pinned)
+            n += e.second.pages;
+    return n;
+}
+
+std::int64_t
+KvPool::evictions() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return evictions_;
+}
+
+std::int64_t
+KvPool::coldAcquires() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return coldAcquires_;
+}
+
+bool
+KvPool::resident(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return entries_.count(id) > 0;
+}
+
+bool
+KvPool::pinned(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = entries_.find(id);
+    return it != entries_.end() && it->second.pinned;
+}
+
+std::vector<std::uint64_t>
+KvPool::lruOrder() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> idle;
+    for (const auto &e : entries_)
+        if (!e.second.pinned)
+            idle.emplace_back(e.second.recency, e.first);
+    std::sort(idle.begin(), idle.end());
+    std::vector<std::uint64_t> order;
+    order.reserve(idle.size());
+    for (const auto &p : idle)
+        order.push_back(p.second);
+    return order;
+}
+
+} // namespace serve
+} // namespace sofa

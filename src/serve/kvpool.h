@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded paged KV-cache memory pool: turns a decode request's
+ * `pastLen` from free memory into a managed resource. Admission
+ * reserves ceil(tokens / pageTokens) pages for a request's K/V rows
+ * (evicting the least-recently-used *idle* — unpinned — resident's
+ * pages on overflow, Tailors-style overbooking: size for the common
+ * case, admit speculatively, pay a measured recovery cost). A
+ * request whose reservation was evicted while it waited re-acquires
+ * *cold*: its next decode step runs with an effective pastLen of 0,
+ * so the engine's KV stage charges the full on-demand regeneration
+ * through the existing keysCached / kvGenerationOps counters —
+ * recompute cost is derived by the op-count discipline, never
+ * asserted, and pool-on vs pool-off totals reconcile exactly
+ * (the delta is kvGenerationOps(keys the warm run found cached)).
+ *
+ * Pin/unpin bracket an engine run: pinned pages are never eviction
+ * victims, so a running batch cannot lose its cache mid-pipeline.
+ * Completed requests stay resident (retire()) as reusable idle cache
+ * until pressure evicts them; eviction order among idle residents is
+ * strict LRU over a deterministic logical clock bumped at every
+ * acquire/pin, so a single-lane paused scheduler replays the exact
+ * same eviction schedule every run.
+ *
+ * Units: capacity/reservations in pages of `pageTokens` context
+ * tokens; recompute charges in OpCounter ops (core/pipeline.h).
+ */
+
+#ifndef SOFA_SERVE_KVPOOL_H
+#define SOFA_SERVE_KVPOOL_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sofa {
+namespace serve {
+
+/** KV pool sizing knobs (documented in docs/SERVING.md). */
+struct KvPoolConfig
+{
+    /** Pool capacity in pages; 0 disables the pool entirely (every
+     * acquire succeeds warm and nothing is ever evicted). */
+    std::int64_t pages = 0;
+    /** Context tokens per page (the block-allocation granule). */
+    std::int64_t pageTokens = 16;
+};
+
+/** Outcome of KvPool::acquire. */
+struct KvAcquire
+{
+    /** Reservation held (always true when the pool is disabled). */
+    bool ok = false;
+    /** The id had a reservation that was evicted since: its cached
+     * pastLen is invalid and the next decode step must recompute. */
+    bool cold = false;
+    /** Pages now reserved for the id. */
+    std::int64_t pages = 0;
+    /** Victims whose pages were evicted to make room, in LRU order. */
+    std::vector<std::uint64_t> evicted;
+};
+
+/**
+ * The bounded page allocator. Thread-safe; every operation is O(n)
+ * worst-case in resident entries (LRU scan) and deterministic given
+ * the operation sequence.
+ */
+class KvPool
+{
+  public:
+    explicit KvPool(KvPoolConfig cfg = {});
+
+    KvPool(const KvPool &) = delete;
+    KvPool &operator=(const KvPool &) = delete;
+
+    const KvPoolConfig &config() const { return cfg_; }
+    bool enabled() const { return cfg_.pages > 0; }
+
+    /** Pages needed for @p tokens context tokens (>= 1 per row). */
+    static std::int64_t pagesFor(std::int64_t tokens,
+                                 std::int64_t page_tokens);
+
+    /**
+     * Reserve pages for @p id's @p tokens K/V rows, evicting idle
+     * residents LRU-first on overflow. Re-acquiring a resident id
+     * just bumps its recency (and pins when @p pin_now). Returns
+     * ok=false — reserving nothing — when the demand exceeds the
+     * whole capacity or every resident page is pinned; `cold` is set
+     * when a previous reservation of this id was evicted in between.
+     */
+    KvAcquire acquire(std::uint64_t id, std::int64_t tokens,
+                      bool pin_now = false);
+
+    /** Pin @p id's pages for an engine run (not evictable until
+     * unpin). False when the id is not resident — the reservation
+     * was evicted while the request waited, or never made. */
+    bool pin(std::uint64_t id);
+
+    /** Release the run-time pin; the pages stay resident (idle). */
+    void unpin(std::uint64_t id);
+
+    /**
+     * Mark a finished request's pages as reusable idle cache: unpins
+     * and flags the entry so a later eviction of it is not recorded
+     * as a cold-marker (the request never comes back for them).
+     */
+    void retire(std::uint64_t id);
+
+    /** Free @p id's pages immediately (shed/timeout/failure paths);
+     * a no-op when the id holds nothing. */
+    void release(std::uint64_t id);
+
+    // ---- introspection (page-conservation invariants + tests) ----
+    std::int64_t capacityPages() const { return cfg_.pages; }
+    std::int64_t freePages() const;
+    std::int64_t residentPages() const; ///< reserved = pinned + idle
+    std::int64_t pinnedPages() const;
+    std::int64_t evictions() const;     ///< victims evicted, total
+    std::int64_t coldAcquires() const;  ///< acquires that came back cold
+    bool resident(std::uint64_t id) const;
+    bool pinned(std::uint64_t id) const;
+    /** Idle residents in eviction (LRU-first) order — the reference
+     * order the property tests check victims against. */
+    std::vector<std::uint64_t> lruOrder() const;
+
+  private:
+    struct Entry
+    {
+        std::int64_t pages = 0;
+        std::uint64_t recency = 0; ///< logical LRU clock stamp
+        bool pinned = false;
+        bool retired = false; ///< finished; eviction leaves no marker
+    };
+
+    KvPoolConfig cfg_;
+    mutable std::mutex m_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    /** Ids whose reservation was evicted and not yet re-acquired. */
+    std::unordered_set<std::uint64_t> evictedIds_;
+    std::int64_t free_ = 0;
+    std::uint64_t clock_ = 0;
+    std::int64_t evictions_ = 0;
+    std::int64_t coldAcquires_ = 0;
+};
+
+} // namespace serve
+} // namespace sofa
+
+#endif // SOFA_SERVE_KVPOOL_H

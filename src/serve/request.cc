@@ -64,6 +64,27 @@ mixedTrace(const std::vector<ServingScenario> &scenarios, int n,
 }
 
 std::vector<Request>
+multiTenantTrace(const std::vector<ServingScenario> &scenarios,
+                 int tenants, int n, ArrivalPattern pattern,
+                 double mean_gap, std::uint64_t seed,
+                 int max_context, int max_batch, int max_heads)
+{
+    SOFA_ASSERT(tenants >= 1);
+    std::vector<Request> trace =
+        mixedTrace(scenarios, n, pattern, mean_gap, seed,
+                   max_context, max_batch, max_heads);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        // Decorrelated from the scenario cycle: the same splitmix
+        // mix the grid seeds use, salted so the tenant draw does not
+        // collide with the workload seed stream.
+        trace[i].tenant = static_cast<int>(
+            headSeed(seed ^ 0x7E4A317Bull, static_cast<int>(i), 1) %
+            static_cast<std::uint64_t>(tenants));
+    }
+    return trace;
+}
+
+std::vector<Request>
 scenarioTrace(const ServingScenario &s, int n,
               ArrivalPattern pattern, double mean_gap,
               std::uint64_t seed, int max_context, int max_batch,

@@ -55,9 +55,14 @@ struct Request
      * `defaultDeadlineSeconds`; a negative value opts this request
      * out of any deadline. Expired requests resolve
      * Outcome::TimedOut — their engine work is cancelled
-     * cooperatively at the next stage boundary.
+     * cooperatively at the next stage boundary. The EDF scheduling
+     * policy orders batch formation by this deadline.
      */
     double deadlineSeconds = 0.0;
+    /** Owning tenant (fairness domain) — the key the deficit-round-
+     * robin scheduling policy balances served head tasks across.
+     * FIFO and EDF ignore it. */
+    int tenant = 0;
 
     RequestKind kind() const
     {
@@ -126,6 +131,13 @@ struct RequestResult
     /** Fraction of the configured SADS keep span this request ran
      * with: 1.0 normally, `degradeKeepFactor` when Degraded. */
     double degradeKeepFrac = 1.0;
+    /** A decode step that ran with an evicted KV reservation: its
+     * effective pastLen was 0 and the regeneration cost is in the
+     * engine op counters (serve/kvpool recompute accounting). */
+    bool kvCold = false;
+    /** Engine dispatches this prefill was split into by prefill
+     * chunking (1 = unchunked). */
+    int chunks = 1;
     /** Last failure message (Outcome::Failed only). */
     std::string error;
 };
@@ -154,6 +166,19 @@ std::vector<Request> mixedTrace(
     const std::vector<ServingScenario> &scenarios, int n,
     ArrivalPattern pattern, double mean_gap, std::uint64_t seed,
     int max_context = 256, int max_batch = 1, int max_heads = 4);
+
+/**
+ * A mixed trace spread across @p tenants fairness domains: the
+ * scenario cycle of mixedTrace plus a deterministic per-request
+ * tenant draw (splitmix hash of the trace seed and request index,
+ * decorrelated from the scenario cycle so no tenant sees only one
+ * request kind). The workload the DRR policy balances.
+ */
+std::vector<Request> multiTenantTrace(
+    const std::vector<ServingScenario> &scenarios, int tenants,
+    int n, ArrivalPattern pattern, double mean_gap,
+    std::uint64_t seed, int max_context = 256, int max_batch = 1,
+    int max_heads = 4);
 
 } // namespace serve
 } // namespace sofa

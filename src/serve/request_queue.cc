@@ -2,12 +2,90 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace sofa {
 namespace serve {
 
-RequestQueue::RequestQueue(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity))
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** EDF sort key: absolute deadline, no-deadline requests last. */
+Clock::time_point
+edfKey(const PendingRequest &p)
 {
+    return p.hasDeadline ? p.deadline : Clock::time_point::max();
+}
+
+bool
+edfBefore(const PendingRequest &a, const PendingRequest &b)
+{
+    const Clock::time_point ka = edfKey(a), kb = edfKey(b);
+    if (ka != kb)
+        return ka < kb;
+    return a.seqNo < b.seqNo;
+}
+
+} // namespace
+
+const char *
+schedulingPolicyName(SchedulingPolicy p)
+{
+    switch (p) {
+      case SchedulingPolicy::FIFO:
+        return "fifo";
+      case SchedulingPolicy::EDF:
+        return "edf";
+      case SchedulingPolicy::DRR:
+        return "drr";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity,
+                           SchedulingPolicy policy,
+                           std::int64_t drr_quantum_heads,
+                           int prefill_chunk_rows)
+    : capacity_(std::max<std::size_t>(1, capacity)), policy_(policy),
+      quantum_(std::max<std::int64_t>(1, drr_quantum_heads)),
+      chunkRows_(prefill_chunk_rows)
+{
+}
+
+void
+RequestQueue::enqueueLocked(PendingRequest &&p)
+{
+    switch (policy_) {
+      case SchedulingPolicy::FIFO:
+        q_.push_back(std::move(p));
+        break;
+      case SchedulingPolicy::EDF: {
+        // Keep the deque sorted by (deadline, seqNo): a batch is
+        // then always a deadline-order prefix.
+        auto pos = std::upper_bound(q_.begin(), q_.end(), p,
+                                    edfBefore);
+        q_.insert(pos, std::move(p));
+        break;
+      }
+      case SchedulingPolicy::DRR: {
+        const int t = p.request.tenant;
+        auto it = tenantQ_.find(t);
+        if (it == tenantQ_.end() || it->second.empty()) {
+            // Tenant (re)activates: it joins the back of the visit
+            // ring with zero carried credit.
+            if (it == tenantQ_.end())
+                it = tenantQ_.emplace(t, std::deque<PendingRequest>{})
+                         .first;
+            ring_.push_back(t);
+            deficit_[t] = 0;
+        }
+        it->second.push_back(std::move(p));
+        break;
+      }
+    }
+    ++count_;
+    max_depth_ = std::max(max_depth_, count_);
 }
 
 bool
@@ -15,24 +93,32 @@ RequestQueue::push(PendingRequest &&p)
 {
     {
         std::lock_guard<std::mutex> lk(m_);
-        if (closed_ || q_.size() >= capacity_)
+        if (closed_ || count_ >= capacity_)
             return false;
-        q_.push_back(std::move(p));
-        max_depth_ = std::max(max_depth_, q_.size());
+        p.seqNo = nextSeq_++;
+        enqueueLocked(std::move(p));
     }
     cv_.notify_one();
     return true;
 }
 
-std::vector<PendingRequest>
-RequestQueue::popBatch(std::int64_t head_budget,
-                       std::int64_t token_budget)
+void
+RequestQueue::pushReadmit(PendingRequest &&p)
 {
-    std::unique_lock<std::mutex> lk(m_);
-    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        SOFA_ASSERT(popped_ > 0);
+        --popped_;
+        enqueueLocked(std::move(p)); // keeps its original seqNo
+    }
+    cv_.notify_all();
+}
+
+std::vector<PendingRequest>
+RequestQueue::popOrderedLocked(std::int64_t head_budget,
+                               std::int64_t token_budget)
+{
     std::vector<PendingRequest> batch;
-    if (q_.empty())
-        return batch; // closed and drained
     // The head of the line always dispatches, whatever its size —
     // budgets bound aggregation, they never starve a request.
     std::int64_t heads = 0, tokens = 0;
@@ -41,11 +127,108 @@ RequestQueue::popBatch(std::int64_t head_budget,
         tokens += q_.front().request.contextTokens();
         batch.push_back(std::move(q_.front()));
         q_.pop_front();
+        --count_;
     } while (!q_.empty() &&
              heads + q_.front().request.headTasks() <= head_budget &&
              tokens + q_.front().request.contextTokens() <=
                  token_budget);
     return batch;
+}
+
+std::vector<PendingRequest>
+RequestQueue::popDrrLocked(std::int64_t head_budget,
+                           std::int64_t token_budget)
+{
+    std::vector<PendingRequest> batch;
+    std::int64_t heads = 0, tokens = 0;
+    // One continuous DRR scan with batch windows as pure cut points:
+    // each round-robin visit earns the quantum exactly once and
+    // spends it front-to-back on the tenant's FIFO line; a visit
+    // ends only when the line empties or its head outprices the
+    // remaining credit (never because the window filled). When the
+    // window fills mid-visit the scan suspends — visitArmed_ keeps
+    // the quantum from being re-earned — and the next popBatch
+    // resumes the very same visit, so the sequence of served
+    // requests is exactly single-stream DRR chopped at budget
+    // boundaries and inherits its fairness bound. Batch-empty takes
+    // ignore the budgets (head-of-line guarantee) but still wait for
+    // credit: with a backlog the front tenant earns a quantum per
+    // lap, so the wait always terminates.
+    while (count_ > 0) {
+        const int t = ring_.front();
+        if (!visitArmed_) {
+            deficit_[t] += quantum_;
+            visitArmed_ = true;
+        }
+        auto &line = tenantQ_[t];
+        bool window_full = false;
+        while (!line.empty()) {
+            const Request &r = line.front().request;
+            const std::int64_t h = r.headTasks();
+            const std::int64_t tok = r.contextTokens();
+            if (!batch.empty() && (heads + h > head_budget ||
+                                   tokens + tok > token_budget)) {
+                window_full = true;
+                break;
+            }
+            if (h > deficit_[t])
+                break; // credit-blocked: visit over, earn next lap
+            deficit_[t] -= h;
+            heads += h;
+            tokens += tok;
+            batch.push_back(std::move(line.front()));
+            line.pop_front();
+            --count_;
+        }
+        if (window_full)
+            break; // suspend mid-visit; next pop resumes tenant t
+        visitArmed_ = false;
+        ring_.pop_front();
+        if (line.empty()) {
+            // Idle tenants carry no credit: fairness is defined over
+            // backlogged tenants only (classic DRR).
+            tenantQ_.erase(t);
+            deficit_.erase(t);
+        } else {
+            ring_.push_back(t);
+        }
+    }
+    return batch;
+}
+
+std::vector<PendingRequest>
+RequestQueue::popBatch(std::int64_t head_budget,
+                       std::int64_t token_budget)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] {
+        return count_ > 0 || (closed_ && popped_ == 0);
+    });
+    if (count_ == 0)
+        return {}; // closed, drained, and nothing can come back
+    std::vector<PendingRequest> batch =
+        policy_ == SchedulingPolicy::DRR
+            ? popDrrLocked(head_budget, token_budget)
+            : popOrderedLocked(head_budget, token_budget);
+    // Only chunk-eligible requests can come back via pushReadmit;
+    // everything else is handed off for good, exactly as the
+    // original single-policy queue did (poppers need not call
+    // finishPopped for them).
+    for (const PendingRequest &p : batch)
+        if (prefillChunks(p.request, chunkRows_))
+            ++popped_;
+    return batch;
+}
+
+void
+RequestQueue::finishPopped(std::size_t n)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        SOFA_ASSERT(popped_ >= n);
+        popped_ -= n;
+    }
+    cv_.notify_all();
 }
 
 void
@@ -62,7 +245,7 @@ std::size_t
 RequestQueue::size() const
 {
     std::lock_guard<std::mutex> lk(m_);
-    return q_.size();
+    return count_;
 }
 
 bool

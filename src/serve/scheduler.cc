@@ -36,9 +36,13 @@ deadlineSecondsOf(const Request &r, const SchedulerConfig &cfg)
 }
 
 /** Append @p mw's grid as request-local HeadTasks (so the
- * per-request split reproduces a standalone run). */
+ * per-request split reproduces a standalone run). A cold KV run —
+ * the request's pool reservation was evicted while it waited —
+ * drops the cache claim: the engine then regenerates every required
+ * key and the recompute cost lands on the exact op counters. */
 void
-appendHeadTasks(const ModelWorkload &mw, std::vector<HeadTask> *out)
+appendHeadTasks(const ModelWorkload &mw, bool kv_cold,
+                std::vector<HeadTask> *out)
 {
     for (int b = 0; b < mw.batch(); ++b) {
         for (int h = 0; h < mw.heads(); ++h) {
@@ -46,11 +50,48 @@ appendHeadTasks(const ModelWorkload &mw, std::vector<HeadTask> *out)
             t.workload = &mw.head(b, h);
             t.batch = b;
             t.head = h;
-            t.pastLen = mw.spec.isDecode() ? mw.spec.pastLen : 0;
+            t.pastLen = (mw.spec.isDecode() && !kv_cold)
+                            ? mw.spec.pastLen
+                            : 0;
             out->push_back(t);
         }
     }
 }
+
+} // namespace
+
+AttentionWorkload
+sliceQueryRows(const AttentionWorkload &w, int r0, int r1)
+{
+    AttentionWorkload s;
+    s.spec = w.spec;
+    s.spec.queries = r1 - r0;
+    s.tokens = w.tokens;
+    s.wk = w.wk;
+    s.wv = w.wv;
+    s.k = w.k;
+    s.v = w.v;
+    s.q = MatF(static_cast<std::size_t>(r1 - r0), w.q.cols());
+    s.scores =
+        MatF(static_cast<std::size_t>(r1 - r0), w.scores.cols());
+    for (int r = r0; r < r1; ++r) {
+        std::copy(w.q.rowPtr(static_cast<std::size_t>(r)),
+                  w.q.rowPtr(static_cast<std::size_t>(r)) +
+                      w.q.cols(),
+                  s.q.rowPtr(static_cast<std::size_t>(r - r0)));
+        std::copy(w.scores.rowPtr(static_cast<std::size_t>(r)),
+                  w.scores.rowPtr(static_cast<std::size_t>(r)) +
+                      w.scores.cols(),
+                  s.scores.rowPtr(static_cast<std::size_t>(r - r0)));
+    }
+    s.dominants.assign(w.dominants.begin() + r0,
+                       w.dominants.begin() + r1);
+    s.rowTypes.assign(w.rowTypes.begin() + r0,
+                      w.rowTypes.begin() + r1);
+    return s;
+}
+
+namespace {
 
 void
 sleepSeconds(double s)
@@ -88,18 +129,21 @@ degradedEngineConfig(const SchedulerConfig &cfg)
     return ec;
 }
 
-/** Per-request in-flight state while its batch is being served. */
+/** Per-request in-flight state while its batch is being served.
+ * Deadline state lives on the PendingRequest (resolved at submit,
+ * where EDF also reads it). */
 struct Scheduler::Slot
 {
     PendingRequest p;
     Clock::time_point t0{};      ///< batch dispatch time
-    bool hasDeadline = false;
-    Clock::time_point deadline{};
     /** The slot's task indices in the current EngineRun. */
     std::vector<std::size_t> taskIdx;
     int attempts = 0;     ///< engine runs consumed so far
     bool timedOut = false; ///< deadline expired during the run
     bool resolved = false; ///< promise satisfied
+    bool readmitted = false; ///< chunk continuation re-enqueued
+    bool kvCold = false;  ///< KV reservation lost; runs pastLen 0
+    int chunksDone = 1;   ///< chunk dispatches (1 = unchunked)
 };
 
 Scheduler::Scheduler(SchedulerConfig cfg)
@@ -109,7 +153,9 @@ Scheduler::Scheduler(SchedulerConfig cfg)
                   ? cfg_.faults
                   : (cfg_.faultsFromEnv ? FaultPlan::fromEnv()
                                         : FaultPlan{})),
-      queue_(cfg_.maxQueue),
+      kvPool_(cfg_.kvPool),
+      queue_(cfg_.maxQueue, cfg_.policy, cfg_.drrQuantumHeads,
+             cfg_.prefillChunkRows),
       lanes_(std::make_unique<TaskQueue>(std::max(1, cfg_.lanes))),
       started_(!cfg_.startPaused)
 {
@@ -118,6 +164,8 @@ Scheduler::Scheduler(SchedulerConfig cfg)
     SOFA_ASSERT(cfg_.retry.maxAttempts >= 1);
     SOFA_ASSERT(cfg_.degradeKeepFactor > 0.0 &&
                 cfg_.degradeKeepFactor <= 1.0);
+    SOFA_ASSERT(cfg_.drrQuantumHeads >= 1);
+    SOFA_ASSERT(cfg_.prefillChunkRows >= 0);
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -140,6 +188,17 @@ Scheduler::submit(Request r)
     PendingRequest p;
     p.request = std::move(r);
     p.submitted = Clock::now();
+    // Resolve the absolute deadline here, where EDF needs it as the
+    // queue's sort key — the same value the dispatcher previously
+    // derived at batch formation (both measure from p.submitted).
+    const double dl = deadlineSecondsOf(p.request, cfg_);
+    if (dl > 0.0) {
+        p.hasDeadline = true;
+        p.deadline =
+            p.submitted +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(dl));
+    }
     std::future<RequestResult> fut = p.promise.get_future();
     {
         // Count the request as outstanding *before* it becomes
@@ -149,7 +208,22 @@ Scheduler::submit(Request r)
         ++submitted_;
         ++outstanding_;
     }
-    if (!queue_.push(std::move(p))) {
+    // KV-pool admission: reserve pages for the request's context
+    // rows (evicting idle residents LRU-first). A request whose
+    // demand cannot be reserved even by evicting is shed — the pool
+    // is the second admission gate next to queue capacity. Requires
+    // ids unique over the scheduler's lifetime (traces guarantee
+    // this) so reservations never alias.
+    bool admitted = true;
+    if (kvPool_.enabled())
+        admitted =
+            kvPool_.acquire(p.request.id, p.request.contextTokens())
+                .ok;
+    if (admitted && !queue_.push(std::move(p))) {
+        admitted = false;
+        kvPool_.release(p.request.id); // undo the page reservation
+    }
+    if (!admitted) {
         // Admission overload: shed explicitly. The future resolves
         // right here with Outcome::Shed — the caller always observes
         // what happened (push left `p` intact on refusal).
@@ -203,7 +277,10 @@ Scheduler::stats() const
         s.retried = retried_;
         s.batches = batches_;
         s.headTasks = headTasks_;
+        s.kvColdRuns = kvColdRuns_;
+        s.chunkRuns = chunkRuns_;
     }
+    s.kvEvictions = kvPool_.evictions();
     s.admitted = s.submitted - s.shed;
     s.maxQueueDepth =
         static_cast<std::int64_t>(queue_.maxDepth());
@@ -269,10 +346,22 @@ Scheduler::resolveSlot(Slot &slot, Outcome outcome,
     rr.totalSeconds = rr.queueSeconds + rr.serviceSeconds;
     rr.coscheduledHeads = coscheduled;
     rr.attempts = slot.attempts;
-    if (slot.hasDeadline)
-        rr.deadlineSlackSeconds = seconds(now, slot.deadline);
+    if (slot.p.hasDeadline)
+        rr.deadlineSlackSeconds = seconds(now, slot.p.deadline);
     rr.degradeKeepFrac = keep_frac;
+    rr.kvCold = slot.kvCold;
+    rr.chunks = slot.chunksDone;
     rr.error = std::move(error);
+    // KV-pool bookkeeping: finished requests stay resident as idle
+    // reusable cache (LRU-evictable under pressure); abandoned ones
+    // free their pages immediately.
+    if (kvPool_.enabled()) {
+        if (outcome == Outcome::Completed ||
+            outcome == Outcome::Degraded)
+            kvPool_.retire(rr.id);
+        else
+            kvPool_.release(rr.id);
+    }
     {
         std::lock_guard<std::mutex> lk(m_);
         switch (outcome) {
@@ -309,7 +398,7 @@ Scheduler::stepWithFaults(EngineRun &run, std::vector<Slot *> &slots)
                 faults_.at(s->p.request.id, stage, s->attempts);
             if (d.action == FaultAction::Slow)
                 sleepSeconds(d.slowMs * 1e-3);
-            if (s->hasDeadline && Clock::now() >= s->deadline) {
+            if (s->p.hasDeadline && Clock::now() >= s->p.deadline) {
                 // Deadline expired mid-pipeline: cancel the slot's
                 // tasks so the remaining stages skip them — the
                 // run keeps the lane only for still-live requests.
@@ -351,7 +440,7 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
             sleepSeconds(retryBackoffSeconds(
                 cfg_.retry, slot.p.request.id, slot.attempts));
         }
-        if (slot.hasDeadline && Clock::now() >= slot.deadline) {
+        if (slot.p.hasDeadline && Clock::now() >= slot.p.deadline) {
             resolveSlot(slot, Outcome::TimedOut, EngineResult{},
                         keep_frac, 0, std::string());
             return;
@@ -360,7 +449,7 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
             const ModelWorkload mw =
                 generateModelWorkload(slot.p.request.work);
             std::vector<HeadTask> tasks;
-            appendHeadTasks(mw, &tasks);
+            appendHeadTasks(mw, slot.kvCold, &tasks);
             const int n = static_cast<int>(tasks.size());
             slot.taskIdx.resize(tasks.size());
             for (std::size_t t = 0; t < tasks.size(); ++t)
@@ -398,6 +487,29 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
 }
 
 void
+Scheduler::preparePoolPin(Slot &slot)
+{
+    if (!kvPool_.enabled())
+        return;
+    const Request &r = slot.p.request;
+    if (kvPool_.pin(r.id))
+        return; // reservation survived the wait: warm run
+    // The reservation was evicted while the request queued:
+    // re-acquire (evicting someone else LRU-first) and run cold. A
+    // decode step then claims no cached keys — the engine
+    // regenerates all of them and the recompute cost is charged
+    // through the exact op counters. If even re-acquiring fails
+    // (every page pinned by concurrent runs) the request runs
+    // without residency; correctness is unaffected either way.
+    kvPool_.acquire(r.id, r.contextTokens(), /*pin_now=*/true);
+    if (r.work.isDecode()) {
+        slot.kvCold = true;
+        std::lock_guard<std::mutex> lk(m_);
+        ++kvColdRuns_;
+    }
+}
+
+void
 Scheduler::runBatch(std::vector<PendingRequest> batch)
 {
     const Clock::time_point t0 = Clock::now();
@@ -406,15 +518,12 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         Slot &s = slots[i];
         s.p = std::move(batch[i]);
         s.t0 = t0;
-        const double dl = deadlineSecondsOf(s.p.request, cfg_);
-        if (dl > 0.0) {
-            s.hasDeadline = true;
-            s.deadline =
-                s.p.submitted +
-                std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(dl));
-        }
     }
+    // Whether a prefill splits into query-row chunks this dispatch.
+    const auto chunkable = [this](const Request &r) {
+        return cfg_.prefillChunkRows > 0 && !r.work.isDecode() &&
+               r.work.queryRows() > cfg_.prefillChunkRows;
+    };
     try {
         // Pre-dispatch triage: already-expired deadlines resolve
         // TimedOut without consuming an engine run; requests queued
@@ -423,7 +532,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         std::vector<Slot *> merged_slots;
         std::vector<Slot *> degrade_slots;
         for (Slot &s : slots) {
-            if (s.hasDeadline && t0 >= s.deadline) {
+            if (s.p.hasDeadline && t0 >= s.p.deadline) {
                 resolveSlot(s, Outcome::TimedOut, EngineResult{},
                             1.0, 0, std::string());
             } else if (cfg_.degradeAfterSeconds > 0.0 &&
@@ -437,30 +546,79 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
 
         // Degraded requests run solo on the cheaper engine, first —
         // they have already waited past the overload threshold.
+        // Degradation supersedes chunking: a half-chunked prefill
+        // that waited this long reruns whole on the cheap engine.
         const double keep_frac =
             degradedEngine_.config().pipeline.topkFrac /
             cfg_.engine.pipeline.topkFrac;
-        for (Slot *s : degrade_slots)
+        for (Slot *s : degrade_slots) {
+            s->p.chunk.reset();
+            preparePoolPin(*s);
             runSoloWithRetry(*s, degradedEngine_, Outcome::Degraded,
                              keep_frac, std::string());
+        }
 
         if (!merged_slots.empty()) {
             // Materialize each request's workload (deterministic in
             // its own seed), then merge every head onto one grid.
+            // Chunked prefills contribute only their next query-row
+            // chunk; their full workload is materialized once and
+            // rides the ChunkState between dispatches.
             std::vector<ModelWorkload> works;
             works.reserve(merged_slots.size());
-            for (Slot *s : merged_slots)
-                works.push_back(
-                    generateModelWorkload(s->p.request.work));
+            std::deque<std::vector<AttentionWorkload>> chunk_scratch;
+            std::vector<int> chunk_upto(merged_slots.size(), 0);
 
             std::vector<HeadTask> tasks;
             std::vector<std::size_t> owner; // task -> slot index
             for (std::size_t r = 0; r < merged_slots.size(); ++r) {
+                Slot *s = merged_slots[r];
+                preparePoolPin(*s);
                 const std::size_t first = tasks.size();
-                appendHeadTasks(works[r], &tasks);
+                if (chunkable(s->p.request)) {
+                    if (!s->p.chunk) {
+                        s->p.chunk = std::make_shared<ChunkState>();
+                        s->p.chunk->work = generateModelWorkload(
+                            s->p.request.work);
+                    }
+                    ChunkState &cs = *s->p.chunk;
+                    // Chunk runs are this request's engine attempts:
+                    // the fault plan's attempt index advances with
+                    // them so injections stay per-dispatch.
+                    s->attempts = cs.runs;
+                    const int total = cs.work.spec.queryRows();
+                    const int r0 = cs.rowsDone;
+                    const int r1 = std::min(
+                        total, r0 + cfg_.prefillChunkRows);
+                    chunk_upto[r] = r1;
+                    chunk_scratch.emplace_back();
+                    std::vector<AttentionWorkload> &sl =
+                        chunk_scratch.back();
+                    sl.reserve(cs.work.size());
+                    for (int b = 0; b < cs.work.batch(); ++b)
+                        for (int h = 0; h < cs.work.heads(); ++h)
+                            sl.push_back(sliceQueryRows(
+                                cs.work.head(b, h), r0, r1));
+                    std::size_t i = 0;
+                    for (int b = 0; b < cs.work.batch(); ++b) {
+                        for (int h = 0; h < cs.work.heads(); ++h) {
+                            HeadTask t;
+                            t.workload = &sl[i++];
+                            t.batch = b;
+                            t.head = h;
+                            t.pastLen = 0;
+                            tasks.push_back(t);
+                        }
+                    }
+                } else {
+                    works.push_back(
+                        generateModelWorkload(s->p.request.work));
+                    appendHeadTasks(works.back(), s->kvCold,
+                                    &tasks);
+                }
                 for (std::size_t t = first; t < tasks.size(); ++t) {
                     owner.push_back(r);
-                    merged_slots[r]->taskIdx.push_back(t);
+                    s->taskIdx.push_back(t);
                 }
             }
             const int coscheduled = static_cast<int>(tasks.size());
@@ -496,16 +654,51 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                     for (std::size_t r = 0; r < merged_slots.size();
                          ++r) {
                         Slot *s = merged_slots[r];
-                        if (s->timedOut)
+                        if (s->timedOut) {
+                            // A chunked prefill's partial rows are
+                            // discarded with the rest.
                             resolveSlot(*s, Outcome::TimedOut,
                                         EngineResult{}, 1.0,
                                         coscheduled, std::string());
-                        else
+                        } else if (s->p.chunk && chunk_upto[r] > 0) {
+                            // Bank this chunk's head results; either
+                            // re-enqueue the continuation (decode
+                            // batches preempt before the next chunk)
+                            // or stitch the final aggregate.
+                            ChunkState &cs = *s->p.chunk;
+                            for (HeadResult &hr : per_req[r])
+                                cs.heads.push_back(std::move(hr));
+                            cs.rowsDone = chunk_upto[r];
+                            cs.runs = s->attempts;
+                            {
+                                std::lock_guard<std::mutex> lk(m_);
+                                ++chunkRuns_;
+                            }
+                            if (cs.rowsDone <
+                                cs.work.spec.queryRows()) {
+                                kvPool_.unpin(s->p.request.id);
+                                s->taskIdx.clear();
+                                s->readmitted = true;
+                                queue_.pushReadmit(std::move(s->p));
+                            } else {
+                                s->chunksDone =
+                                    (cs.rowsDone +
+                                     cfg_.prefillChunkRows - 1) /
+                                    cfg_.prefillChunkRows;
+                                resolveSlot(
+                                    *s, Outcome::Completed,
+                                    aggregateHeadResults(
+                                        std::move(cs.heads)),
+                                    1.0, coscheduled,
+                                    std::string());
+                            }
+                        } else {
                             resolveSlot(*s, Outcome::Completed,
                                         aggregateHeadResults(
                                             std::move(per_req[r])),
                                         1.0, coscheduled,
                                         std::string());
+                        }
                     }
                 } else {
                     // Every merged request timed out mid-run; the
@@ -533,6 +726,10 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                         continue;
                     }
                     s->taskIdx.clear();
+                    // Recovery reruns a chunked prefill whole: its
+                    // banked partial rows are discarded with the
+                    // poisoned run.
+                    s->p.chunk.reset();
                     runSoloWithRetry(*s, engine_, Outcome::Completed,
                                      1.0, e.what());
                 }
@@ -543,19 +740,31 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         // resolve every still-pending promise as Failed — futures
         // never carry exceptions and failures are always accounted.
         for (Slot &s : slots)
-            if (!s.resolved)
+            if (!s.resolved && !s.readmitted)
                 resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
                             0, e.what());
     } catch (...) {
         for (Slot &s : slots)
-            if (!s.resolved)
+            if (!s.resolved && !s.readmitted)
                 resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
                             0, "unknown scheduler failure");
     }
+    // Readmitted chunk continuations are still outstanding (their
+    // promise travels back through the queue); everything else
+    // resolved above.
+    std::size_t readmits = 0, chunk_finished = 0;
+    for (const Slot &s : slots) {
+        if (s.readmitted)
+            ++readmits;
+        else if (prefillChunks(s.p.request, cfg_.prefillChunkRows))
+            ++chunk_finished; // popped with a readmit obligation
+    }
     {
         std::lock_guard<std::mutex> lk(m_);
-        outstanding_ -= static_cast<std::int64_t>(slots.size());
+        outstanding_ -=
+            static_cast<std::int64_t>(slots.size() - readmits);
     }
+    queue_.finishPopped(chunk_finished);
     cv_.notify_all();
 }
 

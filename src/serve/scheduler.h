@@ -20,6 +20,18 @@
  * with `startPaused` and call start() later for deterministic
  * admission experiments.
  *
+ * SLO-aware serving (serving v2): batch formation is pluggable
+ * through SchedulingPolicy — FIFO (default, bit-compatible with the
+ * original scheduler), earliest-deadline-first over the per-request
+ * deadline, and deficit-round-robin fairness across Request.tenant.
+ * Long prefills can be chunked (`prefillChunkRows`) so decode
+ * batches preempt between query-row chunks, and decode `pastLen` is
+ * backed by the bounded paged KV pool (serve/kvpool): admission
+ * reserves pages, overflow evicts idle requests LRU-first, and an
+ * evicted request's next decode step runs cold — the recompute cost
+ * is charged through the engine's exact keysCached/kvGenerationOps
+ * counters, so pool-on vs pool-off op totals reconcile exactly.
+ *
  * Fault tolerance (the robustness layer): per-request deadlines
  * cancel expired work cooperatively at EngineRun stage boundaries
  * (Outcome::TimedOut), failed engine runs are retried solo with
@@ -48,6 +60,7 @@
 
 #include "common/faultplan.h"
 #include "core/engine.h"
+#include "serve/kvpool.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 
@@ -94,6 +107,30 @@ struct SchedulerConfig
      * (resolved immediately with Outcome::Shed). Deliberately
      * overbooks lanes*headBudget — queue depth absorbs bursts. */
     std::size_t maxQueue = 256;
+    /** Batch-formation order: FIFO (default, bit-compatible with
+     * the single-policy scheduler), EDF over the per-request
+     * deadline, or DRR fairness across Request.tenant (see
+     * serve/request_queue.h for the exact semantics). */
+    SchedulingPolicy policy = SchedulingPolicy::FIFO;
+    /** DRR credit earned per tenant visit, in head tasks. */
+    std::int64_t drrQuantumHeads = 8;
+    /**
+     * Decode-latency SLO lever: a prefill with more query rows than
+     * this runs one row-chunk per dispatch and re-enqueues its
+     * continuation, so decode batches preempt between chunks. Each
+     * chunk is bit-exact vs a standalone engine run of the same
+     * row-sliced workload (sliceQueryRows) and the whole schedule is
+     * deterministic; relative to the *unchunked* run, the DLZS
+     * predictor quantizes Q per chunk, so selections can move at the
+     * approximation margin, and op counters pay the repeated K-hat
+     * prediction — both documented chunk overheads. 0 disables
+     * chunking (the default).
+     */
+    int prefillChunkRows = 0;
+    /** Bounded paged KV-cache pool backing decode pastLen
+     * (serve/kvpool.h); kvPool.pages == 0 disables it (pastLen
+     * stays a free resource, today's behaviour). */
+    KvPoolConfig kvPool;
     /** Admit but do not dispatch until start() — deterministic
      * admission/shedding experiments and maximal first batches. */
     bool startPaused = false;
@@ -127,6 +164,16 @@ double retryBackoffSeconds(const RetryPolicy &policy,
                            std::uint64_t request, int attempt);
 
 /**
+ * Row-slice one head's workload to query rows [r0, r1): Q, the
+ * ground-truth scores and the per-row annotations are sliced, the
+ * shared context (tokens, projections, exact K/V) is carried whole.
+ * This is the exact slicing prefill chunking dispatches — exposed so
+ * tests can reproduce a chunk's standalone reference run.
+ */
+AttentionWorkload sliceQueryRows(const AttentionWorkload &w, int r0,
+                                 int r1);
+
+/**
  * The engine configuration degraded requests run with: the base
  * engine config with pipeline.topkFrac scaled by degradeKeepFactor
  * (clamped to [1e-3, 1]) — the SOFA-native quality/latency lever:
@@ -149,6 +196,9 @@ struct SchedulerStats
     std::int64_t batches = 0;   ///< merged engine runs formed
     std::int64_t headTasks = 0; ///< head tasks of finished runs
     std::int64_t maxQueueDepth = 0; ///< waiting-depth high water
+    std::int64_t kvEvictions = 0; ///< KV pool pages-holder evictions
+    std::int64_t kvColdRuns = 0;  ///< decode runs that paid recompute
+    std::int64_t chunkRuns = 0;   ///< chunk dispatches of split prefills
     /** Mean completed requests per formed batch (continuous-
      * batching effectiveness; 0 before the first batch). */
     double meanBatchRequests = 0.0;
@@ -165,6 +215,11 @@ class Scheduler
     Scheduler &operator=(const Scheduler &) = delete;
 
     const SchedulerConfig &config() const { return cfg_; }
+
+    /** The paged KV pool backing decode pastLen — read-only
+     * introspection for the page-conservation invariants the trace
+     * bench and tests gate (freePages/residentPages/pinnedPages). */
+    const KvPool &kvPool() const { return kvPool_; }
 
     /**
      * Submit one request. The returned future always resolves with
@@ -197,11 +252,13 @@ class Scheduler
     void resolveSlot(Slot &slot, Outcome outcome,
                      EngineResult engine, double keep_frac,
                      int coscheduled, std::string error);
+    void preparePoolPin(Slot &slot);
 
     SchedulerConfig cfg_;
     Engine engine_;
     Engine degradedEngine_; ///< cheaper config for Degraded runs
     FaultPlan faults_;      ///< cfg_.faults, else SOFA_FAULTS
+    KvPool kvPool_;         ///< paged pastLen backing (may be off)
     RequestQueue queue_;
     std::unique_ptr<TaskQueue> lanes_;
 
@@ -220,6 +277,8 @@ class Scheduler
     std::int64_t retried_ = 0;
     std::int64_t batches_ = 0;
     std::int64_t headTasks_ = 0;
+    std::int64_t kvColdRuns_ = 0;
+    std::int64_t chunkRuns_ = 0;
 
     std::thread dispatcher_;
 };

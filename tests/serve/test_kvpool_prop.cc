@@ -1,0 +1,353 @@
+/**
+ * Randomized property test of the paged KV pool (serve/kvpool)
+ * against an independently written reference model: ~200 seeded
+ * alloc/pin/unpin/retire/release schedules (tests/testprop.h
+ * generator), checking after every single op that
+ *
+ *  - pages conserve: free + resident == capacity, free >= 0 (no
+ *    double-free can mint pages, no path loses them),
+ *  - the pool's full observable state (return values, eviction
+ *    victims and their order, cold markers, pinned/resident sets,
+ *    counters) matches the reference,
+ *  - the LRU victim order equals the reference model's idle-recency
+ *    order (lruOrder()).
+ *
+ * The reference keeps an explicit recency list instead of the pool's
+ * clock-stamp scan, so an ordering bug in either implementation
+ * shows up as a divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "serve/kvpool.h"
+#include "testprop.h"
+
+namespace sofa {
+namespace serve {
+namespace {
+
+using testprop::AllocOp;
+using testprop::AllocStep;
+
+/** What the reference model predicts one acquire() returns. */
+struct RefAcquire
+{
+    bool ok = false;
+    bool cold = false;
+    std::int64_t pages = 0;
+    std::vector<std::uint64_t> evicted;
+};
+
+/**
+ * Reference pool: same contract as serve/kvpool, structured
+ * differently — recency is an explicit most-recent-last list, and
+ * eviction pops idle ids off its front.
+ */
+class RefPool
+{
+  public:
+    RefPool(std::int64_t pages, std::int64_t page_tokens)
+        : capacity_(pages), pageTokens_(page_tokens), free_(pages)
+    {
+    }
+
+    RefAcquire acquire(std::uint64_t id, std::int64_t tokens,
+                       bool pin_now)
+    {
+        RefAcquire out;
+        auto it = held_.find(id);
+        if (it != held_.end()) {
+            touch(id);
+            if (pin_now)
+                pinned_.insert(id);
+            out.ok = true;
+            out.pages = it->second;
+            return out;
+        }
+        const std::int64_t need =
+            KvPool::pagesFor(tokens, pageTokens_);
+        if (need > capacity_)
+            return out;
+        while (free_ < need) {
+            const std::uint64_t victim = lruVictim(&out.ok);
+            if (!out.ok)
+                return out; // partial evictions stick (kvpool too)
+            free_ += held_[victim];
+            held_.erase(victim);
+            recency_.remove(victim);
+            if (!retired_.count(victim))
+                evictedIds_.insert(victim);
+            retired_.erase(victim);
+            ++evictions_;
+            out.evicted.push_back(victim);
+        }
+        out.ok = true;
+        free_ -= need;
+        held_[id] = need;
+        recency_.push_back(id);
+        if (pin_now)
+            pinned_.insert(id);
+        out.pages = need;
+        out.cold = evictedIds_.erase(id) > 0;
+        if (out.cold)
+            ++coldAcquires_;
+        return out;
+    }
+
+    bool pin(std::uint64_t id)
+    {
+        if (!held_.count(id))
+            return false;
+        pinned_.insert(id);
+        touch(id);
+        return true;
+    }
+
+    void unpin(std::uint64_t id) { pinned_.erase(id); }
+
+    void retire(std::uint64_t id)
+    {
+        if (held_.count(id)) {
+            pinned_.erase(id);
+            retired_.insert(id);
+        }
+    }
+
+    void release(std::uint64_t id)
+    {
+        auto it = held_.find(id);
+        if (it != held_.end()) {
+            free_ += it->second;
+            held_.erase(it);
+            recency_.remove(id);
+            pinned_.erase(id);
+            retired_.erase(id);
+        }
+        evictedIds_.erase(id);
+    }
+
+    std::int64_t freePages() const { return free_; }
+    std::int64_t residentPages() const
+    {
+        std::int64_t n = 0;
+        for (const auto &e : held_)
+            n += e.second;
+        return n;
+    }
+    std::int64_t pinnedPages() const
+    {
+        std::int64_t n = 0;
+        for (std::uint64_t id : pinned_)
+            n += held_.at(id);
+        return n;
+    }
+    std::int64_t evictions() const { return evictions_; }
+    std::int64_t coldAcquires() const { return coldAcquires_; }
+    bool resident(std::uint64_t id) const { return held_.count(id); }
+    bool pinnedId(std::uint64_t id) const
+    {
+        return pinned_.count(id) > 0;
+    }
+    std::vector<std::uint64_t> lruOrder() const
+    {
+        std::vector<std::uint64_t> order;
+        for (std::uint64_t id : recency_)
+            if (!pinned_.count(id))
+                order.push_back(id);
+        return order;
+    }
+
+  private:
+    void touch(std::uint64_t id)
+    {
+        recency_.remove(id);
+        recency_.push_back(id);
+    }
+    std::uint64_t lruVictim(bool *found) const
+    {
+        for (std::uint64_t id : recency_)
+            if (!pinned_.count(id)) {
+                *found = true;
+                return id;
+            }
+        *found = false;
+        return 0;
+    }
+
+    const std::int64_t capacity_;
+    const std::int64_t pageTokens_;
+    std::map<std::uint64_t, std::int64_t> held_;
+    std::list<std::uint64_t> recency_; ///< LRU first
+    std::set<std::uint64_t> pinned_;
+    std::set<std::uint64_t> retired_;
+    std::set<std::uint64_t> evictedIds_;
+    std::int64_t free_ = 0;
+    std::int64_t evictions_ = 0;
+    std::int64_t coldAcquires_ = 0;
+};
+
+/** Every observable of @p pool must match the reference @p ref. */
+void
+expectSameState(const KvPool &pool, const RefPool &ref, int max_ids,
+                int c, int step)
+{
+    SCOPED_TRACE(testing::Message()
+                 << "case " << c << " step " << step);
+    EXPECT_EQ(pool.freePages(), ref.freePages());
+    EXPECT_EQ(pool.residentPages(), ref.residentPages());
+    EXPECT_EQ(pool.pinnedPages(), ref.pinnedPages());
+    EXPECT_EQ(pool.evictions(), ref.evictions());
+    EXPECT_EQ(pool.coldAcquires(), ref.coldAcquires());
+    // Conservation: no op may mint or lose pages.
+    EXPECT_GE(pool.freePages(), 0);
+    EXPECT_EQ(pool.freePages() + pool.residentPages(),
+              pool.capacityPages());
+    for (int id = 0; id < max_ids; ++id) {
+        const std::uint64_t u = static_cast<std::uint64_t>(id);
+        EXPECT_EQ(pool.resident(u), ref.resident(u)) << "id " << id;
+        EXPECT_EQ(pool.pinned(u), ref.pinnedId(u)) << "id " << id;
+    }
+    EXPECT_EQ(pool.lruOrder(), ref.lruOrder());
+}
+
+TEST(KvPoolProp, RandomSchedulesMatchReferenceModel)
+{
+    testprop::forEachSeededCase(200, [](int c, Rng &rng) {
+        const std::int64_t pages = rng.uniformInt(1, 12);
+        const std::int64_t page_tokens =
+            std::vector<std::int64_t>{1, 4, 16}[static_cast<
+                std::size_t>(rng.uniformInt(0, 2))];
+        const int max_ids = static_cast<int>(rng.uniformInt(2, 8));
+        // Demands span past whole-pool capacity so impossible
+        // acquires and evict-everything paths both occur.
+        const std::int64_t max_tokens =
+            pages * page_tokens + 2 * page_tokens;
+
+        KvPool pool(KvPoolConfig{pages, page_tokens});
+        RefPool ref(pages, page_tokens);
+        const std::vector<AllocStep> seq = testprop::allocOpSequence(
+            rng, /*steps=*/60, max_ids, max_tokens, page_tokens);
+
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            const AllocStep &s = seq[i];
+            switch (s.op) {
+              case AllocOp::Acquire: {
+                const KvAcquire got =
+                    pool.acquire(s.id, s.tokens, s.pinNow);
+                const RefAcquire want =
+                    ref.acquire(s.id, s.tokens, s.pinNow);
+                EXPECT_EQ(got.ok, want.ok) << "case " << c;
+                EXPECT_EQ(got.cold, want.cold) << "case " << c;
+                EXPECT_EQ(got.pages, want.pages) << "case " << c;
+                // Victim identity AND order must match: LRU is part
+                // of the contract, not an implementation detail.
+                EXPECT_EQ(got.evicted, want.evicted) << "case " << c;
+                break;
+              }
+              case AllocOp::Pin:
+                EXPECT_EQ(pool.pin(s.id), ref.pin(s.id))
+                    << "case " << c;
+                break;
+              case AllocOp::Unpin:
+                pool.unpin(s.id);
+                ref.unpin(s.id);
+                break;
+              case AllocOp::Retire:
+                pool.retire(s.id);
+                ref.retire(s.id);
+                break;
+              case AllocOp::Release:
+                pool.release(s.id);
+                ref.release(s.id);
+                break;
+            }
+            expectSameState(pool, ref, max_ids, c,
+                            static_cast<int>(i));
+        }
+    });
+}
+
+TEST(KvPoolProp, PagesForRoundsUpAndFloorsAtOne)
+{
+    EXPECT_EQ(KvPool::pagesFor(0, 16), 1);
+    EXPECT_EQ(KvPool::pagesFor(1, 16), 1);
+    EXPECT_EQ(KvPool::pagesFor(16, 16), 1);
+    EXPECT_EQ(KvPool::pagesFor(17, 16), 2);
+    EXPECT_EQ(KvPool::pagesFor(32, 16), 2);
+    EXPECT_EQ(KvPool::pagesFor(33, 16), 3);
+    EXPECT_EQ(KvPool::pagesFor(5, 1), 5);
+}
+
+TEST(KvPoolProp, DisabledPoolAlwaysWarmNeverEvicts)
+{
+    KvPool pool; // pages == 0: disabled
+    EXPECT_FALSE(pool.enabled());
+    for (std::uint64_t id = 0; id < 100; ++id) {
+        const KvAcquire a = pool.acquire(id, 1 << 20);
+        EXPECT_TRUE(a.ok);
+        EXPECT_FALSE(a.cold);
+        EXPECT_TRUE(a.evicted.empty());
+        EXPECT_TRUE(pool.pin(id));
+        pool.retire(id);
+    }
+    EXPECT_EQ(pool.evictions(), 0);
+    EXPECT_EQ(pool.coldAcquires(), 0);
+}
+
+TEST(KvPoolProp, EvictedWaiterComesBackColdExactlyOnce)
+{
+    // 2-page pool: B's acquire evicts idle A; A then re-acquires
+    // cold once, and warm after that.
+    KvPool pool(KvPoolConfig{/*pages=*/2, /*pageTokens=*/16});
+    ASSERT_TRUE(pool.acquire(/*id=*/1, /*tokens=*/32).ok); // 2 pages
+    const KvAcquire b = pool.acquire(2, 32);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(b.evicted, std::vector<std::uint64_t>{1});
+    pool.release(2);
+    const KvAcquire back = pool.acquire(1, 32);
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.cold); // pays recompute on its next decode
+    const KvAcquire again = pool.acquire(1, 32);
+    EXPECT_TRUE(again.ok);
+    EXPECT_FALSE(again.cold); // cold marker consumed
+    EXPECT_EQ(pool.coldAcquires(), 1);
+}
+
+TEST(KvPoolProp, RetiredVictimLeavesNoColdMarker)
+{
+    KvPool pool(KvPoolConfig{2, 16});
+    ASSERT_TRUE(pool.acquire(1, 32).ok);
+    pool.retire(1); // finished: idle reusable cache
+    ASSERT_TRUE(pool.acquire(2, 32).ok); // evicts retired 1
+    EXPECT_EQ(pool.evictions(), 1);
+    pool.release(2);
+    // 1 never "comes back" — but if the id is reused, it's warm-new.
+    const KvAcquire a = pool.acquire(1, 32);
+    EXPECT_TRUE(a.ok);
+    EXPECT_FALSE(a.cold);
+    EXPECT_EQ(pool.coldAcquires(), 0);
+}
+
+TEST(KvPoolProp, PinnedPagesAreNeverVictims)
+{
+    KvPool pool(KvPoolConfig{2, 16});
+    ASSERT_TRUE(pool.acquire(1, 32, /*pin_now=*/true).ok);
+    const KvAcquire blocked = pool.acquire(2, 16);
+    EXPECT_FALSE(blocked.ok); // everything pinned: fail, no evict
+    EXPECT_TRUE(pool.resident(1));
+    EXPECT_EQ(pool.evictions(), 0);
+    pool.unpin(1);
+    EXPECT_TRUE(pool.acquire(2, 16).ok); // now evictable
+    EXPECT_FALSE(pool.resident(1));
+}
+
+} // namespace
+} // namespace serve
+} // namespace sofa

@@ -1,0 +1,228 @@
+/**
+ * Trace-replay determinism (serving v2): a seeded 10^4-request
+ * mixed-tenant trace, run through the full serving-v2 configuration
+ * — DRR policy, prefill chunking, and a small KV pool under heavy
+ * eviction churn — must produce identical outcome counters and
+ * bit-exact per-request results when replayed twice and across
+ * engine thread pools of 1/2/8 workers. A single paused lane
+ * serializes pop -> pin -> run -> resolve, so the pool's eviction
+ * schedule is a pure function of the trace; the engine pool size
+ * must never leak into scheduling decisions.
+ *
+ * Plus the KV recompute-reconciliation law the pool's op accounting
+ * promises: a cold decode's op total exceeds its warm twin by
+ * exactly kvGenerationOps(keys the warm run found cached) — derived
+ * through the engine's own counters, never asserted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/pipeline.h"
+#include "serve/scheduler.h"
+#include "testutil.h"
+
+namespace sofa {
+namespace serve {
+namespace {
+
+/** Tiniest engine-scale model: heads of dim 8 over dim-8 tokens. */
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.hidden = 8;
+    m.heads = 1;
+    m.maxSeq = 32;
+    return m;
+}
+
+std::vector<Request>
+tenantTrace(int n)
+{
+    const std::vector<ServingScenario> suite =
+        servingSuite(tinyModel());
+    return multiTenantTrace(suite, /*tenants=*/4, n,
+                            ArrivalPattern::Poisson,
+                            /*mean_gap=*/1e-3,
+                            /*seed=*/testutil::kTestSeed,
+                            /*max_context=*/20, /*max_batch=*/1,
+                            /*max_heads=*/1);
+}
+
+/** Outcome + KV/chunk counter fingerprint of one full run. */
+struct RunDigest
+{
+    SchedulerStats stats;
+    std::vector<Outcome> outcomes;
+    std::vector<bool> cold;
+    std::vector<int> chunks;
+    std::vector<std::int64_t> ops; ///< per-request total op count
+    std::vector<std::size_t> heads; ///< per-request head entries
+
+    bool operator==(const RunDigest &o) const
+    {
+        return outcomes == o.outcomes && cold == o.cold &&
+               chunks == o.chunks && ops == o.ops &&
+               heads == o.heads &&
+               stats.completed == o.stats.completed &&
+               stats.shed == o.stats.shed &&
+               stats.timedOut == o.stats.timedOut &&
+               stats.failed == o.stats.failed &&
+               stats.batches == o.stats.batches &&
+               stats.kvEvictions == o.stats.kvEvictions &&
+               stats.kvColdRuns == o.stats.kvColdRuns &&
+               stats.chunkRuns == o.stats.chunkRuns;
+    }
+};
+
+RunDigest
+replayOnce(const std::vector<Request> &trace, ThreadPool *pool)
+{
+    SchedulerConfig cfg;
+    cfg.lanes = 1;         // serialize the pool's op sequence
+    cfg.startPaused = true; // admission decoupled from dispatch
+    cfg.maxQueue = trace.size() + 1;
+    cfg.policy = SchedulingPolicy::DRR;
+    cfg.drrQuantumHeads = 2;
+    cfg.headBudget = 4;
+    cfg.prefillChunkRows = 10; // 16-row prefills -> 2 chunks
+    cfg.kvPool.pages = 6; // tiny: constant eviction churn
+    cfg.kvPool.pageTokens = 16;
+    cfg.faultsFromEnv = false;
+    cfg.engine.computeQuality = false;
+    cfg.engine.pool = pool;
+    Scheduler sched(cfg);
+    std::vector<std::future<RequestResult>> futs;
+    futs.reserve(trace.size());
+    for (const Request &r : trace)
+        futs.push_back(sched.submit(r));
+    sched.drain();
+    RunDigest d;
+    d.stats = sched.stats();
+    for (auto &f : futs) {
+        const RequestResult r = f.get();
+        d.outcomes.push_back(r.outcome);
+        d.cold.push_back(r.kvCold);
+        d.chunks.push_back(r.chunks);
+        d.ops.push_back(r.engine.totalOps().total());
+        d.heads.push_back(r.engine.heads.size());
+    }
+    return d;
+}
+
+TEST(TraceReplay, TenThousandRequestsDeterministicAcrossPools)
+{
+    const std::vector<Request> trace = tenantTrace(10000);
+    const RunDigest first = replayOnce(trace, nullptr);
+    // The scheduler admits everything (queue sized to the trace) and
+    // nothing times out or fails: conservation pins the counters.
+    EXPECT_EQ(first.stats.completed,
+              static_cast<std::int64_t>(trace.size()));
+    EXPECT_EQ(first.stats.shed, 0);
+    EXPECT_EQ(first.stats.timedOut, 0);
+    EXPECT_EQ(first.stats.failed, 0);
+    EXPECT_GT(first.stats.kvEvictions, 0); // the pool really churns
+    EXPECT_GT(first.stats.kvColdRuns, 0);
+    EXPECT_GT(first.stats.chunkRuns, 0);
+
+    const RunDigest again = replayOnce(trace, nullptr);
+    EXPECT_TRUE(first == again) << "second replay diverged";
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const RunDigest d = replayOnce(trace, &pool);
+        EXPECT_TRUE(first == d)
+            << "engine pool of " << threads
+            << " threads changed the schedule";
+    }
+}
+
+TEST(TraceReplay, ColdDecodeOpsReconcileExactly)
+{
+    // Two decodes whose page demands each fill the whole pool are
+    // admitted while the scheduler is paused: id 2's admission
+    // evicts id 1's reservation, so id 1's dispatch pin fails and
+    // it runs cold (and its cold re-acquire in turn evicts id 2).
+    // The cold run's op total must exceed its pool-off warm twin by
+    // exactly kvGenerationOps(keysCached_warm): recompute cost is
+    // derived through the op-count discipline, so pool-on and
+    // pool-off totals reconcile with zero tolerance.
+    ModelWorkloadSpec dec;
+    dec.batch = 1;
+    dec.heads = 2;
+    dec.seq = 64;
+    dec.queries = 8;
+    dec.headDim = 16;
+    dec.tokenDim = 24;
+    dec.seed = 0xC0DEC0DEull;
+    dec.pastLen = 60;
+    dec.newTokens = 4;
+    Request r1, r2;
+    r1.id = 1;
+    r1.work = dec;
+    r2.id = 2;
+    r2.work = dec;
+    r2.work.seed = 0xC0DEC0DFull;
+
+    // Warm twins: pool disabled, pastLen stays a free resource.
+    RequestResult w1, w2;
+    {
+        SchedulerConfig cfg;
+        cfg.lanes = 1;
+        cfg.faultsFromEnv = false;
+        Scheduler warm(cfg);
+        w1 = warm.submit(r1).get();
+        w2 = warm.submit(r2).get();
+    }
+    ASSERT_EQ(w1.outcome, Outcome::Completed);
+    EXPECT_FALSE(w1.kvCold);
+    ASSERT_GT(w1.engine.keysCached, 0);
+
+    SchedulerConfig cfg;
+    cfg.lanes = 1;
+    cfg.startPaused = true; // both admitted before either dispatches
+    cfg.headBudget = dec.heads; // one request per engine run
+    cfg.kvPool.pages = 4;       // one 64-token resident at a time
+    cfg.kvPool.pageTokens = 16;
+    cfg.faultsFromEnv = false;
+    Scheduler sched(cfg);
+    std::future<RequestResult> f1 = sched.submit(r1);
+    std::future<RequestResult> f2 = sched.submit(r2);
+    sched.drain();
+    const RequestResult c1 = f1.get(), c2 = f2.get();
+    ASSERT_EQ(c1.outcome, Outcome::Completed);
+    ASSERT_EQ(c2.outcome, Outcome::Completed);
+    EXPECT_TRUE(c1.kvCold);
+    EXPECT_TRUE(c2.kvCold); // id 1's cold re-acquire evicted it too
+    EXPECT_GE(sched.stats().kvEvictions, 2);
+    EXPECT_EQ(sched.stats().kvColdRuns, 2);
+
+    const std::pair<const RequestResult *, const RequestResult *>
+        pairs[] = {{&c1, &w1}, {&c2, &w2}};
+    for (const auto &pw : pairs) {
+        const RequestResult &c = *pw.first, &w = *pw.second;
+        EXPECT_EQ(c.engine.keysCached, 0);
+        EXPECT_EQ(c.engine.keysGenerated,
+                  w.engine.keysGenerated + w.engine.keysCached);
+        const OpCounter recompute = kvGenerationOps(
+            w.engine.keysCached, dec.tokenDim, dec.headDim);
+        EXPECT_EQ(c.engine.totalOps().total(),
+                  w.engine.totalOps().total() + recompute.total());
+        // Values never depend on pastLen: cold == warm outputs.
+        ASSERT_EQ(c.engine.heads.size(), w.engine.heads.size());
+        for (std::size_t h = 0; h < w.engine.heads.size(); ++h) {
+            EXPECT_EQ(c.engine.heads[h].result.output,
+                      w.engine.heads[h].result.output);
+            EXPECT_EQ(c.engine.heads[h].result.selections,
+                      w.engine.heads[h].result.selections);
+        }
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace sofa

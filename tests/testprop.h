@@ -15,6 +15,7 @@
 #ifndef SOFA_TESTS_TESTPROP_H
 #define SOFA_TESTS_TESTPROP_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -102,6 +103,64 @@ sparseInts(Rng &rng, std::size_t n, std::int64_t lo, std::int64_t hi)
                 : static_cast<T>(rng.uniformInt(lo, hi));
     }
     return x;
+}
+
+/** One step of a randomized allocator schedule (the op vocabulary of
+ * serve/kvpool; tests/serve/test_kvpool_prop.cc). */
+enum class AllocOp {
+    Acquire, ///< reserve pages (may evict idle LRU residents)
+    Pin,     ///< protect from eviction for a run
+    Unpin,   ///< back to idle/evictable
+    Retire,  ///< finished: idle reusable cache, no cold marker
+    Release, ///< free immediately
+};
+
+struct AllocStep
+{
+    AllocOp op = AllocOp::Acquire;
+    std::uint64_t id = 0;
+    std::int64_t tokens = 0; ///< Acquire only
+    bool pinNow = false;     ///< Acquire only
+};
+
+/**
+ * A seeded alloc/pin/unpin/retire/release op sequence over a small
+ * id universe, acquire-heavy so pools churn under pressure. Token
+ * demands are edge-biased around @p page_tokens multiples (the
+ * rounding boundary pagesFor gets wrong first); ids repeat so
+ * re-acquire, double-release and evict-then-return paths all occur.
+ */
+inline std::vector<AllocStep>
+allocOpSequence(Rng &rng, int steps, int max_ids,
+                std::int64_t max_tokens,
+                std::int64_t page_tokens = 16)
+{
+    std::vector<AllocStep> seq;
+    seq.reserve(static_cast<std::size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        AllocStep s;
+        const double d = rng.uniform(0.0, 1.0);
+        if (d < 0.45)
+            s.op = AllocOp::Acquire;
+        else if (d < 0.60)
+            s.op = AllocOp::Pin;
+        else if (d < 0.75)
+            s.op = AllocOp::Unpin;
+        else if (d < 0.87)
+            s.op = AllocOp::Retire;
+        else
+            s.op = AllocOp::Release;
+        s.id = static_cast<std::uint64_t>(
+            rng.uniformInt(0, std::max(1, max_ids) - 1));
+        if (s.op == AllocOp::Acquire) {
+            s.tokens = static_cast<std::int64_t>(edgeSize(
+                rng, 0, static_cast<std::size_t>(max_tokens),
+                static_cast<std::size_t>(page_tokens)));
+            s.pinNow = rng.bernoulli(0.5);
+        }
+        seq.push_back(s);
+    }
+    return seq;
 }
 
 } // namespace testprop
