@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tile-planner validation bench: the TileCostModel (core/tiler)
+ * against the clock. Sweeps the kernel tiling knobs (matmulNT panel
+ * bytes, matmul k-block) and a sampled subset of the engine plan
+ * grid, reporting predicted and measured seconds side by side
+ * (`*_pred_s` / `*_meas_s`, trajectory-only) plus the Spearman rank
+ * correlation between the two per sweep. Rank agreement is the
+ * model's contract: the per-stage correlation (stage times span two
+ * orders of magnitude, so its rank order is noise-proof) is
+ * golden-gated loosely, while the kernel/plan sweeps — often
+ * compute-bound near-ties on a given host — stay trajectory-only,
+ * and raw plan choices and absolute predictions are
+ * machine-dependent and never gated. Also gates the planner's invariants
+ * as bits at tol 0: planTiles determinism, TilePlan describe/parse
+ * round-trip, and autoTile engine results bit-exact vs the fixed
+ * defaults — and tracks the autoTile-vs-default speedup as the
+ * trajectory metric the ROADMAP's tiling thread follows.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "benchmain.h"
+#include "benchutil.h"
+#include "common/machine.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "core/tiler.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace sofa;
+using benchutil::timeBest;
+
+MatF
+randomMat(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    MatF m(rows, cols);
+    for (auto &x : m.data())
+        x = static_cast<float>(rng.gaussian());
+    return m;
+}
+
+/** Fractional ranks (ties averaged). */
+std::vector<double>
+ranks(const std::vector<double> &v)
+{
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a,
+                                          std::size_t b) {
+        return v[a] < v[b];
+    });
+    std::vector<double> r(v.size(), 0.0);
+    std::size_t i = 0;
+    while (i < idx.size()) {
+        std::size_t j = i;
+        while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]])
+            ++j;
+        const double mean_rank =
+            0.5 * (static_cast<double>(i) + static_cast<double>(j));
+        for (std::size_t t = i; t <= j; ++t)
+            r[idx[t]] = mean_rank;
+        i = j + 1;
+    }
+    return r;
+}
+
+/** Spearman rank correlation; 0 when degenerate (constant input). */
+double
+spearman(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.size() < 2)
+        return 0.0;
+    const std::vector<double> ra = ranks(a), rb = ranks(b);
+    const double n = static_cast<double>(a.size());
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ma += ra[i];
+        mb += rb[i];
+    }
+    ma /= n;
+    mb /= n;
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (ra[i] - ma) * (rb[i] - mb);
+        da += (ra[i] - ma) * (ra[i] - ma);
+        db += (rb[i] - mb) * (rb[i] - mb);
+    }
+    if (da <= 0.0 || db <= 0.0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+/** Same-output check shared with bench_engine (the tol-0 bit). */
+bool
+sameEngineResults(const EngineResult &x, const EngineResult &y)
+{
+    if (x.heads.size() != y.heads.size())
+        return false;
+    for (std::size_t i = 0; i < x.heads.size(); ++i) {
+        const HeadResult &a = x.heads[i];
+        const HeadResult &b = y.heads[i];
+        if (!(a.result.output == b.result.output &&
+              a.result.selections == b.result.selections &&
+              a.result.totalOps().total() ==
+                  b.result.totalOps().total() &&
+              a.result.keysGenerated == b.result.keysGenerated))
+            return false;
+    }
+    return x.totalOps().total() == y.totalOps().total() &&
+           x.keysGenerated == y.keysGenerated;
+}
+
+int
+run(const bench::Options &opts, bench::Reporter &rep)
+{
+    const TileCostModel model; // cached process-wide descriptor
+    std::printf("tiler benchmark: cost-model-driven tile planner "
+                "(%d thread%s)\nmachine: %s\n\n", opts.threads,
+                opts.threads == 1 ? "" : "s",
+                model.machine().describe().c_str());
+
+    Rng rng(opts.seedOr(0x50FA71E0ull));
+
+    // matmulNT panel sweep: one blocked-kernel shape, the streamed-
+    // panel budget swept over two orders of magnitude. Predicted and
+    // measured seconds per candidate.
+    {
+        const std::size_t m = 128;
+        const std::size_t n = opts.quick ? 1024 : 2048;
+        const std::size_t k = 256;
+        const MatF a = randomMat(m, k, rng);
+        const MatF b = randomMat(n, k, rng);
+        const std::size_t panels[] = {16 * 1024,  64 * 1024,
+                                      256 * 1024, 2048 * 1024};
+        Table t;
+        t.column("panel KiB").column("pred s").column("meas s");
+        std::vector<double> pred, meas;
+        for (std::size_t pb : panels) {
+            kernels::Tiling tl;
+            tl.panelBytes = pb;
+            kernels::ScopedTiling scoped(tl);
+            MatF c;
+            const double s = timeBest(
+                [&] { c = matmulNTBlocked(a, b); }, 0.2,
+                opts.quick ? 4 : 8);
+            const double p = model.matmulNTSeconds(m, n, k, pb);
+            pred.push_back(p);
+            meas.push_back(s);
+            t.row()
+                .cell(static_cast<std::int64_t>(pb / 1024))
+                .cell(p, 5)
+                .cell(s, 5);
+            const std::string tag =
+                "matmulnt_panel" + std::to_string(pb / 1024) + "k";
+            rep.metric(tag + "_pred_s", p, "s").nocheck();
+            rep.metric(tag + "_meas_s", s, "s").nocheck();
+        }
+        const double corr = spearman(pred, meas);
+        std::printf("%s\nmatmulNT panel rank correlation: %.2f\n\n",
+                    t.render().c_str(), corr);
+        // Compute-bound at this shape on most hosts: the measured
+        // spread can be microseconds, so rank agreement here is
+        // trajectory-only; the gated agreement is per stage below.
+        rep.metric("matmulnt_panel_rank_corr", corr, "correlation")
+            .nocheck();
+    }
+
+    // matmul k-block sweep: small blocks re-stream the C rows once
+    // per block, so predictions spread widely and ranks are stable.
+    {
+        const std::size_t m = 96;
+        const std::size_t n = opts.quick ? 192 : 384;
+        const std::size_t k = 1024;
+        const MatF a = randomMat(m, k, rng);
+        const MatF b = randomMat(k, n, rng);
+        const std::size_t blocks[] = {8, 32, 128, 512};
+        Table t;
+        t.column("blockK").column("pred s").column("meas s");
+        std::vector<double> pred, meas;
+        for (std::size_t bk : blocks) {
+            kernels::Tiling tl;
+            tl.blockK = bk;
+            kernels::ScopedTiling scoped(tl);
+            MatF c;
+            const double s = timeBest(
+                [&] { c = matmulBlocked(a, b); }, 0.2,
+                opts.quick ? 4 : 8);
+            const double p = model.matmulSeconds(m, n, k, bk);
+            pred.push_back(p);
+            meas.push_back(s);
+            t.row()
+                .cell(static_cast<std::int64_t>(bk))
+                .cell(p, 5)
+                .cell(s, 5);
+            const std::string tag =
+                "matmul_blockk" + std::to_string(bk);
+            rep.metric(tag + "_pred_s", p, "s").nocheck();
+            rep.metric(tag + "_meas_s", s, "s").nocheck();
+        }
+        const double corr = spearman(pred, meas);
+        std::printf("%s\nmatmul blockK rank correlation: %.2f\n\n",
+                    t.render().c_str(), corr);
+        rep.metric("matmul_blockk_rank_corr", corr, "correlation")
+            .nocheck();
+    }
+
+    // Engine shapes: one prefill, one KV-cache decode.
+    ModelWorkloadSpec prefill;
+    prefill.batch = 2;
+    prefill.heads = 2;
+    prefill.seq = opts.quick ? 256 : 512;
+    prefill.queries = opts.quick ? 32 : 64;
+    prefill.seed = opts.seedOr(0x50FA71E1ull);
+    ModelWorkloadSpec decode = prefill;
+    decode.pastLen = prefill.seq - 8;
+    decode.newTokens = 8;
+    decode.seed = opts.seedOr(0x50FA71E2ull);
+
+    EngineConfig ecfg;
+    ecfg.computeQuality = false; // the model scores 4 stages
+
+    // Per-stage predicted vs measured on the prefill shape under the
+    // default (fixed-knob) plan, via the stepped EngineRun path.
+    {
+        const ModelWorkload mw = generateModelWorkload(prefill);
+        const TileShape shape =
+            tileShape(prefill, ecfg.pipeline.topkFrac);
+        TilePlan dplan;
+        dplan.rowTile = ecfg.rowTile;
+        dplan.sadsSpan = ecfg.rowTile;
+        const double stage_pred[] = {
+            model.dlzsSeconds(shape),
+            model.sadsSeconds(dplan, shape),
+            model.kvSeconds(shape),
+            model.sufaSeconds(dplan, shape),
+        };
+        std::vector<HeadTask> tasks;
+        for (int bi = 0; bi < mw.batch(); ++bi)
+            for (int h = 0; h < mw.heads(); ++h) {
+                HeadTask ht;
+                ht.workload = &mw.head(bi, h);
+                ht.batch = bi;
+                ht.head = h;
+                tasks.push_back(ht);
+            }
+        const Engine engine(ecfg);
+        std::vector<std::string> names;
+        std::vector<double> meas(4, 1e9);
+        const int reps = opts.quick ? 3 : 5;
+        for (int r = 0; r < reps; ++r) {
+            EngineRun er(engine, tasks);
+            names.clear();
+            for (int s = 0; s < 4; ++s) {
+                names.push_back(er.nextStageName());
+                const double t0 = benchutil::now();
+                er.step();
+                meas[static_cast<std::size_t>(s)] = std::min(
+                    meas[static_cast<std::size_t>(s)],
+                    benchutil::now() - t0);
+            }
+            (void)er.finish();
+        }
+        Table t;
+        t.column("stage", Align::Left)
+            .column("pred s")
+            .column("meas s");
+        std::vector<double> pred;
+        for (std::size_t s = 0; s < 4; ++s) {
+            pred.push_back(stage_pred[s]);
+            t.row().cell(names[s]).cell(pred[s], 5).cell(meas[s], 5);
+            rep.metric("stage_" + names[s] + "_pred_s", pred[s], "s")
+                .nocheck();
+            rep.metric("stage_" + names[s] + "_meas_s", meas[s], "s")
+                .nocheck();
+        }
+        const double corr = spearman(pred, meas);
+        std::printf("%s\nper-stage rank correlation (prefill, "
+                    "default plan): %.2f\n\n", t.render().c_str(),
+                    corr);
+        rep.metric("stage_rank_corr", corr, "correlation")
+            .tol(0.0)
+            .atol(0.45);
+    }
+
+    // Plan-grid sample: a deterministic stride through the grid per
+    // shape, each candidate run under EngineConfig::fixedPlan.
+    const struct
+    {
+        const char *name;
+        const ModelWorkloadSpec *spec;
+    } shapes[] = {{"prefill", &prefill}, {"decode", &decode}};
+    for (const auto &sh : shapes) {
+        const ModelWorkload mw = generateModelWorkload(*sh.spec);
+        const TileShape shape =
+            tileShape(*sh.spec, ecfg.pipeline.topkFrac);
+        const std::vector<TilePlan> grid =
+            tileSearchGrid(shape, model.machine());
+        const std::size_t want = opts.quick ? 6 : 10;
+        const std::size_t stride =
+            std::max<std::size_t>(1, grid.size() / want);
+        std::vector<double> pred, meas;
+        for (std::size_t i = 0; i < grid.size(); i += stride) {
+            EngineConfig cfg = ecfg;
+            cfg.fixedPlan = grid[i];
+            const double s = timeBest(
+                [&] { (void)runEngine(mw, cfg); }, 0.15,
+                opts.quick ? 3 : 5);
+            pred.push_back(model.planSeconds(grid[i], shape));
+            meas.push_back(s);
+        }
+        const double corr = spearman(pred, meas);
+        std::printf("%s plan grid: %zu candidates measured of %zu, "
+                    "rank correlation %.2f\n", sh.name, pred.size(),
+                    grid.size(), corr);
+        // Near-tied on few-core hosts (sharding barely matters), so
+        // trajectory-only like the kernel sweeps.
+        rep.metric(std::string(sh.name) + "_plan_rank_corr", corr,
+                   "correlation")
+            .nocheck();
+    }
+
+    // autoTile vs fixed defaults: the trajectory metric, plus the
+    // tol-0 bits (bit-exact results, deterministic planner, describe
+    // round-trip).
+    {
+        const ModelWorkload mw = generateModelWorkload(prefill);
+        const TileShape shape =
+            tileShape(prefill, ecfg.pipeline.topkFrac);
+        const TilePlan plan = planTiles(shape, model);
+        EngineConfig at = ecfg;
+        at.autoTile = true;
+        ScopedAutoTile follow(-1);
+        EngineResult def_res, at_res;
+        const double def_s = timeBest(
+            [&] { def_res = runEngine(mw, ecfg); }, 0.25,
+            opts.quick ? 3 : 6);
+        const double at_s = timeBest(
+            [&] { at_res = runEngine(mw, at); }, 0.25,
+            opts.quick ? 3 : 6);
+        const double speedup = def_s / at_s;
+        const bool match = sameEngineResults(def_res, at_res);
+        std::printf("autoTile plan %s\nautoTile: default %.4fs vs "
+                    "planned %.4fs (%.2fx), results %s\n",
+                    plan.describe().c_str(), def_s, at_s, speedup,
+                    match ? "bit-exact" : "MISMATCH");
+        rep.metric("autotile_default_seconds", def_s, "s").nocheck();
+        rep.metric("autotile_planned_seconds", at_s, "s").nocheck();
+        rep.metric("autotile_speedup", speedup, "ratio").nocheck();
+        rep.metric("autotile_match", match ? 1.0 : 0.0, "bool")
+            .tol(0.0);
+        rep.metric("plan_deterministic",
+                   planTiles(shape, model) == plan ? 1.0 : 0.0,
+                   "bool")
+            .tol(0.0);
+        TilePlan parsed;
+        const bool roundtrip =
+            parseTilePlan(plan.describe(), &parsed) &&
+            parsed == plan;
+        rep.metric("plan_roundtrip", roundtrip ? 1.0 : 0.0, "bool")
+            .tol(0.0);
+        if (!match) {
+            std::fprintf(stderr, "FAIL: autoTile diverged from the "
+                                 "fixed-knob defaults\n");
+            return 1;
+        }
+    }
+
+    return 0;
+}
+
+} // namespace
+
+SOFA_BENCH_MAIN("tiler", run)

@@ -103,6 +103,15 @@ for name in "${BENCHES[@]}"; do
     echo
 done
 
+# First --trajectory run on a fresh checkout/runner: seed the log
+# from the committed baseline so the very first append already prints
+# deltas vs a known-good revision instead of an empty diff.
+if [ "$TRAJECTORY" = 1 ] && [ ! -f "$OUT_DIR/trajectory.jsonl" ] \
+    && [ -f bench/trajectory/baseline.jsonl ]; then
+    cp bench/trajectory/baseline.jsonl "$OUT_DIR/trajectory.jsonl"
+    echo "seeded $OUT_DIR/trajectory.jsonl from bench/trajectory/baseline.jsonl"
+fi
+
 TRAJ_ARGS=()
 [ "$TRAJECTORY" = 1 ] && TRAJ_ARGS+=(--append)
 [ "$COMPARE_BASELINE" = 1 ] && TRAJ_ARGS+=(--compare-baseline)

@@ -13,10 +13,15 @@ Fails when the documentation drifts from the actual source tree:
     `Outcome::X`), the SOFA_FAULTS variable and the common/faultplan
     grammar, and bench_serve (and must not mention modules or
     Outcome values that no longer exist);
+  * docs/TUNING.md must cover the tile planner: every TilePlan knob
+    and every MachineDescriptor field (parsed from the headers, as
+    `field`), the SOFA_AUTOTILE and SOFA_MACHINE variables, the
+    core/tiler and common/machine modules and bench_tiler (and must
+    not mention modules that no longer exist);
   * every src/serve header, plus src/common/threadpool.h,
-    src/core/engine.h and src/model/model_workload.h, must carry the
-    Units/assumptions header-comment line (the PR-3 documentation
-    convention).
+    src/common/machine.h, src/core/engine.h, src/core/tiler.h and
+    src/model/model_workload.h, must carry the Units/assumptions
+    header-comment line (the PR-3 documentation convention).
 
 Run by CI's docs job and registered as the docs_sync CTest.
 """
@@ -144,10 +149,46 @@ def main():
             errors.append(f"docs/SERVING.md: {needle} not documented "
                           "(fault-model section)")
 
+    # --- tuning docs <-> the tile planner -----------------------
+    # docs/TUNING.md is the operator's guide to the auto-tiler; its
+    # knob and field tables are parsed from the headers so a renamed
+    # or added knob cannot land undocumented.
+    tuning_doc = read("docs/TUNING.md")
+    for struct, header in (("TilePlan", "src/core/tiler.h"),
+                           ("MachineDescriptor",
+                            "src/common/machine.h")):
+        body_match = re.search(
+            r"struct " + struct + r"\s*\{(.*?)\n\};", read(header),
+            re.DOTALL)
+        if not body_match:
+            errors.append(f"{header}: {struct} struct not found "
+                          "(check_docs parses it)")
+            continue
+        fields = re.findall(
+            r"^\s*(?:std::)?\w+\s+(\w+)\s*=[^=;][^;]*;",
+            body_match.group(1), re.MULTILINE)
+        if not fields:
+            errors.append(f"{header}: no {struct} fields parsed "
+                          "(check_docs regex stale?)")
+        for field in fields:
+            if f"`{field}`" not in tuning_doc:
+                errors.append(f"docs/TUNING.md: {struct} field "
+                              f"`{field}` not documented")
+    for needle in ("SOFA_AUTOTILE", "SOFA_MACHINE", "core/tiler",
+                   "common/machine", "bench_tiler"):
+        if needle not in tuning_doc:
+            errors.append(f"docs/TUNING.md: {needle} not documented")
+    for g, stem in set(pattern.findall(tuning_doc)):
+        if f"{g}/{stem}" not in modules:
+            errors.append(f"docs/TUNING.md: {g}/{stem} mentioned "
+                          "but not in src/")
+
     # --- Units/assumptions header-comment convention ------------
     units_files = sorted(glob.glob("src/serve/*.h")) + [
+        "src/common/machine.h",
         "src/common/threadpool.h",
         "src/core/engine.h",
+        "src/core/tiler.h",
         "src/model/model_workload.h",
     ]
     for path in units_files:

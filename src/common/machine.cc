@@ -1,0 +1,190 @@
+#include "common/machine.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "tensor/simd.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sofa {
+
+namespace {
+
+/** sysconf cache probe; 0 when the key is unsupported or answers
+ * nothing useful. */
+std::size_t
+sysconfBytes(int name)
+{
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+    const long v = ::sysconf(name);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+#else
+    (void)name;
+    return 0;
+#endif
+}
+
+/** One line of a sysfs cache attribute file ("32K", "1", "Data"). */
+std::string
+sysfsLine(const std::string &path)
+{
+    std::ifstream f(path);
+    std::string line;
+    if (f && std::getline(f, line)) {
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r'))
+            line.pop_back();
+        return line;
+    }
+    return std::string();
+}
+
+/** Parse the sysfs size grammar: a number with an optional K/M/G
+ * suffix. Returns 0 on anything else. */
+std::size_t
+parseSysfsSize(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return 0;
+    std::size_t mult = 1;
+    if (*end == 'K')
+        mult = 1024;
+    else if (*end == 'M')
+        mult = 1024 * 1024;
+    else if (*end == 'G')
+        mult = 1024ull * 1024 * 1024;
+    else if (*end != '\0')
+        return 0;
+    return static_cast<std::size_t>(v) * mult;
+}
+
+/** Walk /sys/devices/system/cpu/cpu0/cache/index*, keeping the data
+ * or unified cache size per level. */
+void
+sysfsCaches(std::size_t *l1, std::size_t *l2, std::size_t *llc)
+{
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+    std::size_t best_level = 0;
+    for (int idx = 0; idx < 8; ++idx) {
+        const std::string dir = base + "index" + std::to_string(idx);
+        const std::string type = sysfsLine(dir + "/type");
+        if (type.empty())
+            break; // indices are contiguous
+        if (type != "Data" && type != "Unified")
+            continue;
+        const std::string level_s = sysfsLine(dir + "/level");
+        const std::size_t bytes = parseSysfsSize(
+            sysfsLine(dir + "/size"));
+        if (level_s.empty() || bytes == 0)
+            continue;
+        const std::size_t level =
+            static_cast<std::size_t>(std::atoi(level_s.c_str()));
+        if (level == 1 && *l1 == 0)
+            *l1 = bytes;
+        else if (level == 2 && *l2 == 0)
+            *l2 = bytes;
+        if (level >= 2 && level >= best_level) {
+            best_level = level;
+            *llc = bytes;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+MachineDescriptor::describe() const
+{
+    std::ostringstream os;
+    os << "l1=" << l1Bytes << ",l2=" << l2Bytes
+       << ",llc=" << llcBytes << ",cores=" << cores
+       << ",lanes=" << simdLanes;
+    return os.str();
+}
+
+bool
+parseMachine(const std::string &text, MachineDescriptor *out)
+{
+    MachineDescriptor m = *out;
+    std::istringstream is(text);
+    std::string field;
+    while (std::getline(is, field, ',')) {
+        if (field.empty())
+            continue;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = field.substr(0, eq);
+        const std::string val = field.substr(eq + 1);
+        char *end = nullptr;
+        const long long v = std::strtoll(val.c_str(), &end, 10);
+        if (end == val.c_str() || *end != '\0' || v <= 0)
+            return false;
+        if (key == "l1")
+            m.l1Bytes = static_cast<std::size_t>(v);
+        else if (key == "l2")
+            m.l2Bytes = static_cast<std::size_t>(v);
+        else if (key == "llc")
+            m.llcBytes = static_cast<std::size_t>(v);
+        else if (key == "cores")
+            m.cores = static_cast<int>(v);
+        else if (key == "lanes")
+            m.simdLanes = static_cast<int>(v);
+        else
+            return false;
+    }
+    *out = m;
+    return true;
+}
+
+MachineDescriptor
+detectMachineUncached()
+{
+    MachineDescriptor m; // fallback desktop/CI-class defaults
+    std::size_t l1 = 0, l2 = 0, llc = 0;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+    l1 = sysconfBytes(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    if (l2 == 0)
+        l2 = sysconfBytes(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    if (llc == 0)
+        llc = sysconfBytes(_SC_LEVEL3_CACHE_SIZE);
+#endif
+    if (l1 == 0 || l2 == 0 || llc == 0)
+        sysfsCaches(&l1, &l2, &llc);
+    if (l1 != 0)
+        m.l1Bytes = l1;
+    if (l2 != 0)
+        m.l2Bytes = l2;
+    if (llc != 0)
+        m.llcBytes = llc;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    m.cores = hw > 0 ? static_cast<int>(hw) : 1;
+    m.simdLanes = simd::detected() >= simd::Level::Avx2 ? 8 : 1;
+
+    if (const char *env = std::getenv("SOFA_MACHINE"))
+        (void)parseMachine(env, &m); // bad overrides are ignored
+    return m;
+}
+
+const MachineDescriptor &
+detectMachine()
+{
+    static const MachineDescriptor m = detectMachineUncached();
+    return m;
+}
+
+} // namespace sofa

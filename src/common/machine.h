@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host machine descriptor for the tile planner (core/tiler): the
+ * cache hierarchy, core count and SIMD width the analytic cost model
+ * scores tile plans against. Detection is best-effort and portable —
+ * sysconf's _SC_LEVEL*_DCACHE_SIZE where glibc provides it, then the
+ * sysfs cpu cache directories, then fixed desktop/CI-class fallbacks
+ * (the same 32 KiB L1 / 256 KiB L2 assumption the constexpr kernel
+ * panels were originally sized for) — and cached after the first
+ * call, so planTiles() is deterministic within a process.
+ *
+ * The SOFA_MACHINE environment variable overrides any subset of the
+ * detected fields ("l1=32768,l2=262144,llc=8388608,cores=8,lanes=8",
+ * keys in any order, unmentioned keys keep their detected values),
+ * which is how tests and cross-machine reproductions pin the
+ * descriptor; describe()/parseMachine() round-trip the same grammar.
+ *
+ * Units: cache sizes are bytes; cores are schedulable hardware
+ * threads; simdLanes is 32-bit float lanes per vector op (8 for
+ * AVX2, 1 scalar).
+ */
+
+#ifndef SOFA_COMMON_MACHINE_H
+#define SOFA_COMMON_MACHINE_H
+
+#include <cstddef>
+#include <string>
+
+namespace sofa {
+
+/** What the tile cost model knows about the host. */
+struct MachineDescriptor
+{
+    std::size_t l1Bytes = 32 * 1024;       ///< per-core L1D
+    std::size_t l2Bytes = 256 * 1024;      ///< per-core private L2
+    std::size_t llcBytes = 8 * 1024 * 1024; ///< shared last-level
+    int cores = 1;     ///< workers the pool can actually run
+    int simdLanes = 1; ///< float lanes per vector op (tensor/simd)
+
+    /** "l1=...,l2=...,llc=...,cores=...,lanes=..." (the SOFA_MACHINE
+     * grammar; parseMachine round-trips it). */
+    std::string describe() const;
+
+    bool operator==(const MachineDescriptor &o) const
+    {
+        return l1Bytes == o.l1Bytes && l2Bytes == o.l2Bytes &&
+               llcBytes == o.llcBytes && cores == o.cores &&
+               simdLanes == o.simdLanes;
+    }
+    bool operator!=(const MachineDescriptor &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Apply a SOFA_MACHINE-grammar override string on top of @p out
+ * (only the mentioned keys change). Returns false — leaving @p out
+ * untouched — on an unknown key, a malformed field, or a
+ * non-positive value.
+ */
+bool parseMachine(const std::string &text, MachineDescriptor *out);
+
+/** Fresh detection: sysconf -> sysfs -> fallbacks, then the
+ * SOFA_MACHINE override. Exposed for tests; production callers use
+ * the cached detectMachine(). */
+MachineDescriptor detectMachineUncached();
+
+/** The process-wide descriptor (detected once, then cached — the
+ * planner's determinism contract depends on it not changing). */
+const MachineDescriptor &detectMachine();
+
+} // namespace sofa
+
+#endif // SOFA_COMMON_MACHINE_H

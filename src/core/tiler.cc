@@ -1,0 +1,389 @@
+#include "core/tiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sofa {
+
+namespace {
+
+/** Effective single-core throughput of the SLP-vectorized float
+ * loops, per SIMD lane (ops/s). Absolute accuracy is not the
+ * contract — consistent relative ordering across plans is. */
+constexpr double kOpsPerLane = 2.0e9;
+
+/** DLZS shift/add throughput: the LZ-code inner loops branch per
+ * element, so they are largely lane-resistant — one effective rate
+ * regardless of SIMD width. */
+constexpr double kIntOpsPerSecond = 1.4e9;
+
+/** SADS comparison throughput: the sorter-core chunks and the
+ * sphere-search refinement run std::sort over small candidate
+ * buffers, so a "comparison" carries heavy constant factors. */
+constexpr double kCmpOpsPerSecond = 1.5e8;
+
+/** KV-stage bookkeeping rate (mask build + required-key scan; the
+ * generation itself is op-counted, not recomputed). */
+constexpr double kBookOpsPerSecond = 5.0e8;
+
+/** Effective memory bandwidth the streamed operands see (B/s). */
+constexpr double kBytesPerSecond = 2.5e10;
+
+/** Per-claim overhead of the pool's atomic chunk scheduler plus the
+ * closure call (seconds). */
+constexpr double kClaimSeconds = 3.0e-7;
+
+double
+ceilDiv(double a, double b)
+{
+    return std::ceil(a / std::max(1.0, b));
+}
+
+} // namespace
+
+std::string
+TilePlan::describe() const
+{
+    std::ostringstream os;
+    os << "panel=" << panelBytes << ",blockk=" << blockK
+       << ",rowtile=" << rowTile << ",sads=" << sadsSpan
+       << ",grain=" << shardGrain << ",chunk=" << prefillChunkRows;
+    return os.str();
+}
+
+bool
+parseTilePlan(const std::string &text, TilePlan *out)
+{
+    TilePlan p;
+    int seen = 0;
+    std::istringstream is(text);
+    std::string field;
+    while (std::getline(is, field, ',')) {
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = field.substr(0, eq);
+        const std::string val = field.substr(eq + 1);
+        char *end = nullptr;
+        const long long v = std::strtoll(val.c_str(), &end, 10);
+        if (end == val.c_str() || *end != '\0' || v < 0)
+            return false;
+        if (key == "panel")
+            p.panelBytes = static_cast<std::size_t>(v);
+        else if (key == "blockk")
+            p.blockK = static_cast<std::size_t>(v);
+        else if (key == "rowtile")
+            p.rowTile = static_cast<int>(v);
+        else if (key == "sads")
+            p.sadsSpan = static_cast<int>(v);
+        else if (key == "grain")
+            p.shardGrain = static_cast<int>(v);
+        else if (key == "chunk")
+            p.prefillChunkRows = static_cast<int>(v);
+        else
+            return false;
+        ++seen;
+    }
+    if (seen != 6 || p.panelBytes == 0 || p.blockK == 0 ||
+        p.blockK % 4 != 0 || p.rowTile < 1 || p.sadsSpan < 1 ||
+        p.shardGrain < 1)
+        return false;
+    *out = p;
+    return true;
+}
+
+TileShape
+tileShape(const ModelWorkloadSpec &spec, double topk_frac)
+{
+    TileShape s;
+    s.headTasks = spec.batch * spec.heads;
+    s.rowsPerHead = spec.queryRows();
+    s.contextLen = spec.contextLen();
+    s.headDim = spec.headDim;
+    s.tokenDim = spec.tokenDim;
+    s.pastLen = spec.isDecode() ? spec.pastLen : 0;
+    s.topkFrac = topk_frac;
+    return s;
+}
+
+TileCostModel::TileCostModel(MachineDescriptor m) : m_(m)
+{
+    SOFA_ASSERT(m_.cores >= 1 && m_.simdLanes >= 1);
+}
+
+TileCostModel::TileCostModel() : TileCostModel(detectMachine()) {}
+
+double
+TileCostModel::shardSeconds(double work_seconds, double chunks,
+                            int grain) const
+{
+    if (chunks <= 0.0 || work_seconds <= 0.0)
+        return 0.0;
+    const double g = std::max(1, grain);
+    const double claims = ceilDiv(chunks, g);
+    // Each claim costs its chunk-group's work plus the scheduler
+    // grab; claims round-robin the cores, so the makespan is the
+    // per-claim cost times the number of rounds. Coarse grain trades
+    // fewer grabs for worse tail imbalance — exactly the knob.
+    const double per_claim =
+        (work_seconds / chunks) * g + kClaimSeconds;
+    return ceilDiv(claims, m_.cores) * per_claim;
+}
+
+double
+TileCostModel::dlzsSeconds(const TileShape &s) const
+{
+    // Per head: the K-hat prediction (S x tokenDim x d shift/adds)
+    // plus the A-hat prediction (rows x S x d), both in the branchy
+    // LZ-code domain.
+    const double S = s.contextLen, d = s.headDim;
+    const double ops =
+        S * s.tokenDim * d + s.rowsPerHead * S * d;
+    const double w = s.headTasks * ops / kIntOpsPerSecond;
+    return shardSeconds(w, s.headTasks, 1);
+}
+
+double
+TileCostModel::sadsSeconds(const TilePlan &p, const TileShape &s) const
+{
+    const double S = s.contextLen;
+    const double rows = s.rowsPerHead;
+    const double k = std::max(1.0, s.topkFrac * S);
+    // Per row: the clip filter plus sorter-core passes sweep the
+    // S-wide score row (~5 cmps per element including the 16-to-4
+    // comparators), and the sphere-search refinement re-sorts the
+    // k-sized candidate sets a bounded number of times.
+    double per_row =
+        S * 5.0 + 8.0 * k * std::log2(k + 2.0);
+    // The score row itself should stay L1-resident across sweeps.
+    if (S * 4.0 > static_cast<double>(m_.l1Bytes))
+        per_row *= 1.3;
+    // A span's worth of rows should stay inside private L2.
+    if (static_cast<double>(p.sadsSpan) * S * 4.0 >
+        static_cast<double>(m_.l2Bytes))
+        per_row *= 1.2;
+    const double w =
+        s.headTasks * rows * per_row / kCmpOpsPerSecond;
+    const double chunks =
+        s.headTasks * ceilDiv(rows, p.sadsSpan);
+    return shardSeconds(w, chunks, p.shardGrain);
+}
+
+double
+TileCostModel::kvSeconds(const TileShape &s) const
+{
+    // The engine's KV stage is cache bookkeeping: it builds the
+    // required-key mask from the selections (rows x k), scans it
+    // against pastLen, and charges the generation to the OpCounter
+    // without recomputing projections — so time scales with the
+    // mask, not with tokenDim x headDim.
+    const double S = s.contextLen;
+    const double k = std::max(1.0, s.topkFrac * S);
+    const double ops = s.rowsPerHead * k + 2.0 * S;
+    const double w = s.headTasks * ops / kBookOpsPerSecond;
+    return shardSeconds(w, s.headTasks, 1);
+}
+
+double
+TileCostModel::sufaSeconds(const TilePlan &p, const TileShape &s) const
+{
+    const double S = s.contextLen, d = s.headDim;
+    const double rows = s.rowsPerHead;
+    const double k = std::max(1.0, s.topkFrac * S);
+    // Per row: Q.K^T and A.V over the k selected keys plus the
+    // streaming-softmax bookkeeping.
+    double per_row = k * (4.0 * d + 8.0);
+    // Selected K/V rows are gathered, so the row's working set is
+    // k * d floats twice over.
+    if (k * d * 8.0 > static_cast<double>(m_.l2Bytes))
+        per_row *= 1.25;
+    // The head's whole K/V should fit its share of the LLC.
+    if (S * d * 8.0 * s.headTasks >
+        static_cast<double>(m_.llcBytes))
+        per_row *= 1.15;
+    // dotBlock's eight double lanes recover part of the SIMD width;
+    // the scalar fallback is about half kOpsPerLane effective.
+    const double eff =
+        kOpsPerLane * std::max(0.5, m_.simdLanes / 4.0);
+    const double w = s.headTasks * rows * per_row / eff;
+    const double chunks = s.headTasks * ceilDiv(rows, p.rowTile);
+    return shardSeconds(w, chunks, p.shardGrain);
+}
+
+double
+TileCostModel::planSeconds(const TilePlan &p, const TileShape &s) const
+{
+    return dlzsSeconds(s) + sadsSeconds(p, s) + kvSeconds(s) +
+           sufaSeconds(p, s);
+}
+
+double
+TileCostModel::matmulNTSeconds(std::size_t m, std::size_t n,
+                               std::size_t k,
+                               std::size_t panel_bytes) const
+{
+    const double M = static_cast<double>(m);
+    const double N = static_cast<double>(n);
+    const double K = static_cast<double>(k);
+    const double row_bytes = std::max(1.0, K) * 4.0;
+    double panel_rows = std::floor(
+        static_cast<double>(panel_bytes) / row_bytes);
+    panel_rows = std::min(512.0, std::max(16.0, panel_rows));
+    const double compute =
+        2.0 * M * N * K / (kOpsPerLane * m_.simdLanes * 2.0);
+    // A is re-streamed once per B panel; an over-L2 panel loses
+    // residency and refetches B rows per A row.
+    const double sweeps = ceilDiv(N, panel_rows);
+    const double a_traffic = M * K * 4.0 * sweeps;
+    double b_traffic = N * K * 4.0;
+    if (panel_rows * row_bytes > static_cast<double>(m_.l2Bytes))
+        b_traffic *= std::max(1.0, M / 8.0);
+    const double c_traffic = M * N * 4.0;
+    return compute +
+           (a_traffic + b_traffic + c_traffic) / kBytesPerSecond;
+}
+
+double
+TileCostModel::matmulSeconds(std::size_t m, std::size_t n,
+                             std::size_t k,
+                             std::size_t block_k) const
+{
+    const double M = static_cast<double>(m);
+    const double N = static_cast<double>(n);
+    const double K = static_cast<double>(k);
+    const double bk = std::max<std::size_t>(1, block_k);
+    const double compute =
+        2.0 * M * N * K / (kOpsPerLane * m_.simdLanes * 2.0);
+    // The C row is re-read and re-written once per k block; an
+    // over-L2 B block loses residency across the row sweep.
+    const double blocks = ceilDiv(K, bk);
+    const double c_traffic = 2.0 * M * N * 4.0 * blocks;
+    double b_traffic = K * N * 4.0;
+    if (bk * N * 4.0 > static_cast<double>(m_.l2Bytes))
+        b_traffic *= std::max(1.0, M / 8.0);
+    const double a_traffic = M * K * 4.0;
+    return compute +
+           (a_traffic + b_traffic + c_traffic) / kBytesPerSecond;
+}
+
+std::vector<TilePlan>
+tileSearchGrid(const TileShape &shape, const MachineDescriptor &m)
+{
+    const int rows = std::max(1, shape.rowsPerHead);
+    const int row_ladder[] = {4, 8, 16, 32, 64, 128, 256};
+    std::vector<int> tiles;
+    for (int t : row_ladder) {
+        const int c = std::min(t, rows);
+        if (std::find(tiles.begin(), tiles.end(), c) == tiles.end())
+            tiles.push_back(c);
+    }
+    const int grains[] = {1, 2, 4};
+    const std::size_t blocks[] = {64, 128, 256, 512};
+    const std::size_t l2 = std::max<std::size_t>(64 * 1024,
+                                                 m.l2Bytes);
+    const std::size_t panels[] = {l2 / 4, l2 / 2, l2, 2 * l2};
+
+    std::vector<TilePlan> grid;
+    std::set<std::string> seen;
+    for (int rt : tiles)
+        for (int span : tiles)
+            for (int g : grains)
+                for (std::size_t bk : blocks)
+                    for (std::size_t pb : panels) {
+                        TilePlan p;
+                        p.rowTile = rt;
+                        p.sadsSpan = span;
+                        p.shardGrain = g;
+                        p.blockK = bk;
+                        p.panelBytes = pb;
+                        if (seen.insert(p.describe()).second)
+                            grid.push_back(p);
+                    }
+    return grid;
+}
+
+TilePlan
+planTiles(const TileShape &shape, const TileCostModel &model)
+{
+    const std::vector<TilePlan> grid =
+        tileSearchGrid(shape, model.machine());
+    SOFA_ASSERT(!grid.empty());
+    // poplibs-style enumerate -> cost -> argmin; strict < keeps the
+    // earliest enumeration entry on ties, so the choice is
+    // deterministic for a fixed (machine, shape).
+    TilePlan best = grid.front();
+    double best_cost = model.planSeconds(best, shape);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        const double c = model.planSeconds(grid[i], shape);
+        if (c < best_cost) {
+            best_cost = c;
+            best = grid[i];
+        }
+    }
+    return best;
+}
+
+TilePlan
+planTiles(const TileShape &shape)
+{
+    return planTiles(shape, TileCostModel(detectMachine()));
+}
+
+namespace {
+
+constexpr int kOverrideUnset = -2;
+std::atomic<int> g_autotile_override{kOverrideUnset};
+
+int
+envOverride()
+{
+    const char *env = std::getenv("SOFA_AUTOTILE");
+    if (env == nullptr)
+        return -1;
+    if (std::strcmp(env, "0") == 0)
+        return 0;
+    if (std::strcmp(env, "1") == 0)
+        return 1;
+    return -1; // unknown values follow the config flag
+}
+
+} // namespace
+
+int
+autoTileOverride()
+{
+    int v = g_autotile_override.load(std::memory_order_relaxed);
+    if (v == kOverrideUnset) {
+        v = envOverride();
+        int expected = kOverrideUnset;
+        g_autotile_override.compare_exchange_strong(
+            expected, v, std::memory_order_relaxed);
+        v = g_autotile_override.load(std::memory_order_relaxed);
+    }
+    return v;
+}
+
+int
+setAutoTileOverride(int v)
+{
+    SOFA_ASSERT(v >= -1 && v <= 1);
+    const int prev = autoTileOverride();
+    g_autotile_override.store(v, std::memory_order_relaxed);
+    return prev;
+}
+
+bool
+autoTileEnabled(bool cfg_flag)
+{
+    const int ov = autoTileOverride();
+    return ov == -1 ? cfg_flag : ov == 1;
+}
+
+} // namespace sofa

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-stage tile planner: the paper's "cross-stage coordinated
+ * tiling" made adaptive. A TilePlan bundles every tiling knob the
+ * software stack exposes — the kernel panel/block sizes
+ * (tensor/kernels runtime tiling), the engine's SU-FA row tile and
+ * SADS scan span, the shard claim granularity, and the scheduler's
+ * prefill chunk suggestion — and a TileCostModel scores a plan
+ * analytically from the workload shape (TileShape) and the host's
+ * MachineDescriptor (common/machine). planTiles() is the poplibs
+ * enumerate -> cost -> argmin idiom over the small discrete
+ * tileSearchGrid(): deterministic for a fixed (machine, shape) pair,
+ * strict-less-than argmin with enumeration order as the tie break.
+ *
+ * Every plan the grid can emit is results-neutral by construction:
+ * panel bytes only reorder the j sweep of matmulNT (each output is
+ * still one dotf16 call), blockK stays a multiple of four so the
+ * unrolled accumulation groups land on the same absolute k
+ * boundaries, row tiles/spans/grains only re-shard work whose
+ * per-unit tallies merge in canonical order — so autoTile engine
+ * results are bit-exact vs the fixed defaults (property-tested and
+ * golden-gated at tol 0). prefillChunkRows is the one knob that is
+ * NOT bit-neutral (DLZS quantizes Q per chunk) and is therefore only
+ * a scheduler-level suggestion, never applied inside an engine run.
+ *
+ * The same cost model feeds core/dse (dseTileCost in dse.h), so the
+ * design-space explorer and the software tiler share one model, and
+ * bench_tiler validates it predicted-vs-measured (rank agreement is
+ * golden-gated; raw plan choices are machine-dependent and are not).
+ *
+ * Units: predicted times are seconds on the descriptor's machine
+ * (relative ordering is what is validated, not absolute accuracy);
+ * sizes are bytes, tiles/spans are query rows.
+ */
+
+#ifndef SOFA_CORE_TILER_H
+#define SOFA_CORE_TILER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/machine.h"
+#include "model/model_workload.h"
+
+namespace sofa {
+
+/** One coordinated choice of every tiling knob in the stack. The
+ * defaults reproduce the pre-planner constants exactly. */
+struct TilePlan
+{
+    /** tensor/kernels: matmulNT streamed-panel budget. */
+    std::size_t panelBytes = 256 * 1024;
+    /** tensor/kernels: matmul k-block; must be a multiple of 4 (the
+     * unroll width) so results stay bit-exact across choices. */
+    std::size_t blockK = 256;
+    /** core/engine: query rows per SU-FA work unit. */
+    int rowTile = 64;
+    /** core/engine: query rows per SADS scan unit (the SADS span —
+     * selection parameters are NOT tiling knobs; they change
+     * results). */
+    int sadsSpan = 64;
+    /** core/engine: work units claimed per scheduler grab. */
+    int shardGrain = 1;
+    /** serve/scheduler: suggested prefill chunk rows (0 = do not
+     * chunk). Advisory only — chunking is not bit-neutral. */
+    int prefillChunkRows = 0;
+
+    /** "panel=...,blockk=...,rowtile=...,sads=...,grain=...,chunk=..."
+     * (bench JSON / logging; parseTilePlan round-trips it). */
+    std::string describe() const;
+
+    bool operator==(const TilePlan &o) const
+    {
+        return panelBytes == o.panelBytes && blockK == o.blockK &&
+               rowTile == o.rowTile && sadsSpan == o.sadsSpan &&
+               shardGrain == o.shardGrain &&
+               prefillChunkRows == o.prefillChunkRows;
+    }
+    bool operator!=(const TilePlan &o) const { return !(*this == o); }
+};
+
+/** Parse a describe() string back into a plan (all six keys
+ * required, any order). Returns false — @p out untouched — on a
+ * malformed string or an invalid value (blockK % 4, negatives). */
+bool parseTilePlan(const std::string &text, TilePlan *out);
+
+/** The workload shape the cost model scores against. */
+struct TileShape
+{
+    int headTasks = 4;   ///< batch * heads grid units
+    int rowsPerHead = 64; ///< query rows per head (T)
+    int contextLen = 512; ///< keys each row attends to (S)
+    int headDim = 64;
+    int tokenDim = 128;
+    int pastLen = 0;      ///< keys already KV-cached
+    double topkFrac = 0.2; ///< SADS keep fraction (k = frac * S)
+};
+
+/** Shape of a generated ModelWorkloadSpec under pipeline keep
+ * fraction @p topk_frac. */
+TileShape tileShape(const ModelWorkloadSpec &spec, double topk_frac);
+
+/**
+ * Analytic per-stage time model. Stage times combine a compute term
+ * charged at a stage-specific effective throughput calibrated to the
+ * software pipeline (DLZS's branchy lane-resistant shift/adds,
+ * SADS's sort-heavy comparisons, KV's bookkeeping-only mask work,
+ * SU-FA's dotBlock lanes), cache-residency penalties (working sets
+ * spilling L1/L2/LLC), and the sharding makespan — per-chunk cost
+ * times ceil(chunks_claimed / cores), plus a per-claim dispatch
+ * overhead — which is what makes row tiles and shard grain matter.
+ */
+class TileCostModel
+{
+  public:
+    explicit TileCostModel(MachineDescriptor m);
+    /** Model over the cached process-wide descriptor. */
+    TileCostModel();
+
+    const MachineDescriptor &machine() const { return m_; }
+
+    /** @name Predicted seconds per engine stage. @{ */
+    double dlzsSeconds(const TileShape &s) const;
+    double sadsSeconds(const TilePlan &p, const TileShape &s) const;
+    double kvSeconds(const TileShape &s) const;
+    double sufaSeconds(const TilePlan &p, const TileShape &s) const;
+    /** @} */
+
+    /** Whole-run prediction: the four stage terms summed (stages run
+     * back to back; quality is a verification stage, not modeled). */
+    double planSeconds(const TilePlan &p, const TileShape &s) const;
+
+    /** @name Kernel-level predictions (single-threaded Blocked
+     * kernels; bench_tiler's kernel sweep validates these). @{ */
+    double matmulNTSeconds(std::size_t m, std::size_t n,
+                           std::size_t k,
+                           std::size_t panel_bytes) const;
+    double matmulSeconds(std::size_t m, std::size_t n, std::size_t k,
+                         std::size_t block_k) const;
+    /** @} */
+
+  private:
+    /** Makespan of @p chunks near-equal chunks of @p work_seconds
+     * total on the pool, claimed @p grain at a time. */
+    double shardSeconds(double work_seconds, double chunks,
+                        int grain) const;
+
+    MachineDescriptor m_;
+};
+
+/**
+ * The discrete plan grid planTiles() searches: row tiles and SADS
+ * spans from a small power-of-two ladder clamped to the shape's row
+ * count, shard grains {1, 2, 4}, kernel blocks from the multiple-of-
+ * four ladder, panels as fractions/multiples of the machine's L2.
+ * Deduplicated; deterministic order for a fixed (shape, machine).
+ */
+std::vector<TilePlan> tileSearchGrid(const TileShape &shape,
+                                     const MachineDescriptor &m);
+
+/** Enumerate tileSearchGrid, score with @p model, return the argmin
+ * (strict <; ties keep the earlier enumeration entry). */
+TilePlan planTiles(const TileShape &shape, const TileCostModel &model);
+
+/** planTiles over the cached process-wide machine descriptor. */
+TilePlan planTiles(const TileShape &shape);
+
+/** @name SOFA_AUTOTILE wiring (the SOFA_SIMD idiom).
+ * The tri-state override decides whether EngineConfig::autoTile is
+ * honored: -1 follows the config flag, 0 forces the planner off, 1
+ * forces it on. Initialized from SOFA_AUTOTILE=0|1 on first use.
+ * @{ */
+int autoTileOverride();
+/** Set the override (-1 / 0 / 1); returns the previous value. */
+int setAutoTileOverride(int v);
+/** Whether a config with autoTile = @p cfg_flag plans this run. */
+bool autoTileEnabled(bool cfg_flag);
+
+/** RAII override for benches and tests comparing both modes. */
+class ScopedAutoTile
+{
+  public:
+    explicit ScopedAutoTile(int v) : prev_(setAutoTileOverride(v)) {}
+    ~ScopedAutoTile() { setAutoTileOverride(prev_); }
+    ScopedAutoTile(const ScopedAutoTile &) = delete;
+    ScopedAutoTile &operator=(const ScopedAutoTile &) = delete;
+
+  private:
+    int prev_;
+};
+/** @} */
+
+} // namespace sofa
+
+#endif // SOFA_CORE_TILER_H

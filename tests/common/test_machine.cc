@@ -1,0 +1,98 @@
+/**
+ * @file
+ * common/machine: descriptor describe/parse round-trip, the
+ * SOFA_MACHINE override grammar (subset overrides, rejection of
+ * malformed input), sane detection, and detectMachine() caching —
+ * the determinism anchor the tile planner builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/machine.h"
+#include "testprop.h"
+
+namespace sofa {
+namespace {
+
+TEST(Machine, DescribeParseRoundTrip)
+{
+    testprop::forEachSeededCase(32, [](int c, Rng &rng) {
+        MachineDescriptor m;
+        m.l1Bytes = static_cast<std::size_t>(
+            rng.uniformInt(1, 1 << 20));
+        m.l2Bytes = static_cast<std::size_t>(
+            rng.uniformInt(1, 8 << 20));
+        m.llcBytes = static_cast<std::size_t>(
+            rng.uniformInt(1, 256 << 20));
+        m.cores = static_cast<int>(rng.uniformInt(1, 256));
+        m.simdLanes = rng.bernoulli(0.5) ? 8 : 1;
+        MachineDescriptor parsed; // different starting point
+        parsed.cores = -1;
+        ASSERT_TRUE(parseMachine(m.describe(), &parsed))
+            << "case " << c << ": " << m.describe();
+        EXPECT_EQ(parsed, m) << "case " << c;
+        EXPECT_EQ(parsed.describe(), m.describe()) << "case " << c;
+    });
+}
+
+TEST(Machine, ParseOverridesOnlyMentionedKeys)
+{
+    MachineDescriptor m; // defaults
+    const MachineDescriptor before = m;
+    ASSERT_TRUE(parseMachine("l2=524288,cores=4", &m));
+    EXPECT_EQ(m.l2Bytes, 524288u);
+    EXPECT_EQ(m.cores, 4);
+    EXPECT_EQ(m.l1Bytes, before.l1Bytes);
+    EXPECT_EQ(m.llcBytes, before.llcBytes);
+    EXPECT_EQ(m.simdLanes, before.simdLanes);
+}
+
+TEST(Machine, ParseRejectsMalformedLeavingTargetUntouched)
+{
+    const MachineDescriptor before;
+    for (const char *bad :
+         {"l1=0", "cores=-2", "bogus=3", "l1", "l1=abc",
+          "l1=12junk", "l2=4,oops"}) {
+        MachineDescriptor m;
+        EXPECT_FALSE(parseMachine(bad, &m)) << bad;
+        EXPECT_EQ(m, before) << bad;
+    }
+    // The empty override is a no-op, not an error.
+    MachineDescriptor m;
+    EXPECT_TRUE(parseMachine("", &m));
+    EXPECT_EQ(m, before);
+}
+
+TEST(Machine, DetectionIsSaneAndCached)
+{
+    const MachineDescriptor &a = detectMachine();
+    EXPECT_GT(a.l1Bytes, 0u);
+    EXPECT_GE(a.l2Bytes, a.l1Bytes);
+    EXPECT_GE(a.llcBytes, a.l2Bytes);
+    EXPECT_GE(a.cores, 1);
+    EXPECT_GE(a.simdLanes, 1);
+    // Cached: same object, so the planner's inputs cannot drift
+    // within a process.
+    EXPECT_EQ(&a, &detectMachine());
+}
+
+TEST(Machine, EnvOverrideAppliesOnUncachedDetection)
+{
+    const char *saved = std::getenv("SOFA_MACHINE");
+    const std::string saved_copy = saved != nullptr ? saved : "";
+    ASSERT_EQ(
+        setenv("SOFA_MACHINE", "l1=65536,cores=3,lanes=1", 1), 0);
+    const MachineDescriptor m = detectMachineUncached();
+    EXPECT_EQ(m.l1Bytes, 65536u);
+    EXPECT_EQ(m.cores, 3);
+    EXPECT_EQ(m.simdLanes, 1);
+    if (saved != nullptr)
+        setenv("SOFA_MACHINE", saved_copy.c_str(), 1);
+    else
+        unsetenv("SOFA_MACHINE");
+}
+
+} // namespace
+} // namespace sofa

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * core/tiler: planner determinism for a fixed (machine, shape) pair,
+ * argmin membership in the search grid, TilePlan serialization
+ * round-trips, the SOFA_AUTOTILE override precedence, bit-exact
+ * engine results for EVERY plan the search grid can emit (the
+ * acceptance contract: tile knobs are perf-only), and the
+ * TileCostModel-backed DSE term's bit-compatibility at gamma = 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dse.h"
+#include "core/engine.h"
+#include "core/tiler.h"
+#include "testprop.h"
+
+namespace sofa {
+namespace {
+
+MachineDescriptor
+randomMachine(Rng &rng)
+{
+    MachineDescriptor m;
+    m.l1Bytes = static_cast<std::size_t>(
+        rng.uniformInt(16, 64) * 1024);
+    m.l2Bytes = static_cast<std::size_t>(
+        rng.uniformInt(128, 1024) * 1024);
+    m.llcBytes = static_cast<std::size_t>(
+        rng.uniformInt(2, 32) * 1024 * 1024);
+    m.cores = static_cast<int>(rng.uniformInt(1, 32));
+    m.simdLanes = rng.bernoulli(0.5) ? 8 : 1;
+    return m;
+}
+
+TileShape
+randomShape(Rng &rng)
+{
+    TileShape s;
+    s.headTasks = static_cast<int>(rng.uniformInt(1, 16));
+    s.rowsPerHead = static_cast<int>(
+        testprop::edgeSize(rng, 1, 256, 64));
+    s.contextLen = static_cast<int>(rng.uniformInt(16, 2048));
+    s.headDim = static_cast<int>(rng.uniformInt(8, 128));
+    s.tokenDim = static_cast<int>(rng.uniformInt(8, 256));
+    s.pastLen = rng.bernoulli(0.5)
+                    ? 0
+                    : static_cast<int>(
+                          rng.uniformInt(0, s.contextLen));
+    s.topkFrac = rng.uniform(0.05, 0.5);
+    return s;
+}
+
+bool
+planInGrid(const TilePlan &p, const std::vector<TilePlan> &grid)
+{
+    for (const TilePlan &g : grid)
+        if (g == p)
+            return true;
+    return false;
+}
+
+TEST(Tiler, PlanTilesDeterministicForFixedMachineAndShape)
+{
+    testprop::forEachSeededCase(24, [](int c, Rng &rng) {
+        const MachineDescriptor m = randomMachine(rng);
+        const TileShape s = randomShape(rng);
+        const TileCostModel model(m);
+        const TilePlan a = planTiles(s, model);
+        const TilePlan b = planTiles(s, model);
+        EXPECT_EQ(a, b) << "case " << c << ": " << a.describe()
+                        << " vs " << b.describe();
+        // The choice is the grid argmin: nothing in the grid beats
+        // it, and it is itself a grid member.
+        const std::vector<TilePlan> grid = tileSearchGrid(s, m);
+        EXPECT_TRUE(planInGrid(a, grid)) << "case " << c;
+        const double best = model.planSeconds(a, s);
+        for (const TilePlan &g : grid)
+            EXPECT_LE(best, model.planSeconds(g, s))
+                << "case " << c << ": " << g.describe();
+    });
+}
+
+TEST(Tiler, SearchGridClampsRowKnobsToShape)
+{
+    testprop::forEachSeededCase(12, [](int c, Rng &rng) {
+        const MachineDescriptor m = randomMachine(rng);
+        TileShape s = randomShape(rng);
+        s.rowsPerHead = static_cast<int>(rng.uniformInt(1, 9));
+        for (const TilePlan &p : tileSearchGrid(s, m)) {
+            EXPECT_GE(p.rowTile, 1) << "case " << c;
+            EXPECT_LE(p.rowTile, s.rowsPerHead) << "case " << c;
+            EXPECT_GE(p.sadsSpan, 1) << "case " << c;
+            EXPECT_LE(p.sadsSpan, s.rowsPerHead) << "case " << c;
+            EXPECT_EQ(p.blockK % 4, 0u) << "case " << c;
+            EXPECT_GT(p.panelBytes, 0u) << "case " << c;
+            EXPECT_GE(p.shardGrain, 1) << "case " << c;
+        }
+    });
+}
+
+TEST(Tiler, DescribeParseRoundTrip)
+{
+    testprop::forEachSeededCase(24, [](int c, Rng &rng) {
+        const MachineDescriptor m = randomMachine(rng);
+        const TileShape s = randomShape(rng);
+        const std::vector<TilePlan> grid = tileSearchGrid(s, m);
+        TilePlan p = grid[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(grid.size()) - 1))];
+        p.prefillChunkRows =
+            rng.bernoulli(0.5)
+                ? 0
+                : static_cast<int>(rng.uniformInt(1, 4096));
+        TilePlan parsed;
+        ASSERT_TRUE(parseTilePlan(p.describe(), &parsed))
+            << "case " << c << ": " << p.describe();
+        EXPECT_EQ(parsed, p) << "case " << c;
+        EXPECT_EQ(parsed.describe(), p.describe()) << "case " << c;
+    });
+}
+
+TEST(Tiler, ParseRejectsMalformedLeavingTargetUntouched)
+{
+    const TilePlan before;
+    for (const char *bad : {
+             "",                                     // missing keys
+             "panel=1,blockk=4,rowtile=1,sads=1",    // too few
+             "panel=0,blockk=4,rowtile=1,sads=1,grain=1,chunk=0",
+             "panel=1,blockk=6,rowtile=1,sads=1,grain=1,chunk=0",
+             "panel=1,blockk=4,rowtile=0,sads=1,grain=1,chunk=0",
+             "panel=1,blockk=4,rowtile=1,sads=1,grain=1,bogus=0",
+             "panel=x,blockk=4,rowtile=1,sads=1,grain=1,chunk=0",
+         }) {
+        TilePlan p;
+        EXPECT_FALSE(parseTilePlan(bad, &p)) << bad;
+        EXPECT_EQ(p, before) << bad;
+    }
+}
+
+TEST(Tiler, AutoTileOverridePrecedence)
+{
+    {
+        ScopedAutoTile follow(-1);
+        EXPECT_TRUE(autoTileEnabled(true));
+        EXPECT_FALSE(autoTileEnabled(false));
+    }
+    {
+        ScopedAutoTile off(0);
+        EXPECT_FALSE(autoTileEnabled(true));
+        EXPECT_FALSE(autoTileEnabled(false));
+    }
+    {
+        ScopedAutoTile on(1);
+        EXPECT_TRUE(autoTileEnabled(true));
+        EXPECT_TRUE(autoTileEnabled(false));
+    }
+}
+
+/** Outputs, selections and op counts must agree exactly. */
+void
+expectSameHeads(const EngineResult &a, const EngineResult &b,
+                const std::string &label)
+{
+    ASSERT_EQ(a.heads.size(), b.heads.size()) << label;
+    for (std::size_t i = 0; i < a.heads.size(); ++i) {
+        const PipelineResult &x = a.heads[i].result;
+        const PipelineResult &y = b.heads[i].result;
+        EXPECT_EQ(x.output, y.output) << label << " head " << i;
+        EXPECT_EQ(x.selections, y.selections)
+            << label << " head " << i;
+        EXPECT_EQ(x.totalOps().total(), y.totalOps().total())
+            << label << " head " << i;
+        EXPECT_EQ(x.keysGenerated, y.keysGenerated)
+            << label << " head " << i;
+    }
+    EXPECT_EQ(a.totalOps().total(), b.totalOps().total()) << label;
+    EXPECT_EQ(a.keysGenerated, b.keysGenerated) << label;
+}
+
+TEST(Tiler, EveryGridPlanBitExactVsDefaultPlan)
+{
+    ModelWorkloadSpec spec;
+    spec.batch = 1;
+    spec.heads = 2;
+    spec.seq = 64;
+    spec.queries = 6;
+    spec.headDim = 16;
+    spec.tokenDim = 24;
+    const ModelWorkload mw = generateModelWorkload(spec);
+
+    EngineConfig def;
+    def.computeQuality = false;
+    const EngineResult base = runEngine(mw, def);
+
+    MachineDescriptor m; // fixed descriptor: deterministic grid
+    const std::vector<TilePlan> grid = tileSearchGrid(
+        tileShape(spec, def.pipeline.topkFrac), m);
+    ASSERT_FALSE(grid.empty());
+    for (const TilePlan &p : grid) {
+        EngineConfig cfg = def;
+        cfg.fixedPlan = p;
+        expectSameHeads(base, runEngine(mw, cfg), p.describe());
+    }
+}
+
+TEST(Tiler, AutoTileEngineBitExactAndPlanExposed)
+{
+    ScopedAutoTile follow(-1); // the config flag decides
+    ModelWorkloadSpec spec;
+    spec.batch = 2;
+    spec.heads = 2;
+    spec.seq = 96;
+    spec.queries = 9;
+    spec.headDim = 16;
+    spec.tokenDim = 24;
+    const ModelWorkload mw = generateModelWorkload(spec);
+
+    EngineConfig def, at;
+    at.autoTile = true;
+    expectSameHeads(runEngine(mw, def), runEngine(mw, at),
+                    "autoTile");
+
+    // The stepped path exposes the resolved plan; with autoTile off
+    // the config's rowTile doubles as the SADS span.
+    std::vector<HeadTask> tasks;
+    for (int b = 0; b < mw.batch(); ++b)
+        for (int h = 0; h < mw.heads(); ++h) {
+            HeadTask t;
+            t.workload = &mw.head(b, h);
+            t.batch = b;
+            t.head = h;
+            tasks.push_back(t);
+        }
+    EngineConfig fixed;
+    fixed.rowTile = 7;
+    const Engine fixed_engine(fixed);
+    EngineRun fixed_run(fixed_engine, tasks);
+    EXPECT_EQ(fixed_run.plan().rowTile, 7);
+    EXPECT_EQ(fixed_run.plan().sadsSpan, 7);
+
+    const Engine at_engine(at);
+    EngineRun at_run(at_engine, tasks);
+    EXPECT_GE(at_run.plan().rowTile, 1);
+    EXPECT_LE(at_run.plan().rowTile, spec.queries);
+    EXPECT_EQ(at_run.plan().blockK % 4, 0u);
+}
+
+TEST(Tiler, DseGammaDefaultsToPaperObjective)
+{
+    DseObjectiveWeights w; // gamma = 0
+    DseEvaluation e;
+    e.len = 0.5;
+    e.lcmp = 0.3;
+    e.lexp = 0.2;
+    e.ltile = 123.0; // must not leak into the default objective
+    EXPECT_DOUBLE_EQ(e.objective(w),
+                     0.5 + w.alpha * 0.3 + w.beta * 0.2);
+    w.gamma = 0.1;
+    EXPECT_DOUBLE_EQ(e.objective(w),
+                     0.5 + w.alpha * 0.3 + w.beta * 0.2 +
+                         0.1 * 123.0);
+}
+
+TEST(Tiler, DseTileCostNonNegativeAndZeroAtPlannerChoice)
+{
+    const MachineDescriptor m;
+    const TileCostModel model(m);
+    TileShape s;
+    s.rowsPerHead = 128;
+    s.contextLen = 512;
+    DsePoint p;
+    p.tcPerLayer = {2, 4, 8, 16, 32};
+    const double cost = dseTileCost(p, s, model);
+    EXPECT_TRUE(std::isfinite(cost));
+    EXPECT_GE(cost, 0.0);
+    // A layer tiling that reproduces the planner's row tile costs
+    // exactly the floor.
+    const TilePlan best = planTiles(s, model);
+    DsePoint ideal;
+    ideal.tcPerLayer = {
+        std::max(1, s.contextLen / std::max(1, best.rowTile))};
+    // Only exact when S / Tc round-trips to the planned tile.
+    if (s.contextLen / ideal.tcPerLayer[0] == best.rowTile &&
+        best.rowTile == best.sadsSpan) {
+        EXPECT_DOUBLE_EQ(dseTileCost(ideal, s, model), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(dseTileCost(DsePoint{}, s, model), 0.0);
+}
+
+} // namespace
+} // namespace sofa
