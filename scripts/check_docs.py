@@ -142,6 +142,39 @@ def main():
                 errors.append(f"docs/SERVING.md: SchedulingPolicy "
                               f"variant `{v}` not documented")
 
+    # Every fleet routing policy must be documented (the backends &
+    # routing section), parsed from the RoutingPolicy enum so a new
+    # policy cannot land without its row, and every Backend
+    # implementation class must be mentioned by name.
+    backend_header = read("src/serve/backend.h")
+    routing_match = re.search(
+        r"enum class RoutingPolicy\s*\{(.*?)\};", backend_header,
+        re.DOTALL)
+    if not routing_match:
+        errors.append("src/serve/backend.h: RoutingPolicy enum not "
+                      "found (check_docs parses it)")
+    else:
+        body = re.sub(r"//[^\n]*", "", routing_match.group(1))
+        variants = re.findall(r"\b([A-Z]\w*)\b", body)
+        if not variants:
+            errors.append("src/serve/backend.h: no RoutingPolicy "
+                          "variants parsed (check_docs regex stale?)")
+        for v in variants:
+            if f"`{v}`" not in serving_doc:
+                errors.append(f"docs/SERVING.md: RoutingPolicy "
+                              f"variant `{v}` not documented")
+    backend_impls = re.findall(
+        r"class (\w+Backend)\s*(?:final\s*)?:\s*public Backend",
+        backend_header)
+    if not backend_impls:
+        errors.append("src/serve/backend.h: no Backend "
+                      "implementations parsed (check_docs regex "
+                      "stale?)")
+    for impl in backend_impls:
+        if impl not in serving_doc:
+            errors.append(f"docs/SERVING.md: Backend implementation "
+                          f"{impl} not documented")
+
     # The fault model must be documented: the injection grammar's
     # environment hook and the module implementing it.
     for needle in ("SOFA_FAULTS", "common/faultplan"):

@@ -41,6 +41,7 @@ OUTCOME_KINDS = ("completed", "degraded", "shed", "timedout",
                  "failed", "retried")
 OUTCOME_RE = re.compile(
     r"^(.+)_(" + "|".join(OUTCOME_KINDS) + r")$")
+FLEET_RE = re.compile(r"^(.*?)fleet(\d+)_gops$")
 
 
 def collect(results_dir):
@@ -126,6 +127,7 @@ def print_diff(prev, last):
     print_percentiles(pm, lm)
     print_pred_meas(pm, lm)
     print_outcomes(pm, lm)
+    print_fleet_scaling(pm, lm)
 
 
 def print_percentiles(pm, lm):
@@ -251,6 +253,57 @@ def print_outcomes(pm, lm):
         for kind in OUTCOME_KINDS:
             row += f"  {cell(fam, kind):<14}"
         print(row)
+
+
+def print_fleet_scaling(pm, lm):
+    """Render *fleetN_gops families as one scaling row per family.
+
+    bench_backends reports aggregate Gop/s per EngineBackend fleet
+    size (1/2/4); one row per family with the largest-vs-smallest
+    ratio makes the scaling curve — and any flattening of it —
+    readable at a glance.
+    """
+    families = {}
+    for key in lm:
+        m = FLEET_RE.match(key)
+        if m:
+            families.setdefault(m.group(1), {})[int(m.group(2))] = key
+    families = {f: sizes for f, sizes in families.items()
+                if len(sizes) >= 2}
+    if not families:
+        return
+
+    def cell(key):
+        new = lm[key]
+        old = pm.get(key)
+        if old is None:
+            return f"{new:.4g} (new)"
+        if old == 0:
+            return f"{new:.4g} (n/a)"
+        pct = 100.0 * (new - old) / abs(old)
+        return f"{new:.4g} ({pct:+.1f}%)"
+
+    all_sizes = sorted({n for sizes in families.values()
+                        for n in sizes})
+    width = max(len(f + "fleet_gops") for f in families)
+    print("fleet scaling, aggregate Gop/s "
+          "(value (delta vs previous)):")
+    header = f"  {'family':<{width}}"
+    for n in all_sizes:
+        header += f"  {'x' + str(n):<20}"
+    header += "  scale-up"
+    print(header)
+    for fam in sorted(families):
+        sizes = families[fam]
+        row = f"  {fam + 'fleet_gops':<{width}}"
+        for n in all_sizes:
+            key = sizes.get(n)
+            row += f"  {cell(key) if key else '-':<20}"
+        lo, hi = min(sizes), max(sizes)
+        base = lm[sizes[lo]]
+        ratio = (f"{lm[sizes[hi]] / base:.2f}x ({hi}v{lo})"
+                 if base else "n/a")
+        print(row + f"  {ratio}")
 
 
 def print_baseline_compare(metrics):

@@ -138,6 +138,15 @@ struct RequestResult
     /** Engine dispatches this prefill was split into by prefill
      * chunking (1 = unchunked). */
     int chunks = 1;
+    /** Index of the fleet backend this request was placed on (also
+     * set when the shard then shed it) — the routing decision the
+     * determinism property replays; 0 on the default single-backend
+     * scheduler. */
+    int backend = 0;
+    /** Modeled service seconds charged by a modeled backend (Sim/
+     * Analytic, summed over the request's tasks); 0 on a measured
+     * EngineBackend, where serviceSeconds is the truth. */
+    double modeledSeconds = 0.0;
     /** Last failure message (Outcome::Failed only). */
     std::string error;
 };

@@ -108,6 +108,9 @@ struct PendingRequest
     /** Arrival order, assigned at push — FIFO order and every
      * policy's deterministic tiebreak. */
     std::uint64_t seqNo = 0;
+    /** Fleet shard the request was routed to at admission (the
+     * scheduler sets it before push; 0 on a single-backend fleet). */
+    int backend = 0;
     /** Non-null while a chunked prefill is in progress. */
     std::shared_ptr<ChunkState> chunk;
 };

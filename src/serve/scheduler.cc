@@ -123,10 +123,10 @@ retryBackoffSeconds(const RetryPolicy &policy, std::uint64_t request,
 EngineConfig
 degradedEngineConfig(const SchedulerConfig &cfg)
 {
-    EngineConfig ec = cfg.engine;
-    const double frac = ec.pipeline.topkFrac * cfg.degradeKeepFactor;
-    ec.pipeline.topkFrac = std::min(1.0, std::max(1e-3, frac));
-    return ec;
+    // The same keep-span scaling every backend applies in begin();
+    // keeping them one function is what makes scheduler-degraded
+    // runs bit-exact vs a standalone run of the degraded spec.
+    return scaledKeepConfig(cfg.engine, cfg.degradeKeepFactor);
 }
 
 TilePlan
@@ -154,7 +154,7 @@ struct Scheduler::Slot
 {
     PendingRequest p;
     Clock::time_point t0{};      ///< batch dispatch time
-    /** The slot's task indices in the current EngineRun. */
+    /** The slot's task indices in the current BackendRun. */
     std::vector<std::size_t> taskIdx;
     int attempts = 0;     ///< engine runs consumed so far
     bool timedOut = false; ///< deadline expired during the run
@@ -162,19 +162,34 @@ struct Scheduler::Slot
     bool readmitted = false; ///< chunk continuation re-enqueued
     bool kvCold = false;  ///< KV reservation lost; runs pastLen 0
     int chunksDone = 1;   ///< chunk dispatches (1 = unchunked)
+    double modeledSeconds = 0.0; ///< modeled backend charge
+};
+
+/** One fleet shard: a backend with its own admission queue, lane
+ * TaskQueue, dispatcher thread and (decode-capable backends only)
+ * KV pool. Counters are guarded by Scheduler::m_. */
+struct Scheduler::Shard
+{
+    int index = 0;
+    std::shared_ptr<Backend> backend;
+    BackendCapabilities caps;
+    std::unique_ptr<KvPool> pool;
+    std::unique_ptr<RequestQueue> queue;
+    std::unique_ptr<TaskQueue> lanes;
+    int laneCount = 1;
+    int inFlight = 0;           ///< batches dispatched, unfinished
+    std::int64_t routed = 0;    ///< placement decisions
+    std::int64_t batches = 0;   ///< runs formed on this shard
+    std::int64_t headTasks = 0; ///< head tasks of finished runs
+    std::thread dispatcher;
 };
 
 Scheduler::Scheduler(SchedulerConfig cfg)
-    : cfg_(std::move(cfg)), engine_(cfg_.engine),
-      degradedEngine_(degradedEngineConfig(cfg_)),
+    : cfg_(std::move(cfg)),
       faults_(!cfg_.faults.empty()
                   ? cfg_.faults
                   : (cfg_.faultsFromEnv ? FaultPlan::fromEnv()
                                         : FaultPlan{})),
-      kvPool_(cfg_.kvPool),
-      queue_(cfg_.maxQueue, cfg_.policy, cfg_.drrQuantumHeads,
-             cfg_.prefillChunkRows),
-      lanes_(std::make_unique<TaskQueue>(std::max(1, cfg_.lanes))),
       started_(!cfg_.startPaused)
 {
     SOFA_ASSERT(cfg_.headBudget >= 1);
@@ -184,20 +199,96 @@ Scheduler::Scheduler(SchedulerConfig cfg)
                 cfg_.degradeKeepFactor <= 1.0);
     SOFA_ASSERT(cfg_.drrQuantumHeads >= 1);
     SOFA_ASSERT(cfg_.prefillChunkRows >= 0);
-    dispatcher_ = std::thread([this] { dispatchLoop(); });
+    std::vector<std::shared_ptr<Backend>> fleet = cfg_.backends;
+    if (fleet.empty()) {
+        // The implicit fleet: one in-process engine with no owned
+        // pool — exactly the single-engine scheduler's executor.
+        EngineBackendConfig ec;
+        ec.engine = cfg_.engine;
+        fleet.push_back(
+            std::make_shared<EngineBackend>(std::move(ec)));
+    }
+    shards_.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        auto sh = std::make_unique<Shard>();
+        sh->index = static_cast<int>(i);
+        sh->backend = fleet[i];
+        sh->caps = fleet[i]->capabilities();
+        // KV pools live on the decode-capable ("KV-cache-warm")
+        // shards; prefill-only backends run pool-less (their
+        // requests never carry a cached pastLen).
+        sh->pool = std::make_unique<KvPool>(
+            sh->caps.supportsDecode ? cfg_.kvPool : KvPoolConfig{});
+        sh->queue = std::make_unique<RequestQueue>(
+            cfg_.maxQueue, cfg_.policy, cfg_.drrQuantumHeads,
+            cfg_.prefillChunkRows);
+        sh->laneCount = sh->caps.maxConcurrentRuns > 0
+                            ? sh->caps.maxConcurrentRuns
+                            : std::max(1, cfg_.lanes);
+        sh->lanes = std::make_unique<TaskQueue>(sh->laneCount);
+        shards_.push_back(std::move(sh));
+    }
+    for (auto &sh : shards_)
+        sh->dispatcher = std::thread(
+            [this, s = sh.get()] { dispatchLoop(*s); });
 }
 
 Scheduler::~Scheduler()
 {
     start();
-    queue_.close();
+    for (auto &sh : shards_)
+        sh->queue->close();
     {
         std::lock_guard<std::mutex> lk(m_);
         closing_ = true;
     }
     cv_.notify_all();
-    dispatcher_.join();
-    lanes_.reset(); // drains the in-flight batches
+    for (auto &sh : shards_)
+        sh->dispatcher.join();
+    for (auto &sh : shards_)
+        sh->lanes.reset(); // drains the in-flight batches
+}
+
+const KvPool &
+Scheduler::kvPool(std::size_t backend) const
+{
+    SOFA_ASSERT(backend < shards_.size());
+    return *shards_[backend]->pool;
+}
+
+std::size_t
+Scheduler::fleetSize() const
+{
+    return shards_.size();
+}
+
+const Backend &
+Scheduler::backend(std::size_t i) const
+{
+    SOFA_ASSERT(i < shards_.size());
+    return *shards_[i]->backend;
+}
+
+int
+Scheduler::routeLocked(const Request &r)
+{
+    if (shards_.size() == 1)
+        return 0;
+    std::vector<BackendCapabilities> caps;
+    std::vector<std::int64_t> depths;
+    caps.reserve(shards_.size());
+    depths.reserve(shards_.size());
+    for (const auto &sh : shards_) {
+        caps.push_back(sh->caps);
+        // Load signal: requests waiting on the shard plus runs in
+        // flight on its backend. Deterministic whenever admission
+        // is (startPaused keeps both terms replayable).
+        depths.push_back(
+            static_cast<std::int64_t>(sh->queue->size()) +
+            sh->backend->queueDepth());
+    }
+    return routeRequest(cfg_.routing, r.kind(), caps, depths,
+                        rrCounter_++);
 }
 
 std::future<RequestResult>
@@ -218,28 +309,37 @@ Scheduler::submit(Request r)
                 std::chrono::duration<double>(dl));
     }
     std::future<RequestResult> fut = p.promise.get_future();
+    int shard_idx = 0;
     {
         // Count the request as outstanding *before* it becomes
         // visible in the queue: a concurrent drain() must never see
         // outstanding_ == 0 while an admitted request is queued.
+        // Routing happens here too — placement is an admission-time
+        // decision, so a replay with identical admission order
+        // reproduces identical placements.
         std::lock_guard<std::mutex> lk(m_);
         ++submitted_;
         ++outstanding_;
+        shard_idx = routeLocked(p.request);
+        ++shards_[static_cast<std::size_t>(shard_idx)]->routed;
     }
-    // KV-pool admission: reserve pages for the request's context
-    // rows (evicting idle residents LRU-first). A request whose
-    // demand cannot be reserved even by evicting is shed — the pool
-    // is the second admission gate next to queue capacity. Requires
-    // ids unique over the scheduler's lifetime (traces guarantee
-    // this) so reservations never alias.
+    Shard &sh = *shards_[static_cast<std::size_t>(shard_idx)];
+    p.backend = shard_idx;
+    // KV-pool admission on the routed shard: reserve pages for the
+    // request's context rows (evicting idle residents LRU-first). A
+    // request whose demand cannot be reserved even by evicting is
+    // shed — the pool is the second admission gate next to queue
+    // capacity. Requires ids unique over the scheduler's lifetime
+    // (traces guarantee this) so reservations never alias.
     bool admitted = true;
-    if (kvPool_.enabled())
+    if (sh.pool->enabled())
         admitted =
-            kvPool_.acquire(p.request.id, p.request.contextTokens())
+            sh.pool
+                ->acquire(p.request.id, p.request.contextTokens())
                 .ok;
-    if (admitted && !queue_.push(std::move(p))) {
+    if (admitted && !sh.queue->push(std::move(p))) {
         admitted = false;
-        kvPool_.release(p.request.id); // undo the page reservation
+        sh.pool->release(p.request.id); // undo the page reservation
     }
     if (!admitted) {
         // Admission overload: shed explicitly. The future resolves
@@ -255,6 +355,7 @@ Scheduler::submit(Request r)
         rr.id = p.request.id;
         rr.kind = p.request.kind();
         rr.outcome = Outcome::Shed;
+        rr.backend = shard_idx;
         p.promise.set_value(std::move(rr));
         return fut;
     }
@@ -298,49 +399,76 @@ Scheduler::stats() const
         s.kvColdRuns = kvColdRuns_;
         s.chunkRuns = chunkRuns_;
     }
-    s.kvEvictions = kvPool_.evictions();
+    for (const auto &sh : shards_) {
+        s.kvEvictions += sh->pool->evictions();
+        s.maxQueueDepth = std::max(
+            s.maxQueueDepth,
+            static_cast<std::int64_t>(sh->queue->maxDepth()));
+    }
     s.admitted = s.submitted - s.shed;
-    s.maxQueueDepth =
-        static_cast<std::int64_t>(queue_.maxDepth());
     if (s.batches > 0)
         s.meanBatchRequests = static_cast<double>(s.completed) /
                               static_cast<double>(s.batches);
     return s;
 }
 
-void
-Scheduler::dispatchLoop()
+std::vector<BackendStats>
+Scheduler::backendStats() const
 {
-    const int lanes = std::max(1, cfg_.lanes);
+    std::vector<BackendStats> out;
+    out.reserve(shards_.size());
+    std::lock_guard<std::mutex> lk(m_);
+    for (const auto &sh : shards_) {
+        BackendStats b;
+        b.name = sh->backend->name();
+        b.routed = sh->routed;
+        b.batches = sh->batches;
+        b.headTasks = sh->headTasks;
+        b.completedRuns = sh->backend->completedRuns();
+        b.queueDepth = sh->backend->queueDepth();
+        b.kvEvictions = sh->pool->evictions();
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+void
+Scheduler::dispatchLoop(Shard &shard)
+{
     for (;;) {
         {
-            // A batch is formed only when a lane is free (continuous
-            // batching: every request that arrived while the lanes
-            // were busy merges into the next batch). When closing,
-            // drain unconditionally — queued promises must resolve.
+            // A batch is formed only when a shard lane is free
+            // (continuous batching: every request that arrived while
+            // the lanes were busy merges into the next batch). When
+            // closing, drain unconditionally — queued promises must
+            // resolve.
             std::unique_lock<std::mutex> lk(m_);
             cv_.wait(lk, [&] {
-                return closing_ || (started_ && inFlight_ < lanes);
+                return closing_ ||
+                       (started_ &&
+                        shard.inFlight < shard.laneCount);
             });
         }
         std::vector<PendingRequest> batch =
-            queue_.popBatch(cfg_.headBudget, cfg_.tokenBudget);
+            shard.queue->popBatch(cfg_.headBudget,
+                                  cfg_.tokenBudget);
         if (batch.empty())
             return; // queue closed and drained
         {
             std::lock_guard<std::mutex> lk(m_);
             ++batches_;
-            ++inFlight_;
+            ++shard.batches;
+            ++shard.inFlight;
         }
         // PendingRequest holds a promise (move-only); std::function
         // needs a copyable callable, so the batch rides shared_ptr.
         auto shared = std::make_shared<std::vector<PendingRequest>>(
             std::move(batch));
-        lanes_->submit([this, shared] {
-            runBatch(std::move(*shared));
+        shard.lanes->submit([this, &shard, shared] {
+            runBatch(shard, std::move(*shared));
             {
                 std::lock_guard<std::mutex> lk(m_);
-                --inFlight_;
+                --shard.inFlight;
             }
             cv_.notify_all();
         });
@@ -348,7 +476,7 @@ Scheduler::dispatchLoop()
 }
 
 void
-Scheduler::resolveSlot(Slot &slot, Outcome outcome,
+Scheduler::resolveSlot(Shard &shard, Slot &slot, Outcome outcome,
                        EngineResult engine, double keep_frac,
                        int coscheduled, std::string error)
 {
@@ -369,16 +497,18 @@ Scheduler::resolveSlot(Slot &slot, Outcome outcome,
     rr.degradeKeepFrac = keep_frac;
     rr.kvCold = slot.kvCold;
     rr.chunks = slot.chunksDone;
+    rr.backend = slot.p.backend;
+    rr.modeledSeconds = slot.modeledSeconds;
     rr.error = std::move(error);
     // KV-pool bookkeeping: finished requests stay resident as idle
     // reusable cache (LRU-evictable under pressure); abandoned ones
     // free their pages immediately.
-    if (kvPool_.enabled()) {
+    if (shard.pool->enabled()) {
         if (outcome == Outcome::Completed ||
             outcome == Outcome::Degraded)
-            kvPool_.retire(rr.id);
+            shard.pool->retire(rr.id);
         else
-            kvPool_.release(rr.id);
+            shard.pool->release(rr.id);
     }
     {
         std::lock_guard<std::mutex> lk(m_);
@@ -404,7 +534,8 @@ Scheduler::resolveSlot(Slot &slot, Outcome outcome,
 }
 
 bool
-Scheduler::stepWithFaults(EngineRun &run, std::vector<Slot *> &slots)
+Scheduler::stepWithFaults(BackendRun &run,
+                          std::vector<Slot *> &slots)
 {
     while (!run.done()) {
         const char *stage = run.nextStageName();
@@ -443,8 +574,9 @@ Scheduler::stepWithFaults(EngineRun &run, std::vector<Slot *> &slots)
 }
 
 void
-Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
-                            Outcome success, double keep_frac,
+Scheduler::runSoloWithRetry(Shard &shard, Slot &slot,
+                            double keep_factor, Outcome success,
+                            double keep_frac,
                             std::string last_error)
 {
     const int max_attempts = std::max(1, cfg_.retry.maxAttempts);
@@ -459,8 +591,9 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
                 cfg_.retry, slot.p.request.id, slot.attempts));
         }
         if (slot.p.hasDeadline && Clock::now() >= slot.p.deadline) {
-            resolveSlot(slot, Outcome::TimedOut, EngineResult{},
-                        keep_frac, 0, std::string());
+            resolveSlot(shard, slot, Outcome::TimedOut,
+                        EngineResult{}, keep_frac, 0,
+                        std::string());
             return;
         }
         try {
@@ -473,24 +606,30 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
             for (std::size_t t = 0; t < tasks.size(); ++t)
                 slot.taskIdx[t] = t;
             slot.timedOut = false;
-            EngineRun run(eng, std::move(tasks));
-            const bool ran = stepWithFaults(run, solo);
+            auto run =
+                shard.backend->begin(std::move(tasks), keep_factor);
+            const bool ran = stepWithFaults(*run, solo);
             ++slot.attempts;
             if (slot.timedOut || !ran) {
-                resolveSlot(slot, Outcome::TimedOut, EngineResult{},
-                            keep_frac, n, std::string());
+                resolveSlot(shard, slot, Outcome::TimedOut,
+                            EngineResult{}, keep_frac, n,
+                            std::string());
                 return;
             }
-            EngineResult res = run.finish();
+            slot.modeledSeconds = 0.0;
+            for (std::size_t t : slot.taskIdx)
+                slot.modeledSeconds += run->modeledTaskSeconds(t);
+            EngineResult res = run->finish();
             {
                 std::lock_guard<std::mutex> lk(m_);
                 headTasks_ += n;
+                shard.headTasks += n;
             }
             // Solo run of the request's own tasks == a standalone
             // Engine::run of its spec, so the bit-exactness
             // contract holds on the recovery and degraded paths.
-            resolveSlot(slot, success, std::move(res), keep_frac, n,
-                        std::string());
+            resolveSlot(shard, slot, success, std::move(res),
+                        keep_frac, n, std::string());
             return;
         } catch (const std::exception &e) {
             ++slot.attempts;
@@ -500,17 +639,17 @@ Scheduler::runSoloWithRetry(Slot &slot, const Engine &eng,
             last_error = "unknown engine failure";
         }
     }
-    resolveSlot(slot, Outcome::Failed, EngineResult{}, keep_frac, 0,
-                std::move(last_error));
+    resolveSlot(shard, slot, Outcome::Failed, EngineResult{},
+                keep_frac, 0, std::move(last_error));
 }
 
 void
-Scheduler::preparePoolPin(Slot &slot)
+Scheduler::preparePoolPin(Shard &shard, Slot &slot)
 {
-    if (!kvPool_.enabled())
+    if (!shard.pool->enabled())
         return;
     const Request &r = slot.p.request;
-    if (kvPool_.pin(r.id))
+    if (shard.pool->pin(r.id))
         return; // reservation survived the wait: warm run
     // The reservation was evicted while the request queued:
     // re-acquire (evicting someone else LRU-first) and run cold. A
@@ -519,7 +658,7 @@ Scheduler::preparePoolPin(Slot &slot)
     // through the exact op counters. If even re-acquiring fails
     // (every page pinned by concurrent runs) the request runs
     // without residency; correctness is unaffected either way.
-    kvPool_.acquire(r.id, r.contextTokens(), /*pin_now=*/true);
+    shard.pool->acquire(r.id, r.contextTokens(), /*pin_now=*/true);
     if (r.work.isDecode()) {
         slot.kvCold = true;
         std::lock_guard<std::mutex> lk(m_);
@@ -528,7 +667,7 @@ Scheduler::preparePoolPin(Slot &slot)
 }
 
 void
-Scheduler::runBatch(std::vector<PendingRequest> batch)
+Scheduler::runBatch(Shard &shard, std::vector<PendingRequest> batch)
 {
     const Clock::time_point t0 = Clock::now();
     std::vector<Slot> slots(batch.size());
@@ -551,8 +690,8 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         std::vector<Slot *> degrade_slots;
         for (Slot &s : slots) {
             if (s.p.hasDeadline && t0 >= s.p.deadline) {
-                resolveSlot(s, Outcome::TimedOut, EngineResult{},
-                            1.0, 0, std::string());
+                resolveSlot(shard, s, Outcome::TimedOut,
+                            EngineResult{}, 1.0, 0, std::string());
             } else if (cfg_.degradeAfterSeconds > 0.0 &&
                        seconds(s.p.submitted, t0) >
                            cfg_.degradeAfterSeconds) {
@@ -562,18 +701,19 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
             }
         }
 
-        // Degraded requests run solo on the cheaper engine, first —
-        // they have already waited past the overload threshold.
-        // Degradation supersedes chunking: a half-chunked prefill
-        // that waited this long reruns whole on the cheap engine.
+        // Degraded requests run solo at the cheaper keep factor,
+        // first — they have already waited past the overload
+        // threshold. Degradation supersedes chunking: a half-chunked
+        // prefill that waited this long reruns whole and cheap.
         const double keep_frac =
-            degradedEngine_.config().pipeline.topkFrac /
+            degradedEngineConfig(cfg_).pipeline.topkFrac /
             cfg_.engine.pipeline.topkFrac;
         for (Slot *s : degrade_slots) {
             s->p.chunk.reset();
-            preparePoolPin(*s);
-            runSoloWithRetry(*s, degradedEngine_, Outcome::Degraded,
-                             keep_frac, std::string());
+            preparePoolPin(shard, *s);
+            runSoloWithRetry(shard, *s, cfg_.degradeKeepFactor,
+                             Outcome::Degraded, keep_frac,
+                             std::string());
         }
 
         if (!merged_slots.empty()) {
@@ -591,7 +731,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
             std::vector<std::size_t> owner; // task -> slot index
             for (std::size_t r = 0; r < merged_slots.size(); ++r) {
                 Slot *s = merged_slots[r];
-                preparePoolPin(*s);
+                preparePoolPin(shard, *s);
                 const std::size_t first = tasks.size();
                 if (chunkable(s->p.request)) {
                     if (!s->p.chunk) {
@@ -645,18 +785,25 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                 // Each stage is a separate pool epoch, so concurrent
                 // lanes interleave between stages; the per-stage seam
                 // is also where faults inject and deadlines cancel.
-                EngineRun run(engine_, std::move(tasks));
-                const bool ran = stepWithFaults(run, merged_slots);
+                auto run = shard.backend->begin(std::move(tasks));
+                const bool ran = stepWithFaults(*run, merged_slots);
                 for (Slot *s : merged_slots)
                     ++s->attempts; // the merged run was attempt 0
                 if (ran) {
-                    EngineResult merged = run.finish();
+                    for (Slot *s : merged_slots) {
+                        s->modeledSeconds = 0.0;
+                        for (std::size_t t : s->taskIdx)
+                            s->modeledSeconds +=
+                                run->modeledTaskSeconds(t);
+                    }
+                    EngineResult merged = run->finish();
                     // Count executed work before any promise
                     // resolves, so a caller observing its future
                     // sees consistent stats.
                     {
                         std::lock_guard<std::mutex> lk(m_);
                         headTasks_ += coscheduled;
+                        shard.headTasks += coscheduled;
                     }
                     // Split the co-scheduled heads back per request,
                     // in task order, so each aggregate matches a
@@ -675,7 +822,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                         if (s->timedOut) {
                             // A chunked prefill's partial rows are
                             // discarded with the rest.
-                            resolveSlot(*s, Outcome::TimedOut,
+                            resolveSlot(shard, *s, Outcome::TimedOut,
                                         EngineResult{}, 1.0,
                                         coscheduled, std::string());
                         } else if (s->p.chunk && chunk_upto[r] > 0) {
@@ -694,24 +841,26 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                             }
                             if (cs.rowsDone <
                                 cs.work.spec.queryRows()) {
-                                kvPool_.unpin(s->p.request.id);
+                                shard.pool->unpin(s->p.request.id);
                                 s->taskIdx.clear();
                                 s->readmitted = true;
-                                queue_.pushReadmit(std::move(s->p));
+                                shard.queue->pushReadmit(
+                                    std::move(s->p));
                             } else {
                                 s->chunksDone =
                                     (cs.rowsDone +
                                      cfg_.prefillChunkRows - 1) /
                                     cfg_.prefillChunkRows;
                                 resolveSlot(
-                                    *s, Outcome::Completed,
+                                    shard, *s, Outcome::Completed,
                                     aggregateHeadResults(
                                         std::move(cs.heads)),
                                     1.0, coscheduled,
                                     std::string());
                             }
                         } else {
-                            resolveSlot(*s, Outcome::Completed,
+                            resolveSlot(shard, *s,
+                                        Outcome::Completed,
                                         aggregateHeadResults(
                                             std::move(per_req[r])),
                                         1.0, coscheduled,
@@ -722,7 +871,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                     // Every merged request timed out mid-run; the
                     // partial work was cancelled and is discarded.
                     for (Slot *s : merged_slots)
-                        resolveSlot(*s, Outcome::TimedOut,
+                        resolveSlot(shard, *s, Outcome::TimedOut,
                                     EngineResult{}, 1.0, coscheduled,
                                     std::string());
                 }
@@ -738,7 +887,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                     if (s->resolved)
                         continue;
                     if (s->timedOut) {
-                        resolveSlot(*s, Outcome::TimedOut,
+                        resolveSlot(shard, *s, Outcome::TimedOut,
                                     EngineResult{}, 1.0, coscheduled,
                                     std::string());
                         continue;
@@ -748,8 +897,9 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
                     // banked partial rows are discarded with the
                     // poisoned run.
                     s->p.chunk.reset();
-                    runSoloWithRetry(*s, engine_, Outcome::Completed,
-                                     1.0, e.what());
+                    runSoloWithRetry(shard, *s, 1.0,
+                                     Outcome::Completed, 1.0,
+                                     e.what());
                 }
             }
         }
@@ -759,13 +909,14 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         // never carry exceptions and failures are always accounted.
         for (Slot &s : slots)
             if (!s.resolved && !s.readmitted)
-                resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
-                            0, e.what());
+                resolveSlot(shard, s, Outcome::Failed,
+                            EngineResult{}, 1.0, 0, e.what());
     } catch (...) {
         for (Slot &s : slots)
             if (!s.resolved && !s.readmitted)
-                resolveSlot(s, Outcome::Failed, EngineResult{}, 1.0,
-                            0, "unknown scheduler failure");
+                resolveSlot(shard, s, Outcome::Failed,
+                            EngineResult{}, 1.0, 0,
+                            "unknown scheduler failure");
     }
     // Readmitted chunk continuations are still outstanding (their
     // promise travels back through the queue); everything else
@@ -782,7 +933,7 @@ Scheduler::runBatch(std::vector<PendingRequest> batch)
         outstanding_ -=
             static_cast<std::int64_t>(slots.size() - readmits);
     }
-    queue_.finishPopped(chunk_finished);
+    shard.queue->finishPopped(chunk_finished);
     cv_.notify_all();
 }
 

@@ -32,6 +32,19 @@
  * is charged through the engine's exact keysCached/kvGenerationOps
  * counters, so pool-on vs pool-off op totals reconcile exactly.
  *
+ * Multi-backend fleet (serving v3): the lanes sit behind a fleet of
+ * executor Backends (serve/backend) — in-process engines with their
+ * own thread pools, cycle-model simulators, analytic GPU/TPU models.
+ * Each backend gets a shard: its own admission queue, KV pool
+ * (decode-capable backends only — the "KV-cache-warm" class), lane
+ * TaskQueue and dispatcher. Requests are placed on a shard at
+ * admission by the RoutingPolicy (round-robin default — one implicit
+ * EngineBackend reproduces the single-engine scheduler bit-exactly —
+ * least-queue-depth, or prefill/decode disaggregation). Every
+ * backend executes identical per-task numerics, so the bit-exactness
+ * contract holds for any fleet mix; RequestResult.backend records
+ * the placement for the routing-determinism property tests.
+ *
  * Fault tolerance (the robustness layer): per-request deadlines
  * cancel expired work cooperatively at EngineRun stage boundaries
  * (Outcome::TimedOut), failed engine runs are retried solo with
@@ -60,6 +73,7 @@
 
 #include "common/faultplan.h"
 #include "core/engine.h"
+#include "serve/backend.h"
 #include "serve/kvpool.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -154,6 +168,17 @@ struct SchedulerConfig
      * environment variable (FaultPlan::fromEnv). Benches that gate
      * outcome counts set this false to stay hermetic. */
     bool faultsFromEnv = true;
+    /**
+     * The executor fleet (serve/backend). Empty (the default): one
+     * implicit EngineBackend over `engine` with no owned pool —
+     * bit-compatible with the single-engine scheduler. Each backend
+     * becomes a shard with its own queue, lanes and (when the
+     * backend supports decode) KV pool sized from `kvPool`.
+     */
+    std::vector<std::shared_ptr<Backend>> backends;
+    /** Fleet placement policy (serve/backend.h routeRequest): with
+     * a single backend every policy degenerates to shard 0. */
+    RoutingPolicy routing = RoutingPolicy::RoundRobin;
 };
 
 /**
@@ -217,6 +242,18 @@ struct SchedulerStats
     double meanBatchRequests = 0.0;
 };
 
+/** Per-backend shard counters (Scheduler::backendStats). */
+struct BackendStats
+{
+    std::string name;            ///< Backend::name()
+    std::int64_t routed = 0;     ///< placement decisions (pre-shed)
+    std::int64_t batches = 0;    ///< runs formed on this shard
+    std::int64_t headTasks = 0;  ///< head tasks of finished runs
+    std::int64_t completedRuns = 0; ///< backend-reported completions
+    int queueDepth = 0;          ///< runs in flight right now
+    std::int64_t kvEvictions = 0; ///< shard pool evictions
+};
+
 class Scheduler
 {
   public:
@@ -229,10 +266,17 @@ class Scheduler
 
     const SchedulerConfig &config() const { return cfg_; }
 
-    /** The paged KV pool backing decode pastLen — read-only
-     * introspection for the page-conservation invariants the trace
-     * bench and tests gate (freePages/residentPages/pinnedPages). */
-    const KvPool &kvPool() const { return kvPool_; }
+    /** The paged KV pool backing decode pastLen on shard
+     * @p backend — read-only introspection for the page-conservation
+     * invariants the trace bench and tests gate
+     * (freePages/residentPages/pinnedPages). The no-argument form is
+     * shard 0, the whole pool of the default single-backend fleet. */
+    const KvPool &kvPool(std::size_t backend = 0) const;
+
+    /** Number of shards (>= 1; 1 on the default fleet). */
+    std::size_t fleetSize() const;
+    /** The backend serving shard @p i. */
+    const Backend &backend(std::size_t i) const;
 
     /**
      * Submit one request. The returned future always resolves with
@@ -253,33 +297,36 @@ class Scheduler
 
     SchedulerStats stats() const;
 
-  private:
-    struct Slot; // per-request in-flight state (scheduler.cc)
+    /** Per-shard counters, fleet order (routing/conformance tests
+     * and bench_backends' placement table). */
+    std::vector<BackendStats> backendStats() const;
 
-    void dispatchLoop();
-    void runBatch(std::vector<PendingRequest> batch);
-    bool stepWithFaults(EngineRun &run, std::vector<Slot *> &slots);
-    void runSoloWithRetry(Slot &slot, const Engine &eng,
-                          Outcome success, double keep_frac,
-                          std::string last_error);
-    void resolveSlot(Slot &slot, Outcome outcome,
+  private:
+    struct Slot;  // per-request in-flight state (scheduler.cc)
+    struct Shard; // per-backend queue/lanes/pool (scheduler.cc)
+
+    int routeLocked(const Request &r); // under m_
+    void dispatchLoop(Shard &shard);
+    void runBatch(Shard &shard, std::vector<PendingRequest> batch);
+    bool stepWithFaults(BackendRun &run,
+                        std::vector<Slot *> &slots);
+    void runSoloWithRetry(Shard &shard, Slot &slot,
+                          double keep_factor, Outcome success,
+                          double keep_frac, std::string last_error);
+    void resolveSlot(Shard &shard, Slot &slot, Outcome outcome,
                      EngineResult engine, double keep_frac,
                      int coscheduled, std::string error);
-    void preparePoolPin(Slot &slot);
+    void preparePoolPin(Shard &shard, Slot &slot);
 
     SchedulerConfig cfg_;
-    Engine engine_;
-    Engine degradedEngine_; ///< cheaper config for Degraded runs
-    FaultPlan faults_;      ///< cfg_.faults, else SOFA_FAULTS
-    KvPool kvPool_;         ///< paged pastLen backing (may be off)
-    RequestQueue queue_;
-    std::unique_ptr<TaskQueue> lanes_;
+    FaultPlan faults_; ///< cfg_.faults, else SOFA_FAULTS
+    std::vector<std::unique_ptr<Shard>> shards_;
 
     mutable std::mutex m_;
     std::condition_variable cv_;
     bool started_ = false;
     bool closing_ = false;
-    int inFlight_ = 0;           ///< batches dispatched, unfinished
+    std::uint64_t rrCounter_ = 0;  ///< round-robin admission index
     std::int64_t outstanding_ = 0; ///< admitted, not yet completed
     std::int64_t submitted_ = 0;
     std::int64_t shed_ = 0;
@@ -292,8 +339,6 @@ class Scheduler
     std::int64_t headTasks_ = 0;
     std::int64_t kvColdRuns_ = 0;
     std::int64_t chunkRuns_ = 0;
-
-    std::thread dispatcher_;
 };
 
 /**
